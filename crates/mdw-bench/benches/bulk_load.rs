@@ -1,0 +1,53 @@
+//! F4 — bulk-load benchmark: staging → validated load into model tables
+//! (the Figure 4 pipeline), at small and medium scale.
+//!
+//! Paper context: one warehouse version is ~1.2 M edges and is reloaded per
+//! release; the `reproduce fig4 --scale paper` harness runs the full
+//! published size, this bench tracks the per-triple cost on smaller inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mdw_core::warehouse::MetadataWarehouse;
+use mdw_corpus::{generate, CorpusConfig, Scale};
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_load");
+    group.sample_size(10);
+    for scale in [Scale::Small, Scale::Medium] {
+        let corpus = generate(&CorpusConfig::preset(scale));
+        let extracts = corpus.into_extracts();
+        let triples: usize = extracts.iter().map(|e| e.len()).sum();
+        group.throughput(Throughput::Elements(triples as u64));
+        group.bench_with_input(
+            BenchmarkId::new("ingest", format!("{scale:?}/{triples}t")),
+            &extracts,
+            |b, extracts| {
+                b.iter(|| {
+                    let mut w = MetadataWarehouse::new();
+                    let report = w.ingest(extracts.clone()).expect("ingest");
+                    assert!(report.is_clean());
+                    report.load.loaded
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_staging_only(c: &mut Criterion) {
+    // Isolates the staging stage from the load stage.
+    let corpus = generate(&CorpusConfig::small());
+    let extracts = corpus.into_extracts();
+    c.bench_function("staging_only/small", |b| {
+        b.iter(|| {
+            let mut staging = mdw_rdf::StagingArea::new();
+            for extract in &extracts {
+                staging.stage_batch(&extract.source, extract.triples.iter().cloned());
+            }
+            staging.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_bulk_load, bench_staging_only);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! T1 — Table I census benchmark: classifying every node and edge of a
+//! version into the node-type × edge-category matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mdw_bench::setup::load_scale;
+use mdw_corpus::Scale;
+
+fn bench_census(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_census");
+    group.sample_size(10);
+    for scale in [Scale::Small, Scale::Medium] {
+        let loaded = load_scale(scale);
+        let edges = loaded.warehouse.stats().unwrap().edges;
+        group.throughput(Throughput::Elements(edges as u64));
+        group.bench_with_input(
+            BenchmarkId::new("census", format!("{scale:?}/{edges}e")),
+            &loaded,
+            |b, loaded| b.iter(|| loaded.warehouse.census().unwrap().total_edges),
+        );
+    }
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let loaded = load_scale(Scale::Medium);
+    c.bench_function("graph_stats/medium", |b| {
+        b.iter(|| loaded.warehouse.stats().unwrap().nodes)
+    });
+}
+
+criterion_group!(benches, bench_census, bench_stats);
+criterion_main!(benches);

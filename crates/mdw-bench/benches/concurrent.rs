@@ -1,0 +1,59 @@
+//! Concurrent-reader benchmark.
+//!
+//! The paper's warehouse serves "a still growing community of business and
+//! IT users"; between releases the workload is read-only. The store is
+//! immutable during queries, so readers scale across threads without locks —
+//! this bench measures a mixed search/lineage workload at 1, 2, 4, and 8
+//! reader threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mdw_bench::setup::load_scale;
+use mdw_core::lineage::LineageRequest;
+use mdw_core::search::SearchRequest;
+use mdw_corpus::Scale;
+
+const QUERIES_PER_THREAD: usize = 8;
+
+fn bench_concurrent_readers(c: &mut Criterion) {
+    let loaded = load_scale(Scale::Medium);
+    let warehouse = &loaded.warehouse;
+    let chain_start = &loaded.corpus.chain_start;
+    let terms = ["customer", "partner", "balance", "portfolio"];
+
+    let mut group = c.benchmark_group("concurrent_readers");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((threads * QUERIES_PER_THREAD * 2) as u64));
+        group.bench_with_input(BenchmarkId::new("mixed_workload", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for t in 0..threads {
+                        handles.push(scope.spawn(move || {
+                            let mut hits = 0usize;
+                            for q in 0..QUERIES_PER_THREAD {
+                                let term = terms[(t + q) % terms.len()];
+                                hits += warehouse
+                                    .search(&SearchRequest::new(term))
+                                    .unwrap()
+                                    .instance_count();
+                                hits += warehouse
+                                    .lineage(&LineageRequest::downstream(chain_start.clone()))
+                                    .unwrap()
+                                    .endpoints
+                                    .len();
+                            }
+                            hits
+                        }));
+                    }
+                    handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent_readers);
+criterion_main!(benches);

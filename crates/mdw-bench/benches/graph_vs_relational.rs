@@ -1,0 +1,97 @@
+//! S3 — graph vs. the textbook relational baseline: the same questions on
+//! both stores, the relational load (with drops), and the migration cost.
+//!
+//! The expected shape (which EXPERIMENTS.md records): the relational store
+//! wins raw query latency — the paper concedes "best performance" to the
+//! textbook approach — while the graph wins on load completeness and
+//! schema-evolution cost (zero DDL).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mdw_bench::setup::load_scale;
+use mdw_core::lineage::LineageRequest;
+use mdw_core::search::SearchRequest;
+use mdw_corpus::{generate, CorpusConfig, Scale};
+use mdw_relational::lineage::RelLineageRequest;
+use mdw_relational::search::RelSearchRequest;
+use mdw_relational::{load_extracts, rel_lineage, rel_search, Migration, RelationalStore};
+
+fn bench_search_both(c: &mut Criterion) {
+    let loaded = load_scale(Scale::Medium);
+    let corpus = generate(&CorpusConfig::medium());
+    let mut rel = RelationalStore::new();
+    load_extracts(&mut rel, &corpus.clone().into_extracts());
+
+    let mut group = c.benchmark_group("s3_search");
+    group.bench_function("graph/customer", |b| {
+        b.iter(|| {
+            loaded
+                .warehouse
+                .search(&SearchRequest::new("customer"))
+                .unwrap()
+                .instance_count()
+        })
+    });
+    group.bench_function("relational/customer", |b| {
+        b.iter(|| rel_search(&rel, &RelSearchRequest::new("customer")).instance_count)
+    });
+    group.finish();
+}
+
+fn bench_lineage_both(c: &mut Criterion) {
+    let loaded = load_scale(Scale::Medium);
+    let corpus = generate(&CorpusConfig::medium());
+    let mut rel = RelationalStore::new();
+    load_extracts(&mut rel, &corpus.clone().into_extracts());
+    let start = corpus.chain_start.clone();
+    let start_id = start.as_iri().unwrap().to_string();
+
+    let mut group = c.benchmark_group("s3_lineage");
+    group.bench_function("graph/downstream", |b| {
+        b.iter(|| {
+            loaded
+                .warehouse
+                .lineage(&LineageRequest::downstream(start.clone()))
+                .unwrap()
+                .endpoints
+                .len()
+        })
+    });
+    group.bench_function("relational/downstream", |b| {
+        b.iter(|| {
+            rel_lineage(&rel, &RelLineageRequest::downstream(start_id.clone()))
+                .endpoints
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_relational_load_and_migration(c: &mut Criterion) {
+    let corpus = generate(&CorpusConfig::medium().extended());
+    let extracts = corpus.into_extracts();
+    let mut group = c.benchmark_group("s3_evolution");
+    group.sample_size(10);
+    group.bench_function("relational_load/extended", |b| {
+        b.iter(|| {
+            let mut rel = RelationalStore::new();
+            load_extracts(&mut rel, &extracts).dropped_total()
+        })
+    });
+    group.bench_function("migration/figure9", |b| {
+        b.iter(|| {
+            let mut rel = RelationalStore::new();
+            load_extracts(&mut rel, &extracts);
+            Migration::figure9().apply(&mut rel).rows_rewritten
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_search_both,
+    bench_lineage_both,
+    bench_relational_load_and_migration
+);
+criterion_main!(benches);

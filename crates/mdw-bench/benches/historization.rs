@@ -1,0 +1,60 @@
+//! S1 — historization benchmarks: taking a full per-release snapshot and
+//! diffing two versions (Section III.A's release regime).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mdw_bench::setup::load_scale;
+use mdw_corpus::Scale;
+use mdw_rdf::term::Term;
+use mdw_rdf::vocab;
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("historization_snapshot");
+    group.sample_size(10);
+    for scale in [Scale::Small, Scale::Medium] {
+        let loaded = load_scale(scale);
+        let edges = loaded.warehouse.stats().unwrap().edges;
+        group.throughput(Throughput::Elements(edges as u64));
+        // Snapshots must be unique per iteration — counter in the tag.
+        let counter = std::cell::Cell::new(0usize);
+        let warehouse = std::cell::RefCell::new(loaded.warehouse);
+        group.bench_function(BenchmarkId::new("snapshot", format!("{scale:?}/{edges}e")), |b| {
+            b.iter(|| {
+                let n = counter.get();
+                counter.set(n + 1);
+                warehouse
+                    .borrow_mut()
+                    .snapshot(&format!("bench.{n}"))
+                    .unwrap()
+                    .stats
+                    .edges
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let loaded = load_scale(Scale::Medium);
+    let mut w = loaded.warehouse;
+    w.snapshot("v1").unwrap();
+    // A release's worth of churn.
+    for i in 0..500 {
+        w.insert_fact(
+            &Term::iri(vocab::cs::dwh(&format!("bench/extra{i}"))),
+            &Term::iri(vocab::rdf::TYPE),
+            &Term::iri(vocab::cs::dm("Column")),
+        )
+        .unwrap();
+    }
+    w.snapshot("v2").unwrap();
+    let mut group = c.benchmark_group("historization_diff");
+    group.sample_size(10);
+    group.bench_function("diff/medium_500_churn", |b| {
+        b.iter(|| w.diff("v1", "v2").unwrap().churn())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot, bench_diff);
+criterion_main!(benches);

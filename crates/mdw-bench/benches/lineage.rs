@@ -1,0 +1,125 @@
+//! F7/F8/L2/S2 — lineage benchmarks: the `(isMappedTo)* rdf:type` traversal
+//! in both directions, rule-condition filters, the Figure 7 schema-flow
+//! aggregation and drill-down, and Listing 2 through `SEM_MATCH`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mdw_bench::setup::{load_config, load_scale};
+use mdw_core::lineage::LineageRequest;
+use mdw_corpus::{CorpusConfig, Scale};
+use mdw_rdf::vocab;
+use mdw_sparql::SemMatch;
+
+fn bench_lineage_directions(c: &mut Criterion) {
+    let loaded = load_scale(Scale::Medium);
+    let start = loaded.corpus.chain_start.clone();
+    let end = loaded.corpus.chain_end.clone();
+    let mut group = c.benchmark_group("lineage");
+
+    group.bench_function("downstream/chain_start", |b| {
+        b.iter(|| {
+            loaded
+                .warehouse
+                .lineage(&LineageRequest::downstream(start.clone()))
+                .unwrap()
+                .endpoints
+                .len()
+        })
+    });
+
+    group.bench_function("upstream/chain_end", |b| {
+        b.iter(|| {
+            loaded
+                .warehouse
+                .lineage(&LineageRequest::upstream(end.clone()))
+                .unwrap()
+                .endpoints
+                .len()
+        })
+    });
+
+    group.bench_function("downstream/rule_filtered", |b| {
+        let request =
+            LineageRequest::downstream(start.clone()).with_rule_filter("segment = 'PB'");
+        b.iter(|| loaded.warehouse.lineage(&request).unwrap().endpoints.len())
+    });
+
+    group.finish();
+}
+
+fn bench_path_explosion(c: &mut Criterion) {
+    // The S2 sweep as a timed benchmark: unfiltered vs filtered traversal
+    // over a deep, fanned-out pipeline.
+    let mut group = c.benchmark_group("lineage_explosion");
+    group.sample_size(10);
+    for (stages, fanout) in [(3usize, 2usize), (5, 2), (5, 3), (6, 3)] {
+        let mut config = CorpusConfig::small().with_stages(stages).with_fanout(fanout);
+        config.items_per_stage = 30;
+        config.rule_condition_pct = 100;
+        let loaded = load_config(&config);
+        let start = loaded.corpus.chain_start.clone();
+        group.bench_with_input(
+            BenchmarkId::new("unfiltered", format!("s{stages}f{fanout}")),
+            &loaded,
+            |b, loaded| {
+                b.iter(|| {
+                    loaded
+                        .warehouse
+                        .lineage(&LineageRequest::downstream(start.clone()))
+                        .unwrap()
+                        .paths_explored
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("filtered", format!("s{stages}f{fanout}")),
+            &loaded,
+            |b, loaded| {
+                let request = LineageRequest::downstream(start.clone())
+                    .with_rule_filter("segment = 'PB'");
+                b.iter(|| loaded.warehouse.lineage(&request).unwrap().paths_explored)
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_schema_flow(c: &mut Criterion) {
+    let loaded = load_scale(Scale::Medium);
+    c.bench_function("schema_flow/aggregate", |b| {
+        b.iter(|| loaded.warehouse.schema_flow().unwrap().len())
+    });
+    let src = loaded.corpus.stage_schemas[0].clone();
+    let dst = loaded.corpus.stage_schemas[1].clone();
+    c.bench_function("schema_flow/drill_down", |b| {
+        b.iter(|| loaded.warehouse.drill_down(&src, &dst).unwrap().len())
+    });
+}
+
+fn bench_listing2_sem_match(c: &mut Criterion) {
+    let loaded = load_scale(Scale::Medium);
+    let query = SemMatch::new(
+        "{ ?source_id dt:isMappedTo ?target_id .
+           ?target_id rdf:type dm:DWH_Item .
+           ?target_id dm:hasName ?target_name }",
+    )
+    .rulebase("OWLPRIME")
+    .alias("dm", vocab::cs::DM)
+    .alias("dt", vocab::cs::DT)
+    .alias("dwh", vocab::cs::DWH)
+    .select(&["?target_id", "?target_name"])
+    .filter("?source_id = dwh:dwh_stage0_item0")
+    .group_by(&["?target_id", "?target_name"]);
+    c.bench_function("sem_match/listing2", |b| {
+        b.iter(|| loaded.warehouse.sem_match(&query).unwrap().rows.len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lineage_directions,
+    bench_path_explosion,
+    bench_schema_flow,
+    bench_listing2_sem_match
+);
+criterion_main!(benches);

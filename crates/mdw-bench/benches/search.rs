@@ -1,0 +1,94 @@
+//! F5/F6/L1 — search benchmarks: the Section IV.A service (plain, filtered,
+//! synonym-expanded) and Listing 1 through the `SEM_MATCH` API.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mdw_bench::setup::load_scale;
+use mdw_core::model::Area;
+use mdw_core::search::SearchRequest;
+use mdw_corpus::Scale;
+use mdw_rdf::term::Term;
+use mdw_rdf::vocab;
+use mdw_sparql::SemMatch;
+
+fn bench_search_variants(c: &mut Criterion) {
+    let loaded = load_scale(Scale::Medium);
+    let w = &loaded.warehouse;
+    let mut group = c.benchmark_group("search");
+
+    group.bench_function("plain/customer", |b| {
+        b.iter(|| {
+            w.search(&SearchRequest::new("customer"))
+                .unwrap()
+                .instance_count()
+        })
+    });
+
+    group.bench_function("class_filtered/customer", |b| {
+        let request = SearchRequest::new("customer")
+            .filter_class(Term::iri(vocab::cs::dm("DWH_Item")));
+        b.iter(|| w.search(&request).unwrap().instance_count())
+    });
+
+    group.bench_function("area_filtered/customer", |b| {
+        let request = SearchRequest::new("customer").in_area(Area::Integration);
+        b.iter(|| w.search(&request).unwrap().instance_count())
+    });
+
+    group.bench_function("synonyms/client", |b| {
+        let request = SearchRequest::new("client").with_synonyms();
+        b.iter(|| w.search(&request).unwrap().instance_count())
+    });
+
+    group.bench_function("rare_term/TCD", |b| {
+        b.iter(|| w.search(&SearchRequest::new("TCD")).unwrap().instance_count())
+    });
+
+    group.finish();
+}
+
+fn bench_search_scaling(c: &mut Criterion) {
+    // Latency vs. corpus size — the "scales to a reasonable number of graph
+    // nodes" claim of Section V.
+    let mut group = c.benchmark_group("search_scaling");
+    group.sample_size(10);
+    for scale in [Scale::Small, Scale::Medium] {
+        let loaded = load_scale(scale);
+        let edges = loaded.warehouse.stats().unwrap().edges;
+        group.bench_with_input(
+            BenchmarkId::new("plain_customer", format!("{scale:?}/{edges}e")),
+            &loaded,
+            |b, loaded| {
+                b.iter(|| {
+                    loaded
+                        .warehouse
+                        .search(&SearchRequest::new("customer"))
+                        .unwrap()
+                        .instance_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_listing1_sem_match(c: &mut Criterion) {
+    let loaded = load_scale(Scale::Medium);
+    let query = SemMatch::new(
+        "{ ?object rdf:type ?c .
+           ?c rdfs:label ?class .
+           ?c rdfs:subClassOf dm:Application1_Item .
+           ?object dm:hasName ?term }",
+    )
+    .rulebase("OWLPRIME")
+    .alias("dm", vocab::cs::DM)
+    .select(&["?class", "?object"])
+    .filter("regex(?term, \"customer\", \"i\")")
+    .group_by(&["?class", "?object"]);
+    c.bench_function("sem_match/listing1", |b| {
+        b.iter(|| loaded.warehouse.sem_match(&query).unwrap().rows.len())
+    });
+}
+
+criterion_group!(benches, bench_search_variants, bench_search_scaling, bench_listing1_sem_match);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! The reproduction harness: regenerates every table, figure, and listing
+//! of the paper, plus the three quantitative studies.
+//!
+//! Usage:
+//!   reproduce [EXPERIMENT] [--scale small|medium|paper] [--json FILE]
+//!
+//! With `--json FILE`, a machine-readable record of every experiment run
+//! (id, scale, report text, wall-clock) is appended to FILE — the archival
+//! format EXPERIMENTS.md is regenerated from.
+//!
+//! Experiments: table1, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8,
+//! fig9, listing1, listing2, scale, lesson_paths, flexibility, all
+//! (default: all at medium scale; paper scale reproduces the published
+//! 130 k-node / 1.2 M-edge size and takes a few minutes end to end).
+
+use mdw_bench::experiments;
+use mdw_bench::setup::parse_scale;
+use mdw_corpus::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_string();
+    let mut scale = Scale::Medium;
+    let mut json_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = iter.next().cloned();
+                if json_path.is_none() {
+                    eprintln!("--json needs a file path");
+                    std::process::exit(2);
+                }
+            }
+            "--scale" => {
+                let value = iter.next().map(String::as_str).unwrap_or("");
+                match parse_scale(value) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale: {value} (use small|medium|paper)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: reproduce [EXPERIMENT] [--scale small|medium|paper]\n\
+                     experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
+                     \x20            listing1 listing2 scale lesson_paths flexibility all"
+                );
+                return;
+            }
+            name => experiment = name.to_string(),
+        }
+    }
+
+    let run = |name: &str| -> Option<String> {
+        Some(match name {
+            "table1" => experiments::table1(scale),
+            "fig1" => experiments::fig1(scale),
+            "fig2" => experiments::fig2_flow(),
+            "fig3" => experiments::fig3_snippet(),
+            "fig4" => experiments::fig4_pipeline(scale),
+            "fig5" => experiments::fig5_search_steps(),
+            "fig6" => experiments::fig6_search(scale),
+            "fig7" => experiments::fig7_provenance(scale),
+            "fig8" => experiments::fig8_lineage(scale),
+            "fig9" => experiments::fig9_extended(scale),
+            "listing1" => experiments::listing1(scale),
+            "listing2" => experiments::listing2(),
+            "scale" => experiments::scale_history(scale),
+            "lesson_paths" => experiments::lesson_paths(),
+            "flexibility" => experiments::flexibility(scale),
+            _ => return None,
+        })
+    };
+
+    let mut records: Vec<serde_json::Value> = Vec::new();
+    let mut run_one = |name: &str| -> bool {
+        let started = std::time::Instant::now();
+        match run(name) {
+            Some(report) => {
+                let elapsed = started.elapsed();
+                println!("{report}");
+                records.push(serde_json::json!({
+                    "experiment": name,
+                    "scale": format!("{scale:?}"),
+                    "wall_clock_ms": elapsed.as_millis() as u64,
+                    "report": report,
+                }));
+                true
+            }
+            None => false,
+        }
+    };
+
+    if experiment == "all" {
+        for name in [
+            "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "listing1", "listing2", "scale", "lesson_paths", "flexibility",
+        ] {
+            assert!(run_one(name), "known experiment");
+            println!();
+        }
+    } else if !run_one(&experiment) {
+        eprintln!("unknown experiment: {experiment} (try --help)");
+        std::process::exit(2);
+    }
+
+    if let Some(path) = json_path {
+        let doc = serde_json::json!({
+            "paper": "The Credit Suisse Meta-data Warehouse (ICDE 2012)",
+            "records": records,
+        });
+        let text = serde_json::to_string_pretty(&doc).expect("serialize");
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote JSON record to {path}");
+    }
+}

@@ -1,0 +1,14 @@
+//! # mdw-bench — the reproduction harness
+//!
+//! One experiment runner per table, figure, and listing of the paper, plus
+//! the three quantitative studies derived from its prose claims (scale,
+//! path explosion, flexibility). See `DESIGN.md` §4 for the experiment
+//! index and `EXPERIMENTS.md` for recorded paper-vs-measured outcomes.
+//!
+//! The `reproduce` binary prints these reports;
+//! the Criterion benches in `benches/` time the hot paths.
+
+pub mod experiments;
+pub mod setup;
+
+pub use setup::{load_scale, Loaded};

@@ -1,0 +1,182 @@
+//! The ingestion pipeline of Figure 4:
+//! source extract → RDF triples → staging tables → validated bulk load.
+//!
+//! "Since most of Credit Suisse's meta-data are available either as XML
+//! files or in a format that can easily be converted into XML, the very
+//! first step … is to transform it into RDF … This is how those RDF triples
+//! that contain the meta-data facts are prepared for the bulk load of all
+//! RDF triples into the Oracle database."
+//!
+//! An [`Extract`] is one converted source export (an application scanner,
+//! the Protégé ontology file, the DBpedia synonym collection — they all
+//! enter through the *same* staging area). [`ingest`] stages every extract
+//! and bulk-loads the staging area into a model, producing an
+//! [`IngestReport`] with per-stage counts and timings — the trace the
+//! Figure 4 reproduction prints.
+
+use std::time::{Duration, Instant};
+
+use mdw_rdf::staging::{LoadReport, StagingArea};
+use mdw_rdf::store::Store;
+use mdw_rdf::term::Term;
+use mdw_rdf::turtle;
+
+use crate::error::MdwError;
+
+/// One source export, already converted to RDF triples.
+#[derive(Debug, Clone)]
+pub struct Extract {
+    /// Which system produced the export (provenance tag in staging).
+    pub source: String,
+    /// The converted triples.
+    pub triples: Vec<(Term, Term, Term)>,
+}
+
+impl Extract {
+    /// Creates an extract from in-memory triples.
+    pub fn new(source: impl Into<String>, triples: Vec<(Term, Term, Term)>) -> Self {
+        Extract { source: source.into(), triples }
+    }
+
+    /// Parses an extract from a Turtle document (the ontology-file path of
+    /// Figure 4).
+    pub fn from_turtle(source: impl Into<String>, text: &str) -> Result<Self, MdwError> {
+        let doc = turtle::parse(text)?;
+        Ok(Extract { source: source.into(), triples: doc.triples })
+    }
+
+    /// Number of triples in the extract.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if the extract is empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+}
+
+/// The trace of one ingestion run.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Per-extract (source, triple count) in ingestion order.
+    pub extracts: Vec<(String, usize)>,
+    /// Total staged triples.
+    pub staged: usize,
+    /// The bulk-load outcome (loaded / duplicates / rejections).
+    pub load: LoadReport,
+    /// Time spent staging.
+    pub stage_time: Duration,
+    /// Time spent bulk-loading.
+    pub load_time: Duration,
+}
+
+impl IngestReport {
+    /// True if every staged triple loaded (or was a duplicate).
+    pub fn is_clean(&self) -> bool {
+        self.load.is_clean()
+    }
+}
+
+/// Stages all extracts and bulk-loads them into `model` of `store`.
+pub fn ingest(
+    store: &mut Store,
+    model: &str,
+    extracts: Vec<Extract>,
+) -> Result<IngestReport, MdwError> {
+    let mut staging = StagingArea::new();
+    let stage_start = Instant::now();
+    let mut per_extract = Vec::with_capacity(extracts.len());
+    for extract in extracts {
+        per_extract.push((extract.source.clone(), extract.triples.len()));
+        staging.stage_batch(&extract.source, extract.triples);
+    }
+    let stage_time = stage_start.elapsed();
+    let staged = staging.len();
+
+    let load_start = Instant::now();
+    let load = staging.bulk_load(store, model)?;
+    let load_time = load_start.elapsed();
+
+    Ok(IngestReport { extracts: per_extract, staged, load, stage_time, load_time })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdw_rdf::vocab;
+
+    #[test]
+    fn ingest_multiple_extracts() {
+        let mut store = Store::new();
+        store.create_model("DWH_CURR").unwrap();
+        let facts = Extract::new(
+            "app-scanner",
+            vec![(
+                Term::iri("http://ex.org/t1"),
+                Term::iri(vocab::rdf::TYPE),
+                Term::iri("http://ex.org/Table"),
+            )],
+        );
+        let ontology = Extract::new(
+            "protege",
+            vec![(
+                Term::iri("http://ex.org/Table"),
+                Term::iri(vocab::rdfs::SUB_CLASS_OF),
+                Term::iri("http://ex.org/Item"),
+            )],
+        );
+        let report = ingest(&mut store, "DWH_CURR", vec![facts, ontology]).unwrap();
+        assert_eq!(report.staged, 2);
+        assert_eq!(report.load.loaded, 2);
+        assert!(report.is_clean());
+        assert_eq!(report.extracts.len(), 2);
+        assert_eq!(store.model("DWH_CURR").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn ingest_from_turtle() {
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        let extract = Extract::from_turtle(
+            "ontology-file",
+            "@prefix dm: <http://www.credit-suisse.com/dwh/mdm/data_modeling#> .\n\
+             dm:Individual rdfs:subClassOf dm:Party .\n\
+             @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .",
+        );
+        // prefix declared after use → parse error
+        assert!(extract.is_err());
+
+        let extract = Extract::from_turtle(
+            "ontology-file",
+            "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+             @prefix dm: <http://www.credit-suisse.com/dwh/mdm/data_modeling#> .\n\
+             dm:Individual rdfs:subClassOf dm:Party .",
+        )
+        .unwrap();
+        assert_eq!(extract.len(), 1);
+        let report = ingest(&mut store, "m", vec![extract]).unwrap();
+        assert_eq!(report.load.loaded, 1);
+    }
+
+    #[test]
+    fn rejections_surface_in_report() {
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        let bad = Extract::new(
+            "broken-export",
+            vec![(Term::plain("literal-subject"), Term::iri("p"), Term::iri("o"))],
+        );
+        let report = ingest(&mut store, "m", vec![bad]).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.load.rejections.len(), 1);
+        assert_eq!(report.load.rejections[0].triple.source, "broken-export");
+    }
+
+    #[test]
+    fn missing_model_is_error() {
+        let mut store = Store::new();
+        let err = ingest(&mut store, "missing", vec![]).unwrap_err();
+        assert!(matches!(err, MdwError::Rdf(_)));
+    }
+}

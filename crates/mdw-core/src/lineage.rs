@@ -1,0 +1,764 @@
+//! The lineage / provenance use case (Section IV.B).
+//!
+//! "Lineage is implemented using the following algorithm:
+//!
+//! 1. Find all nodes (i.e., classes) in the meta-data hierarchy that are
+//!    relevant for the target.
+//! 2. Find all classes in the meta-data schema that are in the intersection
+//!    of the hierarchy classes and therefore valid target types.
+//! 3. Find all instances of those classes that … have an outgoing edge of
+//!    type `isMappedTo` …
+//!
+//! That is, for the provenance tool `isMappedTo` is the path that drives the
+//! search." The path expression is `(isMappedTo)* rdf:type` (Figure 8).
+//!
+//! [`trace`] enumerates all simple `isMappedTo` paths from a start item —
+//! forward along the data flow ([`Direction::Downstream`], impact analysis:
+//! "which other applications and interfaces are affected by this change")
+//! or backward ([`Direction::Upstream`], provenance: "the actual source of
+//! a particular figure in a business report") — and reports every reached
+//! node whose (entailed) `rdf:type` lies in the valid target classes.
+//!
+//! The Section V lesson is implemented too: "the number of paths is growing
+//! exponentially with every additional data processing step … rule
+//! conditions need to be included as filter criteria when navigating the
+//! graph. Consequently, the number of potential data paths … will stay
+//! small." A [`LineageRequest::rule_condition_filter`] restricts traversal
+//! to mapping edges whose reified rule condition matches.
+//!
+//! [`schema_flow`] aggregates attribute-level mappings to schema-level flows
+//! and [`drill_down`] expands one schema pair back to attribute granularity —
+//! the two navigation directions of the Figure 7 provenance frontend.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use mdw_rdf::dict::{Dictionary, TermId};
+use mdw_rdf::term::Term;
+use mdw_rdf::triple::TriplePattern;
+use mdw_rdf::vocab;
+use mdw_reason::EntailedGraph;
+
+/// Traversal direction along `isMappedTo` edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Against the data flow: where does this item come from? (provenance)
+    Upstream,
+    /// Along the data flow: what depends on this item? (impact analysis)
+    Downstream,
+}
+
+/// A lineage request.
+#[derive(Debug, Clone)]
+pub struct LineageRequest {
+    /// The start item (e.g. `dwh:client_information_id` in Listing 2).
+    pub start: Term,
+    /// Traversal direction.
+    pub direction: Direction,
+    /// Hierarchy classes the *targets* must fall under (steps 1–2);
+    /// empty = any reached node qualifies.
+    pub target_class_filters: Vec<Term>,
+    /// Maximum number of hops.
+    pub max_depth: usize,
+    /// Maximum number of enumerated paths (guard against the Section V
+    /// path explosion; the count of *truncated* paths is reported).
+    pub max_paths: usize,
+    /// If set, only mapping edges whose rule condition contains this string
+    /// are traversed.
+    pub rule_condition_filter: Option<String>,
+}
+
+impl LineageRequest {
+    /// Downstream (impact) request with default limits.
+    pub fn downstream(start: Term) -> Self {
+        LineageRequest {
+            start,
+            direction: Direction::Downstream,
+            target_class_filters: Vec::new(),
+            max_depth: 16,
+            max_paths: 100_000,
+            rule_condition_filter: None,
+        }
+    }
+
+    /// Upstream (provenance) request with default limits.
+    pub fn upstream(start: Term) -> Self {
+        LineageRequest { direction: Direction::Upstream, ..Self::downstream(start) }
+    }
+
+    /// Adds a target class filter.
+    pub fn filter_class(mut self, class: Term) -> Self {
+        self.target_class_filters.push(class);
+        self
+    }
+
+    /// Restricts traversal to mapping edges whose rule condition contains
+    /// the given string.
+    pub fn with_rule_filter(mut self, condition: impl Into<String>) -> Self {
+        self.rule_condition_filter = Some(condition.into());
+        self
+    }
+
+    /// Caps the traversal depth.
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+}
+
+/// One traversed mapping edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// Source item of the hop (in data-flow direction).
+    pub from: Term,
+    /// Target item of the hop.
+    pub to: Term,
+    /// The mapping's rule condition, if a reified mapping carries one.
+    pub condition: Option<String>,
+}
+
+/// A full path from the start item to one endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineagePath {
+    /// The hops, in traversal order.
+    pub hops: Vec<Hop>,
+}
+
+impl LineagePath {
+    /// The endpoint of the path (in traversal order).
+    pub fn endpoint(&self) -> Option<&Term> {
+        self.hops.last().map(|h| &h.to)
+    }
+
+    /// Path length in hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True for the empty path.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+}
+
+/// A reached item that matched the target-class filters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageEndpoint {
+    /// The reached node.
+    pub node: Term,
+    /// Its `dm:hasName` value, if any (Listing 2 projects `target_name`).
+    pub name: Option<String>,
+    /// The (entailed) classes that qualified it, sorted.
+    pub classes: Vec<Term>,
+    /// Minimum hop distance from the start.
+    pub distance: usize,
+}
+
+/// The result of a lineage traversal.
+#[derive(Debug, Clone)]
+pub struct LineageResult {
+    /// The start item.
+    pub start: Term,
+    /// Qualifying endpoints, sorted by node term.
+    pub endpoints: Vec<LineageEndpoint>,
+    /// Every enumerated simple path that ends at a qualifying endpoint.
+    pub paths: Vec<LineagePath>,
+    /// Total paths enumerated before endpoint filtering — the Section V
+    /// explosion metric.
+    pub paths_explored: usize,
+    /// True if enumeration hit [`LineageRequest::max_paths`].
+    pub truncated: bool,
+}
+
+impl LineageResult {
+    /// The endpoint entry for a node, if reached.
+    pub fn endpoint(&self, node: &Term) -> Option<&LineageEndpoint> {
+        self.endpoints.iter().find(|e| &e.node == node)
+    }
+}
+
+/// Runs the Section IV.B lineage algorithm.
+pub fn trace(
+    graph: &EntailedGraph<'_>,
+    dict: &Dictionary,
+    request: &LineageRequest,
+) -> LineageResult {
+    let lookup = |iri: &str| dict.lookup(&Term::iri(iri));
+    let empty = LineageResult {
+        start: request.start.clone(),
+        endpoints: Vec::new(),
+        paths: Vec::new(),
+        paths_explored: 0,
+        truncated: false,
+    };
+    let (Some(mapped), Some(start)) = (lookup(vocab::cs::IS_MAPPED_TO), dict.lookup(&request.start))
+    else {
+        return empty;
+    };
+    let ty = lookup(vocab::rdf::TYPE);
+    let sub_class = lookup(vocab::rdfs::SUB_CLASS_OF);
+    let has_name = lookup(vocab::cs::HAS_NAME);
+
+    // Steps 1–2: valid target classes (intersection of filter subtrees).
+    let valid_classes: Option<BTreeSet<TermId>> = if request.target_class_filters.is_empty() {
+        None // no restriction
+    } else {
+        let mut sets: Vec<BTreeSet<TermId>> = Vec::new();
+        for filter in &request.target_class_filters {
+            let mut set = BTreeSet::new();
+            if let Some(fid) = dict.lookup(filter) {
+                set.insert(fid);
+                if let Some(sub_class) = sub_class {
+                    for t in graph.scan(TriplePattern::with_po(sub_class, fid)) {
+                        set.insert(t.s);
+                    }
+                }
+            }
+            sets.push(set);
+        }
+        let mut iter = sets.into_iter();
+        let first = iter.next().unwrap_or_default();
+        Some(iter.fold(first, |acc, s| acc.intersection(&s).copied().collect()))
+    };
+
+    // Rule conditions of reified mappings: (from, to) → condition.
+    let conditions = mapping_conditions(graph, dict);
+
+    // Step 3 + Figure 8: enumerate simple (isMappedTo)* paths.
+    let mut walker = Walker {
+        graph,
+        dict,
+        mapped,
+        direction: request.direction,
+        max_depth: request.max_depth,
+        max_paths: request.max_paths,
+        condition_filter: request.rule_condition_filter.as_deref(),
+        conditions: &conditions,
+        paths: Vec::new(),
+        paths_explored: 0,
+        truncated: false,
+        stack: Vec::new(),
+        on_path: BTreeSet::new(),
+        reached: BTreeMap::new(),
+    };
+    walker.on_path.insert(start);
+    walker.dfs(start, 0);
+
+    // Qualify endpoints by (entailed) rdf:type ∩ valid classes.
+    let mut endpoints = Vec::new();
+    for (&node, &distance) in &walker.reached {
+        let classes: Vec<TermId> = match ty {
+            Some(ty) => graph
+                .scan(TriplePattern::with_sp(node, ty))
+                .map(|t| t.o)
+                .filter(|c| valid_classes.as_ref().is_none_or(|v| v.contains(c)))
+                .collect(),
+            None => Vec::new(),
+        };
+        let qualifies = match &valid_classes {
+            None => true,
+            Some(_) => !classes.is_empty(),
+        };
+        if !qualifies {
+            continue;
+        }
+        let name = has_name.and_then(|p| {
+            graph.scan(TriplePattern::with_sp(node, p)).next().and_then(|t| {
+                dict.term(t.o).and_then(|term| term.as_literal().map(|l| l.lexical.to_string()))
+            })
+        });
+        let mut class_terms: Vec<Term> =
+            classes.iter().map(|&c| dict.term_unchecked(c).clone()).collect();
+        class_terms.sort();
+        endpoints.push(LineageEndpoint {
+            node: dict.term_unchecked(node).clone(),
+            name,
+            classes: class_terms,
+            distance,
+        });
+    }
+    endpoints.sort_by(|a, b| a.node.cmp(&b.node));
+
+    // Keep only paths ending at qualifying endpoints.
+    let endpoint_nodes: BTreeSet<&Term> = endpoints.iter().map(|e| &e.node).collect();
+    let paths_explored = walker.paths_explored;
+    let truncated = walker.truncated;
+    let paths: Vec<LineagePath> = walker
+        .paths
+        .into_iter()
+        .filter(|p| p.endpoint().is_some_and(|e| endpoint_nodes.contains(e)))
+        .collect();
+
+    LineageResult {
+        start: request.start.clone(),
+        endpoints,
+        paths,
+        paths_explored,
+        truncated,
+    }
+}
+
+struct Walker<'a, 'g> {
+    graph: &'a EntailedGraph<'g>,
+    dict: &'a Dictionary,
+    mapped: TermId,
+    direction: Direction,
+    max_depth: usize,
+    max_paths: usize,
+    condition_filter: Option<&'a str>,
+    conditions: &'a HashMap<(TermId, TermId), String>,
+    /// All enumerated paths (every prefix that reaches a new node extends
+    /// here when it terminates).
+    paths: Vec<LineagePath>,
+    paths_explored: usize,
+    truncated: bool,
+    stack: Vec<Hop>,
+    on_path: BTreeSet<TermId>,
+    /// node → min distance.
+    reached: BTreeMap<TermId, usize>,
+}
+
+impl Walker<'_, '_> {
+    fn dfs(&mut self, node: TermId, depth: usize) {
+        if depth >= self.max_depth || self.truncated {
+            return;
+        }
+        // Outgoing edges in traversal direction.
+        let next: Vec<(TermId, TermId)> = match self.direction {
+            Direction::Downstream => self
+                .graph
+                .scan(TriplePattern::with_sp(node, self.mapped))
+                .map(|t| (t.s, t.o))
+                .collect(),
+            Direction::Upstream => self
+                .graph
+                .scan(TriplePattern::with_po(self.mapped, node))
+                .map(|t| (t.s, t.o))
+                .collect(),
+        };
+        for (from, to) in next {
+            let step_to = if self.direction == Direction::Downstream { to } else { from };
+            if self.on_path.contains(&step_to) {
+                continue; // simple paths only
+            }
+            let condition = self.conditions.get(&(from, to)).cloned();
+            if let Some(filter) = self.condition_filter {
+                match &condition {
+                    Some(c) if c.contains(filter) => {}
+                    _ => continue,
+                }
+            }
+            if self.paths_explored >= self.max_paths {
+                self.truncated = true;
+                return;
+            }
+            self.paths_explored += 1;
+            // Record the hop in data-flow orientation.
+            self.stack.push(Hop {
+                from: self.decoded(from),
+                to: self.decoded(to),
+                condition,
+            });
+            self.on_path.insert(step_to);
+            let d = depth + 1;
+            self.reached
+                .entry(step_to)
+                .and_modify(|old| *old = (*old).min(d))
+                .or_insert(d);
+            self.paths.push(LineagePath { hops: self.stack.clone() });
+            self.dfs(step_to, d);
+            self.on_path.remove(&step_to);
+            self.stack.pop();
+        }
+    }
+
+    fn decoded(&self, id: TermId) -> Term {
+        // Hops store decoded terms so results outlive the walk.
+        self.dict.term_unchecked(id).clone()
+    }
+}
+
+/// Collects rule conditions from reified mapping nodes:
+/// `m dt:mapsFrom a . m dt:mapsTo b . m dt:ruleCondition "…"` →
+/// `(a, b) → "…"`.
+fn mapping_conditions(
+    graph: &EntailedGraph<'_>,
+    dict: &Dictionary,
+) -> HashMap<(TermId, TermId), String> {
+    let lookup = |iri: &str| dict.lookup(&Term::iri(iri));
+    let mut out = HashMap::new();
+    let (Some(maps_from), Some(maps_to)) = (lookup(vocab::cs::MAPS_FROM), lookup(vocab::cs::MAPS_TO))
+    else {
+        return out;
+    };
+    let Some(rule_cond) = lookup(vocab::cs::RULE_CONDITION) else {
+        return out;
+    };
+    for from_edge in graph.scan(TriplePattern::with_p(maps_from)) {
+        let mapping = from_edge.s;
+        let Some(to_edge) = graph.scan(TriplePattern::with_sp(mapping, maps_to)).next() else {
+            continue;
+        };
+        let Some(cond_edge) = graph.scan(TriplePattern::with_sp(mapping, rule_cond)).next()
+        else {
+            continue;
+        };
+        if let Some(Term::Literal(lit)) = dict.term(cond_edge.o) {
+            out.insert((from_edge.o, to_edge.o), lit.lexical.to_string());
+        }
+    }
+    out
+}
+
+/// Aggregated impact of a change: reached items grouped by the schema they
+/// belong to — the summary an architect reads before touching an interface
+/// ("it is crucial to understand which other applications and interfaces
+/// are affected by this change", Section IV.B).
+#[derive(Debug, Clone)]
+pub struct ImpactSummary {
+    /// `(schema, affected item count)`, sorted by count descending.
+    pub by_schema: Vec<(Term, usize)>,
+    /// Endpoints with no `dm:inSchema` membership.
+    pub unassigned: usize,
+    /// Total affected items.
+    pub total: usize,
+}
+
+/// Summarizes a lineage result by schema membership of its endpoints.
+pub fn impact_summary(
+    graph: &EntailedGraph<'_>,
+    dict: &Dictionary,
+    result: &LineageResult,
+) -> ImpactSummary {
+    let in_schema = dict.lookup(&Term::iri(vocab::cs::IN_SCHEMA));
+    let mut counts: BTreeMap<TermId, usize> = BTreeMap::new();
+    let mut unassigned = 0usize;
+    for ep in &result.endpoints {
+        let Some(node) = dict.lookup(&ep.node) else {
+            unassigned += 1;
+            continue;
+        };
+        let schema = in_schema
+            .and_then(|p| graph.scan(TriplePattern::with_sp(node, p)).next())
+            .map(|t| t.o);
+        match schema {
+            Some(s) => *counts.entry(s).or_insert(0) += 1,
+            None => unassigned += 1,
+        }
+    }
+    let mut by_schema: Vec<(Term, usize)> = counts
+        .into_iter()
+        .map(|(s, n)| (dict.term_unchecked(s).clone(), n))
+        .collect();
+    by_schema.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ImpactSummary { by_schema, unassigned, total: result.endpoints.len() }
+}
+
+/// A schema-to-schema flow row (Figure 7's coarse granularity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRow {
+    /// Source schema instance.
+    pub source_schema: Term,
+    /// Target schema instance.
+    pub target_schema: Term,
+    /// Number of attribute-level mappings aggregated into this row.
+    pub attribute_flows: usize,
+}
+
+/// Aggregates all attribute-level `isMappedTo` edges into schema-level
+/// flows, using each item's `dm:inSchema` membership.
+pub fn schema_flow(graph: &EntailedGraph<'_>, dict: &Dictionary) -> Vec<FlowRow> {
+    let lookup = |iri: &str| dict.lookup(&Term::iri(iri));
+    let (Some(mapped), Some(in_schema)) = (lookup(vocab::cs::IS_MAPPED_TO), lookup(vocab::cs::IN_SCHEMA))
+    else {
+        return Vec::new();
+    };
+    let schema_of = |item: TermId| -> Option<TermId> {
+        graph.scan(TriplePattern::with_sp(item, in_schema)).next().map(|t| t.o)
+    };
+    let mut counts: BTreeMap<(TermId, TermId), usize> = BTreeMap::new();
+    for t in graph.scan(TriplePattern::with_p(mapped)) {
+        if let (Some(src), Some(dst)) = (schema_of(t.s), schema_of(t.o)) {
+            *counts.entry((src, dst)).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|((src, dst), n)| FlowRow {
+            source_schema: dict.term_unchecked(src).clone(),
+            target_schema: dict.term_unchecked(dst).clone(),
+            attribute_flows: n,
+        })
+        .collect()
+}
+
+/// Expands one schema-level flow back to attribute granularity — the
+/// drill-down of the Figure 7 frontend.
+pub fn drill_down(
+    graph: &EntailedGraph<'_>,
+    dict: &Dictionary,
+    source_schema: &Term,
+    target_schema: &Term,
+) -> Vec<Hop> {
+    let lookup = |iri: &str| dict.lookup(&Term::iri(iri));
+    let (Some(mapped), Some(in_schema)) = (lookup(vocab::cs::IS_MAPPED_TO), lookup(vocab::cs::IN_SCHEMA))
+    else {
+        return Vec::new();
+    };
+    let (Some(src_id), Some(dst_id)) = (dict.lookup(source_schema), dict.lookup(target_schema))
+    else {
+        return Vec::new();
+    };
+    let conditions = mapping_conditions(graph, dict);
+    let in_schema_check = |item: TermId, schema: TermId| -> bool {
+        graph.contains(mdw_rdf::triple::Triple::new(item, in_schema, schema))
+    };
+    let mut hops: Vec<Hop> = graph
+        .scan(TriplePattern::with_p(mapped))
+        .filter(|t| in_schema_check(t.s, src_id) && in_schema_check(t.o, dst_id))
+        .map(|t| Hop {
+            from: dict.term_unchecked(t.s).clone(),
+            to: dict.term_unchecked(t.o).clone(),
+            condition: conditions.get(&(t.s, t.o)).cloned(),
+        })
+        .collect();
+    hops.sort_by(|a, b| a.from.cmp(&b.from).then_with(|| a.to.cmp(&b.to)));
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdw_rdf::store::Store;
+    use mdw_reason::{Materialization, Rulebase};
+
+    /// The Figure 2/3/8 fixture: client_information_id → partner_id →
+    /// customer_id mapping chain across three schemas, with reified
+    /// mappings carrying rule conditions.
+    fn setup() -> (Store, Materialization) {
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        let rb = Rulebase::owlprime(store.dict_mut());
+        let dm = |l: &str| Term::iri(vocab::cs::dm(l));
+        let dt = |l: &str| Term::iri(vocab::cs::dt(l));
+        let dwh = |l: &str| Term::iri(vocab::cs::dwh(l));
+        let iri = |s: &str| Term::iri(s);
+
+        let triples: Vec<(Term, Term, Term)> = vec![
+            // Hierarchy.
+            (dm("Application1_View_Column"), iri(vocab::rdfs::SUB_CLASS_OF), dm("Attribute")),
+            (dm("Application1_View_Column"), iri(vocab::rdfs::SUB_CLASS_OF), dm("Application1_Item")),
+            (dm("Source_File_Column"), iri(vocab::rdfs::SUB_CLASS_OF), dm("Attribute")),
+            (dm("Integration_Column"), iri(vocab::rdfs::SUB_CLASS_OF), dm("Attribute")),
+            // Types.
+            (dwh("client_information_id"), iri(vocab::rdf::TYPE), dm("Source_File_Column")),
+            (dwh("partner_id"), iri(vocab::rdf::TYPE), dm("Integration_Column")),
+            (dwh("customer_id"), iri(vocab::rdf::TYPE), dm("Application1_View_Column")),
+            // Names.
+            (dwh("customer_id"), iri(vocab::cs::HAS_NAME), Term::plain("customer_id")),
+            (dwh("partner_id"), iri(vocab::cs::HAS_NAME), Term::plain("partner_id")),
+            // The mapping chain (data-flow direction).
+            (dwh("client_information_id"), iri(vocab::cs::IS_MAPPED_TO), dwh("partner_id")),
+            (dwh("partner_id"), iri(vocab::cs::IS_MAPPED_TO), dwh("customer_id")),
+            // Reified mappings with rule conditions.
+            (dwh("map1"), iri(vocab::rdf::TYPE), dt("Mapping")),
+            (dwh("map1"), iri(vocab::cs::MAPS_FROM), dwh("client_information_id")),
+            (dwh("map1"), iri(vocab::cs::MAPS_TO), dwh("partner_id")),
+            (dwh("map1"), iri(vocab::cs::RULE_CONDITION), Term::plain("segment = 'PB'")),
+            (dwh("map2"), iri(vocab::rdf::TYPE), dt("Mapping")),
+            (dwh("map2"), iri(vocab::cs::MAPS_FROM), dwh("partner_id")),
+            (dwh("map2"), iri(vocab::cs::MAPS_TO), dwh("customer_id")),
+            (dwh("map2"), iri(vocab::cs::RULE_CONDITION), Term::plain("segment = 'PB' and active")),
+            // Schemas for Figure 7.
+            (dwh("client_information_id"), iri(vocab::cs::IN_SCHEMA), dwh("schema_inbound")),
+            (dwh("partner_id"), iri(vocab::cs::IN_SCHEMA), dwh("schema_integration")),
+            (dwh("customer_id"), iri(vocab::cs::IN_SCHEMA), dwh("schema_app1")),
+        ];
+        for (s, p, o) in triples {
+            store.insert("m", &s, &p, &o).unwrap();
+        }
+        let m = Materialization::materialize(store.model("m").unwrap(), &rb, store.dict());
+        (store, m)
+    }
+
+    fn run(store: &Store, m: &Materialization, req: LineageRequest) -> LineageResult {
+        let view = EntailedGraph::new(store.model("m").unwrap(), m.derived());
+        trace(&view, store.dict(), &req)
+    }
+
+    fn dwh(l: &str) -> Term {
+        Term::iri(vocab::cs::dwh(l))
+    }
+
+    #[test]
+    fn downstream_reaches_full_chain() {
+        let (store, m) = setup();
+        let result = run(
+            &store,
+            &m,
+            LineageRequest::downstream(dwh("client_information_id")),
+        );
+        assert!(result.endpoint(&dwh("partner_id")).is_some());
+        assert!(result.endpoint(&dwh("customer_id")).is_some());
+        assert_eq!(result.endpoint(&dwh("partner_id")).unwrap().distance, 1);
+        assert_eq!(result.endpoint(&dwh("customer_id")).unwrap().distance, 2);
+    }
+
+    #[test]
+    fn listing2_shape_with_class_filter() {
+        let (store, m) = setup();
+        // Listing 2: targets must be Application1_Items.
+        let result = run(
+            &store,
+            &m,
+            LineageRequest::downstream(dwh("client_information_id"))
+                .filter_class(Term::iri(vocab::cs::dm("Application1_Item"))),
+        );
+        // Only customer_id is an Application1_Item (inherited through the
+        // OWL index); partner_id is filtered out.
+        assert_eq!(result.endpoints.len(), 1);
+        let ep = &result.endpoints[0];
+        assert_eq!(ep.node, dwh("customer_id"));
+        assert_eq!(ep.name.as_deref(), Some("customer_id"));
+    }
+
+    #[test]
+    fn upstream_is_provenance() {
+        let (store, m) = setup();
+        let result = run(&store, &m, LineageRequest::upstream(dwh("customer_id")));
+        assert!(result.endpoint(&dwh("partner_id")).is_some());
+        assert!(result.endpoint(&dwh("client_information_id")).is_some());
+        assert_eq!(
+            result.endpoint(&dwh("client_information_id")).unwrap().distance,
+            2
+        );
+        // Hops are stored in data-flow orientation even upstream.
+        let two_hop = result.paths.iter().find(|p| p.len() == 2).unwrap();
+        assert_eq!(two_hop.hops[0].from, dwh("partner_id"));
+        assert_eq!(two_hop.hops[0].to, dwh("customer_id"));
+        assert_eq!(two_hop.hops[1].from, dwh("client_information_id"));
+    }
+
+    #[test]
+    fn hops_carry_rule_conditions() {
+        let (store, m) = setup();
+        let result = run(
+            &store,
+            &m,
+            LineageRequest::downstream(dwh("client_information_id")),
+        );
+        let first_hop = &result.paths[0].hops[0];
+        assert_eq!(first_hop.condition.as_deref(), Some("segment = 'PB'"));
+    }
+
+    #[test]
+    fn rule_condition_filter_prunes_paths() {
+        let (store, m) = setup();
+        // Both mappings contain "segment = 'PB'" → full chain survives.
+        let result = run(
+            &store,
+            &m,
+            LineageRequest::downstream(dwh("client_information_id"))
+                .with_rule_filter("segment = 'PB'"),
+        );
+        assert!(result.endpoint(&dwh("customer_id")).is_some());
+        // Only map2 contains "active" → traversal stops before partner_id.
+        let result = run(
+            &store,
+            &m,
+            LineageRequest::downstream(dwh("client_information_id"))
+                .with_rule_filter("active"),
+        );
+        assert!(result.endpoints.is_empty());
+    }
+
+    #[test]
+    fn max_depth_truncates() {
+        let (store, m) = setup();
+        let result = run(
+            &store,
+            &m,
+            LineageRequest::downstream(dwh("client_information_id")).max_depth(1),
+        );
+        assert!(result.endpoint(&dwh("partner_id")).is_some());
+        assert!(result.endpoint(&dwh("customer_id")).is_none());
+    }
+
+    #[test]
+    fn cycle_safety() {
+        let (mut store, _) = setup();
+        // Make a cycle: customer_id → client_information_id.
+        store
+            .insert(
+                "m",
+                &dwh("customer_id"),
+                &Term::iri(vocab::cs::IS_MAPPED_TO),
+                &dwh("client_information_id"),
+            )
+            .unwrap();
+        let rb = Rulebase::owlprime(store.dict_mut());
+        let m = Materialization::materialize(store.model("m").unwrap(), &rb, store.dict());
+        let result = run(
+            &store,
+            &m,
+            LineageRequest::downstream(dwh("client_information_id")),
+        );
+        // Terminates, and never revisits the start.
+        assert!(result.paths_explored < 10);
+        assert!(result.endpoint(&dwh("customer_id")).is_some());
+    }
+
+    #[test]
+    fn unknown_start_is_empty() {
+        let (store, m) = setup();
+        let result = run(&store, &m, LineageRequest::downstream(dwh("nonexistent")));
+        assert!(result.endpoints.is_empty());
+        assert_eq!(result.paths_explored, 0);
+    }
+
+    #[test]
+    fn schema_flow_aggregates() {
+        let (store, m) = setup();
+        let view = EntailedGraph::new(store.model("m").unwrap(), m.derived());
+        let flows = schema_flow(&view, store.dict());
+        assert_eq!(flows.len(), 2);
+        assert!(flows.iter().any(|f| f.source_schema == dwh("schema_inbound")
+            && f.target_schema == dwh("schema_integration")
+            && f.attribute_flows == 1));
+    }
+
+    #[test]
+    fn impact_summary_groups_by_schema() {
+        let (store, m) = setup();
+        let view = EntailedGraph::new(store.model("m").unwrap(), m.derived());
+        let result = trace(
+            &view,
+            store.dict(),
+            &LineageRequest::downstream(dwh("client_information_id")),
+        );
+        let summary = impact_summary(&view, store.dict(), &result);
+        assert_eq!(summary.total, 2);
+        assert_eq!(summary.unassigned, 0);
+        // partner_id in schema_integration, customer_id in schema_app1.
+        assert_eq!(summary.by_schema.len(), 2);
+        assert!(summary.by_schema.iter().all(|(_, n)| *n == 1));
+    }
+
+    #[test]
+    fn drill_down_expands_one_pair() {
+        let (store, m) = setup();
+        let view = EntailedGraph::new(store.model("m").unwrap(), m.derived());
+        let hops = drill_down(
+            &view,
+            store.dict(),
+            &dwh("schema_integration"),
+            &dwh("schema_app1"),
+        );
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].from, dwh("partner_id"));
+        assert_eq!(hops[0].to, dwh("customer_id"));
+        assert!(hops[0].condition.as_deref().unwrap().contains("active"));
+        // Unknown pair → empty.
+        assert!(drill_down(&view, store.dict(), &dwh("schema_app1"), &dwh("schema_inbound"))
+            .is_empty());
+    }
+}

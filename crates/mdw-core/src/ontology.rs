@@ -1,0 +1,236 @@
+//! The ontology builder — the Protégé substitute.
+//!
+//! In the paper, "the meta-data hierarchies are designed and maintained in a
+//! popular open-source tool called Protégé. They are exported from this tool
+//! as an ontology file and inserted as RDF triples into the same staging
+//! tables as the meta-data facts." [`OntologyBuilder`] plays Protégé's role:
+//! a programmatic way to author classes, properties, hierarchy edges, and
+//! OWL axioms, emitted either as staged triples (for the Figure 4 bulk-load
+//! pipeline) or as a Turtle document (the "ontology file").
+
+use std::collections::BTreeMap;
+
+use mdw_rdf::term::Term;
+use mdw_rdf::turtle;
+use mdw_rdf::vocab;
+
+/// Builder for the meta-data hierarchy and schema.
+#[derive(Debug, Default, Clone)]
+pub struct OntologyBuilder {
+    triples: Vec<(Term, Term, Term)>,
+    prefixes: BTreeMap<String, String>,
+}
+
+impl OntologyBuilder {
+    /// Creates an empty builder with the `dm:`/`dt:` prefixes registered.
+    pub fn new() -> Self {
+        let mut prefixes = BTreeMap::new();
+        prefixes.insert("dm".to_string(), vocab::cs::DM.to_string());
+        prefixes.insert("dt".to_string(), vocab::cs::DT.to_string());
+        prefixes.insert("rdfs".to_string(), vocab::rdfs::NS.to_string());
+        prefixes.insert("owl".to_string(), vocab::owl::NS.to_string());
+        prefixes.insert("rdf".to_string(), vocab::rdf::NS.to_string());
+        OntologyBuilder { triples: Vec::new(), prefixes }
+    }
+
+    /// Declares a class (emits the `owl:Class` marker) with a display label.
+    pub fn class(&mut self, class: &Term, label: &str) -> &mut Self {
+        self.triples.push((
+            class.clone(),
+            Term::iri(vocab::rdf::TYPE),
+            Term::iri(vocab::owl::CLASS),
+        ));
+        self.triples.push((
+            class.clone(),
+            Term::iri(vocab::rdfs::LABEL),
+            Term::plain(label),
+        ));
+        self
+    }
+
+    /// Declares `sub rdfs:subClassOf sup` (a hierarchy edge).
+    pub fn subclass(&mut self, sub: &Term, sup: &Term) -> &mut Self {
+        self.triples.push((
+            sub.clone(),
+            Term::iri(vocab::rdfs::SUB_CLASS_OF),
+            sup.clone(),
+        ));
+        self
+    }
+
+    /// Declares a property with its domain class (a meta-data-schema edge:
+    /// "the property hasFirstName is an attribute of class Customer …
+    /// implemented by stating that the domain of hasFirstName is class
+    /// Customer").
+    pub fn property(&mut self, prop: &Term, label: &str, domain: &Term) -> &mut Self {
+        self.triples.push((
+            prop.clone(),
+            Term::iri(vocab::rdfs::DOMAIN),
+            domain.clone(),
+        ));
+        self.triples.push((
+            prop.clone(),
+            Term::iri(vocab::rdfs::LABEL),
+            Term::plain(label),
+        ));
+        self
+    }
+
+    /// Declares `sub rdfs:subPropertyOf sup`.
+    pub fn subproperty(&mut self, sub: &Term, sup: &Term) -> &mut Self {
+        self.triples.push((
+            sub.clone(),
+            Term::iri(vocab::rdfs::SUB_PROPERTY_OF),
+            sup.clone(),
+        ));
+        self
+    }
+
+    /// Marks a property symmetric (the paper's `isRelatedTo` example:
+    /// "Some properties might be symmetric such as isRelatedTo. Such
+    /// symmetries are … supported by OWL").
+    pub fn symmetric(&mut self, prop: &Term) -> &mut Self {
+        self.triples.push((
+            prop.clone(),
+            Term::iri(vocab::rdf::TYPE),
+            Term::iri(vocab::owl::SYMMETRIC_PROPERTY),
+        ));
+        self
+    }
+
+    /// Marks a property transitive.
+    pub fn transitive(&mut self, prop: &Term) -> &mut Self {
+        self.triples.push((
+            prop.clone(),
+            Term::iri(vocab::rdf::TYPE),
+            Term::iri(vocab::owl::TRANSITIVE_PROPERTY),
+        ));
+        self
+    }
+
+    /// Declares two properties inverse of each other.
+    pub fn inverse(&mut self, prop: &Term, inverse: &Term) -> &mut Self {
+        self.triples.push((
+            prop.clone(),
+            Term::iri(vocab::owl::INVERSE_OF),
+            inverse.clone(),
+        ));
+        self
+    }
+
+    /// Declares two classes equivalent.
+    pub fn equivalent_class(&mut self, a: &Term, b: &Term) -> &mut Self {
+        self.triples.push((
+            a.clone(),
+            Term::iri(vocab::owl::EQUIVALENT_CLASS),
+            b.clone(),
+        ));
+        self
+    }
+
+    /// Adds an arbitrary triple (site-specific axioms).
+    pub fn triple(&mut self, s: Term, p: Term, o: Term) -> &mut Self {
+        self.triples.push((s, p, o));
+        self
+    }
+
+    /// Registers an extra prefix for the Turtle export.
+    pub fn prefix(&mut self, prefix: &str, ns: &str) -> &mut Self {
+        self.prefixes.insert(prefix.to_string(), ns.to_string());
+        self
+    }
+
+    /// The authored triples (for staging).
+    pub fn triples(&self) -> &[(Term, Term, Term)] {
+        &self.triples
+    }
+
+    /// Consumes the builder, returning the triples.
+    pub fn into_triples(self) -> Vec<(Term, Term, Term)> {
+        self.triples
+    }
+
+    /// Exports the ontology as a Turtle document — the "ontology file"
+    /// that Protégé would produce.
+    pub fn to_turtle(&self) -> String {
+        turtle::to_turtle(&self.triples, &self.prefixes)
+    }
+
+    /// Number of authored triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if nothing was authored.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm(l: &str) -> Term {
+        Term::iri(vocab::cs::dm(l))
+    }
+
+    #[test]
+    fn class_emits_marker_and_label() {
+        let mut b = OntologyBuilder::new();
+        b.class(&dm("Customer"), "Customer");
+        assert_eq!(b.len(), 2);
+        assert!(b.triples().contains(&(
+            dm("Customer"),
+            Term::iri(vocab::rdf::TYPE),
+            Term::iri(vocab::owl::CLASS)
+        )));
+    }
+
+    #[test]
+    fn hierarchy_and_schema_edges() {
+        let mut b = OntologyBuilder::new();
+        b.class(&dm("Party"), "Party")
+            .class(&dm("Individual"), "Individual")
+            .subclass(&dm("Individual"), &dm("Party"))
+            .property(&dm("hasFirstName"), "First name", &dm("Individual"));
+        assert!(b.triples().contains(&(
+            dm("Individual"),
+            Term::iri(vocab::rdfs::SUB_CLASS_OF),
+            dm("Party")
+        )));
+        assert!(b.triples().contains(&(
+            dm("hasFirstName"),
+            Term::iri(vocab::rdfs::DOMAIN),
+            dm("Individual")
+        )));
+    }
+
+    #[test]
+    fn owl_axioms() {
+        let mut b = OntologyBuilder::new();
+        b.symmetric(&dm("isRelatedTo"))
+            .transitive(&Term::iri(vocab::cs::IS_MAPPED_TO))
+            .inverse(&dm("feeds"), &dm("isFedBy"))
+            .equivalent_class(&dm("Customer"), &dm("Client"));
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn turtle_round_trip() {
+        let mut b = OntologyBuilder::new();
+        b.class(&dm("Party"), "Party")
+            .subclass(&dm("Individual"), &dm("Party"));
+        let text = b.to_turtle();
+        assert!(text.contains("@prefix dm:"));
+        let doc = mdw_rdf::turtle::parse(&text).unwrap();
+        assert_eq!(doc.triples.len(), b.len());
+    }
+
+    #[test]
+    fn empty_builder() {
+        let b = OntologyBuilder::new();
+        assert!(b.is_empty());
+        assert_eq!(b.into_triples().len(), 0);
+    }
+}

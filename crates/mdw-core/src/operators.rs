@@ -1,0 +1,334 @@
+//! Model-management operators, after Rondo.
+//!
+//! Section VI: "In the database community, meta-data management has been
+//! studied as part of the Rondo project. The focus of that work is to define
+//! operators and their semantics for the transformation of meta-data
+//! models. Obviously, that work is highly relevant to our project." This
+//! module provides the three Rondo-style operators a graph metadata
+//! warehouse actually needs day to day:
+//!
+//! * [`merge`] — union two models with conflict detection on functional
+//!   properties (two sources disagreeing on an item's name is a data-quality
+//!   incident, not a silent union),
+//! * [`compose_mappings`] — Rondo's *compose*: collapse two mapping hops
+//!   into one derived end-to-end mapping, concatenating rule conditions
+//!   (the paper's "multiple edge paths … bypassed by just one additional
+//!   edge"),
+//! * [`extract_submodel`] — Rondo's *extract*: the bounded neighbourhood of
+//!   a set of root items, for "show me everything about application X".
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use mdw_rdf::dict::{Dictionary, TermId};
+use mdw_rdf::store::Graph;
+use mdw_rdf::term::Term;
+use mdw_rdf::triple::{Triple, TriplePattern};
+use mdw_rdf::vocab;
+
+/// A functional-property conflict found during a merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeConflict {
+    /// The subject both models describe.
+    pub subject: Term,
+    /// The functional property they disagree on.
+    pub property: Term,
+    /// The value in the target model.
+    pub left: Term,
+    /// The conflicting value in the merged-in model.
+    pub right: Term,
+}
+
+/// The outcome of a merge.
+#[derive(Debug, Clone, Default)]
+pub struct MergeReport {
+    /// Triples added to the target model.
+    pub added: usize,
+    /// Triples already present.
+    pub duplicates: usize,
+    /// Functional-property conflicts (both values end up in the model;
+    /// resolving them is a curation decision, not the operator's).
+    pub conflicts: Vec<MergeConflict>,
+}
+
+/// Properties treated as functional for conflict detection: an item has
+/// exactly one name, level, area, and data type.
+pub fn functional_properties() -> Vec<Term> {
+    vec![
+        Term::iri(vocab::cs::HAS_NAME),
+        Term::iri(vocab::cs::AT_LEVEL),
+        Term::iri(vocab::cs::IN_AREA),
+        Term::iri(vocab::cs::dm("hasDataType")),
+    ]
+}
+
+/// Merges `other` into `target` (both decoded against `dict`), reporting
+/// conflicts on functional properties.
+pub fn merge(
+    target: &mut Graph,
+    other: &Graph,
+    dict: &Dictionary,
+) -> MergeReport {
+    let functional: Vec<TermId> = functional_properties()
+        .iter()
+        .filter_map(|t| dict.lookup(t))
+        .collect();
+    let mut report = MergeReport::default();
+    for t in other.iter() {
+        // Conflict check before insertion: same (s, p), different o.
+        if functional.contains(&t.p) {
+            for existing in target.scan(TriplePattern::with_sp(t.s, t.p)) {
+                if existing.o != t.o {
+                    report.conflicts.push(MergeConflict {
+                        subject: dict.term_unchecked(t.s).clone(),
+                        property: dict.term_unchecked(t.p).clone(),
+                        left: dict.term_unchecked(existing.o).clone(),
+                        right: dict.term_unchecked(t.o).clone(),
+                    });
+                }
+            }
+        }
+        if target.insert(t) {
+            report.added += 1;
+        } else {
+            report.duplicates += 1;
+        }
+    }
+    report.conflicts.sort_by(|a, b| {
+        a.subject
+            .cmp(&b.subject)
+            .then_with(|| a.property.cmp(&b.property))
+            .then_with(|| a.right.cmp(&b.right))
+    });
+    report
+}
+
+/// One composed end-to-end mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComposedMapping {
+    /// Chain start.
+    pub from: Term,
+    /// Intermediate item that was bypassed.
+    pub via: Term,
+    /// Chain end.
+    pub to: Term,
+    /// The two hops' rule conditions, concatenated with ` AND ` (both must
+    /// hold for data to flow end to end).
+    pub condition: Option<String>,
+}
+
+/// Rondo's *compose* over the mapping relation: for every
+/// `a isMappedTo b isMappedTo c`, produce the end-to-end mapping `a → c`.
+/// Conditions of the two hops are conjoined. The result is returned, not
+/// inserted — the caller decides whether to materialize shortcuts.
+pub fn compose_mappings(graph: &Graph, dict: &Dictionary) -> Vec<ComposedMapping> {
+    let Some(mapped) = dict.lookup(&Term::iri(vocab::cs::IS_MAPPED_TO)) else {
+        return Vec::new();
+    };
+    // Conditions of reified mappings: (from, to) → condition.
+    let conditions = reified_conditions(graph, dict);
+    let mut out = Vec::new();
+    for first in graph.scan(TriplePattern::with_p(mapped)) {
+        for second in graph.scan(TriplePattern::with_sp(first.o, mapped)) {
+            let c1 = conditions.get(&(first.s, first.o));
+            let c2 = conditions.get(&(second.s, second.o));
+            let condition = match (c1, c2) {
+                (Some(a), Some(b)) => Some(format!("{a} AND {b}")),
+                (Some(a), None) => Some(a.clone()),
+                (None, Some(b)) => Some(b.clone()),
+                (None, None) => None,
+            };
+            out.push(ComposedMapping {
+                from: dict.term_unchecked(first.s).clone(),
+                via: dict.term_unchecked(first.o).clone(),
+                to: dict.term_unchecked(second.o).clone(),
+                condition,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.from.cmp(&b.from).then_with(|| a.to.cmp(&b.to)));
+    out
+}
+
+fn reified_conditions(graph: &Graph, dict: &Dictionary) -> BTreeMap<(TermId, TermId), String> {
+    let lookup = |iri: &str| dict.lookup(&Term::iri(iri));
+    let mut out = BTreeMap::new();
+    let (Some(maps_from), Some(maps_to), Some(cond)) = (
+        lookup(vocab::cs::MAPS_FROM),
+        lookup(vocab::cs::MAPS_TO),
+        lookup(vocab::cs::RULE_CONDITION),
+    ) else {
+        return out;
+    };
+    for f in graph.scan(TriplePattern::with_p(maps_from)) {
+        let mapping = f.s;
+        let Some(to) = graph.scan(TriplePattern::with_sp(mapping, maps_to)).next() else {
+            continue;
+        };
+        let Some(c) = graph.scan(TriplePattern::with_sp(mapping, cond)).next() else {
+            continue;
+        };
+        if let Some(Term::Literal(lit)) = dict.term(c.o) {
+            out.insert((f.o, to.o), lit.lexical.to_string());
+        }
+    }
+    out
+}
+
+/// Rondo's *extract*: all triples within `depth` hops of the root items,
+/// following edges in both directions (an application's neighbourhood
+/// includes both what it owns and what points at it). Literal nodes are
+/// collected but not expanded.
+pub fn extract_submodel(
+    graph: &Graph,
+    dict: &Dictionary,
+    roots: &[Term],
+    depth: usize,
+) -> Vec<Triple> {
+    let mut frontier: VecDeque<(TermId, usize)> = roots
+        .iter()
+        .filter_map(|t| dict.lookup(t))
+        .map(|id| (id, 0))
+        .collect();
+    let mut visited: BTreeSet<TermId> = frontier.iter().map(|(id, _)| *id).collect();
+    let mut triples: BTreeSet<Triple> = BTreeSet::new();
+
+    while let Some((node, d)) = frontier.pop_front() {
+        if d >= depth {
+            continue;
+        }
+        for t in graph.scan(TriplePattern::with_s(node)) {
+            triples.insert(t);
+            let expandable = dict
+                .term(t.o)
+                .map(|term| !term.is_literal())
+                .unwrap_or(false);
+            if expandable && visited.insert(t.o) {
+                frontier.push_back((t.o, d + 1));
+            }
+        }
+        for t in graph.scan(TriplePattern::with_o(node)) {
+            triples.insert(t);
+            if visited.insert(t.s) {
+                frontier.push_back((t.s, d + 1));
+            }
+        }
+    }
+    triples.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdw_rdf::store::Store;
+
+    fn dwh(l: &str) -> Term {
+        Term::iri(vocab::cs::dwh(l))
+    }
+
+    #[test]
+    fn merge_detects_name_conflicts() {
+        let mut store = Store::new();
+        store.create_model("a").unwrap();
+        store.create_model("b").unwrap();
+        let name = Term::iri(vocab::cs::HAS_NAME);
+        store.insert("a", &dwh("x"), &name, &Term::plain("customer_id")).unwrap();
+        store.insert("a", &dwh("x"), &Term::iri("http://p"), &dwh("y")).unwrap();
+        store.insert("b", &dwh("x"), &name, &Term::plain("kunde_id")).unwrap();
+        store.insert("b", &dwh("x"), &Term::iri("http://p"), &dwh("y")).unwrap();
+
+        let other = store.model("b").unwrap().clone();
+        let dict = store.dict().clone();
+        let target = store.model_mut("a").unwrap();
+        let report = merge(target, &other, &dict);
+        assert_eq!(report.added, 1); // the conflicting name still lands
+        assert_eq!(report.duplicates, 1);
+        assert_eq!(report.conflicts.len(), 1);
+        let c = &report.conflicts[0];
+        assert_eq!(c.left, Term::plain("customer_id"));
+        assert_eq!(c.right, Term::plain("kunde_id"));
+    }
+
+    #[test]
+    fn merge_without_conflicts_is_clean_union() {
+        let mut store = Store::new();
+        store.create_model("a").unwrap();
+        store.create_model("b").unwrap();
+        store.insert("a", &dwh("x"), &Term::iri("http://p"), &dwh("y")).unwrap();
+        store.insert("b", &dwh("y"), &Term::iri("http://p"), &dwh("z")).unwrap();
+        let other = store.model("b").unwrap().clone();
+        let dict = store.dict().clone();
+        let target = store.model_mut("a").unwrap();
+        let report = merge(target, &other, &dict);
+        assert_eq!(report.added, 1);
+        assert!(report.conflicts.is_empty());
+        assert_eq!(target.len(), 2);
+    }
+
+    #[test]
+    fn compose_concatenates_conditions() {
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        let mapped = Term::iri(vocab::cs::IS_MAPPED_TO);
+        store.insert("m", &dwh("a"), &mapped, &dwh("b")).unwrap();
+        store.insert("m", &dwh("b"), &mapped, &dwh("c")).unwrap();
+        for (m, from, to, cond) in [
+            ("m1", "a", "b", "x > 0"),
+            ("m2", "b", "c", "y = 'CH'"),
+        ] {
+            store.insert("m", &dwh(m), &Term::iri(vocab::cs::MAPS_FROM), &dwh(from)).unwrap();
+            store.insert("m", &dwh(m), &Term::iri(vocab::cs::MAPS_TO), &dwh(to)).unwrap();
+            store
+                .insert("m", &dwh(m), &Term::iri(vocab::cs::RULE_CONDITION), &Term::plain(cond))
+                .unwrap();
+        }
+        let composed = compose_mappings(store.model("m").unwrap(), store.dict());
+        assert_eq!(composed.len(), 1);
+        assert_eq!(composed[0].from, dwh("a"));
+        assert_eq!(composed[0].via, dwh("b"));
+        assert_eq!(composed[0].to, dwh("c"));
+        assert_eq!(composed[0].condition.as_deref(), Some("x > 0 AND y = 'CH'"));
+    }
+
+    #[test]
+    fn compose_handles_missing_conditions() {
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        let mapped = Term::iri(vocab::cs::IS_MAPPED_TO);
+        store.insert("m", &dwh("a"), &mapped, &dwh("b")).unwrap();
+        store.insert("m", &dwh("b"), &mapped, &dwh("c")).unwrap();
+        let composed = compose_mappings(store.model("m").unwrap(), store.dict());
+        assert_eq!(composed.len(), 1);
+        assert_eq!(composed[0].condition, None);
+    }
+
+    #[test]
+    fn extract_neighbourhood_is_bounded() {
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        let p = Term::iri("http://p");
+        // chain: r → n1 → n2 → n3, plus incoming: up → r.
+        for (s, o) in [("r", "n1"), ("n1", "n2"), ("n2", "n3"), ("up", "r")] {
+            store.insert("m", &dwh(s), &p, &dwh(o)).unwrap();
+        }
+        store
+            .insert("m", &dwh("r"), &Term::iri(vocab::cs::HAS_NAME), &Term::plain("root"))
+            .unwrap();
+        let graph = store.model("m").unwrap();
+        let depth1 = extract_submodel(graph, store.dict(), &[dwh("r")], 1);
+        // r's own edges: r→n1, up→r, r hasName.
+        assert_eq!(depth1.len(), 3);
+        let depth2 = extract_submodel(graph, store.dict(), &[dwh("r")], 2);
+        assert_eq!(depth2.len(), 4); // + n1→n2
+        let depth0 = extract_submodel(graph, store.dict(), &[dwh("r")], 0);
+        assert!(depth0.is_empty());
+    }
+
+    #[test]
+    fn extract_unknown_root_is_empty() {
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        store.insert("m", &dwh("a"), &Term::iri("http://p"), &dwh("b")).unwrap();
+        let out = extract_submodel(store.model("m").unwrap(), store.dict(), &[dwh("nope")], 3);
+        assert!(out.is_empty());
+    }
+}

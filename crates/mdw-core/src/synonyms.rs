@@ -1,0 +1,186 @@
+//! The synonym / homonym table — the DBpedia substitute.
+//!
+//! The paper: "The Credit Suisse meta-data warehouse incorporates meta-data
+//! collections from the DBpedia project … links between Wikipedia articles
+//! are stored in RDF files … That additional meta-data is used to derive
+//! additional edges between synonyms and homonyms in the meta-data graph."
+//! And in the search use case: "meta-data from DBpedia representing synonyms
+//! and homonyms might be added to the existing facts to enable semantic
+//! resolution beyond simple keyword searching."
+//!
+//! We cannot ship DBpedia, so [`SynonymTable`] is the synthetic equivalent:
+//! a seeded dictionary of banking-domain synonym groups. It serves two
+//! purposes:
+//!
+//! 1. term expansion during search (`customer` also finds `client`,
+//!    `partner`, …),
+//! 2. emitting the `dm:synonymOf` value-to-value edges into the graph,
+//!    exactly as the DBpedia import does in the paper.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mdw_rdf::term::Term;
+use mdw_rdf::vocab;
+
+/// A case-insensitive synonym dictionary.
+#[derive(Debug, Default, Clone)]
+pub struct SynonymTable {
+    /// normalized term → set of normalized synonyms (not including itself).
+    map: BTreeMap<String, BTreeSet<String>>,
+}
+
+fn normalize(s: &str) -> String {
+    s.to_lowercase()
+}
+
+impl SynonymTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The banking vocabulary the paper's examples revolve around:
+    /// Customer/Partner/Client (Figure 2's three DWH areas name the same
+    /// concept differently), Individual/Person, Institution/Organization.
+    pub fn banking() -> Self {
+        let mut t = Self::new();
+        t.add_group(&["customer", "client", "partner"]);
+        t.add_group(&["individual", "person", "people"]);
+        t.add_group(&["institution", "organization", "organisation", "company"]);
+        t.add_group(&["account", "portfolio"]);
+        t.add_group(&["transaction", "payment", "booking"]);
+        t.add_group(&["report", "statement"]);
+        t
+    }
+
+    /// Adds a synonym group: every member becomes a synonym of every other.
+    pub fn add_group(&mut self, terms: &[&str]) -> &mut Self {
+        let normalized: Vec<String> = terms.iter().map(|t| normalize(t)).collect();
+        for a in &normalized {
+            for b in &normalized {
+                if a != b {
+                    self.map.entry(a.clone()).or_default().insert(b.clone());
+                }
+            }
+        }
+        self
+    }
+
+    /// Adds a single symmetric pair.
+    pub fn add_pair(&mut self, a: &str, b: &str) -> &mut Self {
+        self.add_group(&[a, b])
+    }
+
+    /// The synonyms of a term (excluding the term itself), sorted.
+    pub fn synonyms_of(&self, term: &str) -> Vec<&str> {
+        self.map
+            .get(&normalize(term))
+            .map(|set| set.iter().map(|s| s.as_str()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Expands a term to itself plus all synonyms (normalized, sorted,
+    /// term first).
+    pub fn expand(&self, term: &str) -> Vec<String> {
+        let norm = normalize(term);
+        let mut out = vec![norm.clone()];
+        if let Some(set) = self.map.get(&norm) {
+            out.extend(set.iter().cloned());
+        }
+        out
+    }
+
+    /// Number of terms with at least one synonym.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Emits the `dm:synonymOf` value-to-value edges the DBpedia import
+    /// contributes to the graph. Each normalized pair is emitted once in
+    /// each direction (the relation is symmetric and the paper stores the
+    /// derived edges explicitly).
+    pub fn to_triples(&self) -> Vec<(Term, Term, Term)> {
+        let syn = Term::iri(vocab::cs::SYNONYM_OF);
+        let mut out = Vec::new();
+        for (term, set) in &self.map {
+            for other in set {
+                out.push((Term::plain(term.clone()), syn.clone(), Term::plain(other.clone())));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_is_symmetric_and_complete() {
+        let mut t = SynonymTable::new();
+        t.add_group(&["a", "b", "c"]);
+        assert_eq!(t.synonyms_of("a"), vec!["b", "c"]);
+        assert_eq!(t.synonyms_of("b"), vec!["a", "c"]);
+        assert_eq!(t.synonyms_of("c"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let t = SynonymTable::banking();
+        assert_eq!(t.synonyms_of("Customer"), t.synonyms_of("customer"));
+        assert!(t.synonyms_of("CUSTOMER").contains(&"client"));
+    }
+
+    #[test]
+    fn expand_includes_self_first() {
+        let t = SynonymTable::banking();
+        let exp = t.expand("Customer");
+        assert_eq!(exp[0], "customer");
+        assert!(exp.contains(&"client".to_string()));
+        assert!(exp.contains(&"partner".to_string()));
+    }
+
+    #[test]
+    fn unknown_term_expands_to_itself() {
+        let t = SynonymTable::banking();
+        assert_eq!(t.expand("derivative"), vec!["derivative".to_string()]);
+        assert!(t.synonyms_of("derivative").is_empty());
+    }
+
+    #[test]
+    fn banking_covers_figure2_naming() {
+        // Figure 2: the same concept is Customer in staging, Partner in
+        // integration, Client in the data mart.
+        let t = SynonymTable::banking();
+        let exp = t.expand("customer");
+        assert!(exp.contains(&"partner".to_string()));
+        assert!(exp.contains(&"client".to_string()));
+    }
+
+    #[test]
+    fn triples_are_symmetric_value_edges() {
+        let mut t = SynonymTable::new();
+        t.add_pair("customer", "client");
+        let triples = t.to_triples();
+        assert_eq!(triples.len(), 2);
+        assert!(triples.iter().all(|(s, p, o)| {
+            s.is_literal() && o.is_literal() && p.as_iri() == Some(vocab::cs::SYNONYM_OF)
+        }));
+    }
+
+    #[test]
+    fn pairs_merge_into_groups() {
+        let mut t = SynonymTable::new();
+        t.add_pair("a", "b");
+        t.add_pair("b", "c");
+        // a and c are not automatically synonyms (no transitive closure —
+        // homonym safety), but b links to both.
+        assert_eq!(t.synonyms_of("b"), vec!["a", "c"]);
+        assert_eq!(t.synonyms_of("a"), vec!["b"]);
+    }
+}

@@ -1,0 +1,583 @@
+//! The warehouse facade: one object tying together the store, the rulebase,
+//! the semantic index, the synonym table, the historization registry, and
+//! the two services.
+//!
+//! Lifecycle (mirrors Figure 4):
+//!
+//! 1. [`MetadataWarehouse::new`] creates the current model (`DWH_CURR`) with
+//!    the OWLPRIME rulebase,
+//! 2. [`MetadataWarehouse::ingest`] runs extracts through staging and bulk
+//!    load,
+//! 3. [`MetadataWarehouse::build_semantic_index`] materializes the
+//!    entailment index ("the indexes read all relationships … and apply them
+//!    on the basic facts"),
+//! 4. [`MetadataWarehouse::search`] / [`MetadataWarehouse::lineage`] serve
+//!    the two use cases over the entailed view,
+//! 5. [`MetadataWarehouse::snapshot`] historizes the current graph at each
+//!    release.
+
+use mdw_rdf::store::{GraphStats, Store};
+use mdw_rdf::term::Term;
+use mdw_rdf::triple::Triple;
+use mdw_reason::{EntailedGraph, Materialization, MaterializeStats, Rulebase};
+use mdw_sparql::{QueryOutput, SemMatch};
+
+use crate::assist::{self, SourceCandidates};
+use crate::error::MdwError;
+use crate::governance::{self, AccessReport, GovernanceGaps};
+use crate::history::{History, VersionDiff, VersionRecord};
+use crate::ingest::{ingest, Extract, IngestReport};
+use crate::lineage::{self, FlowRow, Hop, ImpactSummary, LineageRequest, LineageResult};
+use crate::model::{census, Census};
+use crate::search::{self, SearchRequest, SearchResults};
+use crate::sync::{SourceRegistry, SyncReport};
+use crate::synonyms::SynonymTable;
+
+/// The default current-model name, as queried in the paper's listings
+/// (`SEM_MODELS('DWH_CURR')`).
+pub const DEFAULT_MODEL: &str = "DWH_CURR";
+
+/// The meta-data warehouse.
+#[derive(Debug)]
+pub struct MetadataWarehouse {
+    store: Store,
+    model: String,
+    rulebase: Rulebase,
+    materialization: Option<Materialization>,
+    synonyms: SynonymTable,
+    history: History,
+    sources: SourceRegistry,
+}
+
+impl Default for MetadataWarehouse {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetadataWarehouse {
+    /// Creates a warehouse with the default model name, the OWLPRIME
+    /// rulebase, and the banking synonym table.
+    pub fn new() -> Self {
+        Self::with_model(DEFAULT_MODEL)
+    }
+
+    /// Creates a warehouse with a custom current-model name.
+    pub fn with_model(model: &str) -> Self {
+        let mut store = Store::new();
+        store.create_model(model).expect("fresh store");
+        let rulebase = Rulebase::owlprime(store.dict_mut());
+        MetadataWarehouse {
+            store,
+            model: model.to_string(),
+            rulebase,
+            materialization: None,
+            synonyms: SynonymTable::banking(),
+            history: History::new(),
+            sources: SourceRegistry::new(),
+        }
+    }
+
+    /// Wraps an existing store (e.g. one reloaded from disk via
+    /// [`mdw_rdf::persist::load_store`]) as a warehouse over `model`.
+    /// The model must exist; the semantic index starts unbuilt.
+    pub fn from_store(mut store: Store, model: &str) -> Result<Self, MdwError> {
+        store.model(model)?;
+        let rulebase = Rulebase::owlprime(store.dict_mut());
+        Ok(MetadataWarehouse {
+            store,
+            model: model.to_string(),
+            rulebase,
+            materialization: None,
+            synonyms: SynonymTable::banking(),
+            history: History::new(),
+            sources: SourceRegistry::new(),
+        })
+    }
+
+    /// The current-model name.
+    pub fn model_name(&self) -> &str {
+        &self.model
+    }
+
+    /// Read access to the underlying store (models + dictionary).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The synonym table (mutable, to load site-specific vocabularies).
+    pub fn synonyms_mut(&mut self) -> &mut SynonymTable {
+        &mut self.synonyms
+    }
+
+    /// The synonym table.
+    pub fn synonyms(&self) -> &SynonymTable {
+        &self.synonyms
+    }
+
+    /// Ingests extracts through the staging/bulk-load pipeline (additive:
+    /// triples accumulate per source — use [`Self::resync`] for replacing
+    /// deliveries). Any existing semantic index is invalidated (new facts
+    /// may entail new triples).
+    pub fn ingest(&mut self, extracts: Vec<Extract>) -> Result<IngestReport, MdwError> {
+        // Keep the (source, triples) pairs for provenance tracking.
+        #[allow(clippy::type_complexity)]
+        let copies: Vec<(String, Vec<(Term, Term, Term)>)> = extracts
+            .iter()
+            .map(|e| (e.source.clone(), e.triples.clone()))
+            .collect();
+        let report = ingest(&mut self.store, &self.model, extracts)?;
+        for (source, triples) in copies {
+            let encoded = triples.iter().filter_map(|(s, p, o)| {
+                Some(Triple::new(
+                    self.store.encode(s)?,
+                    self.store.encode(p)?,
+                    self.store.encode(o)?,
+                ))
+            });
+            self.sources.record_additive(&source, encoded);
+        }
+        self.materialization = None;
+        Ok(report)
+    }
+
+    /// Re-delivers one source's extract with *replace* semantics: triples
+    /// this source previously asserted but no longer delivers are removed
+    /// from the graph (unless another source still asserts them). This is
+    /// the per-release synchronization the paper's coverage growth implies.
+    ///
+    /// Removals invalidate the semantic index (no truth maintenance for
+    /// retracted facts); pure additions extend it incrementally.
+    pub fn resync(&mut self, extract: Extract) -> Result<SyncReport, MdwError> {
+        use std::collections::BTreeSet;
+        let mut new_set: BTreeSet<Triple> = BTreeSet::new();
+        for (s, p, o) in &extract.triples {
+            if !s.is_subject_capable() || !p.is_iri() {
+                return Err(MdwError::InvalidRequest(format!(
+                    "invalid triple in resync extract: {s} {p} {o}"
+                )));
+            }
+            new_set.insert(Triple::new(
+                self.store.dict_mut().intern(s),
+                self.store.dict_mut().intern(p),
+                self.store.dict_mut().intern(o),
+            ));
+        }
+        let (added, removed, report) = self.sources.replace(&extract.source, new_set);
+        let graph = self.store.model_mut(&self.model)?;
+        for &t in &added {
+            graph.insert(t);
+        }
+        for &t in &removed {
+            graph.remove(t);
+        }
+        if removed.is_empty() {
+            if let Some(m) = self.materialization.as_mut() {
+                m.extend(self.store.model(&self.model)?, &self.rulebase, self.store.dict(), &added);
+            }
+        } else {
+            self.materialization = None;
+        }
+        Ok(report)
+    }
+
+    /// The sources that have delivered extracts so far.
+    pub fn sources(&self) -> Vec<&str> {
+        self.sources.sources()
+    }
+
+    /// Inserts one fact. If the semantic index is built, it is extended
+    /// incrementally (the delta-maintenance path); otherwise the fact just
+    /// lands in the base model.
+    pub fn insert_fact(&mut self, s: &Term, p: &Term, o: &Term) -> Result<bool, MdwError> {
+        let fresh = self.store.insert(&self.model, s, p, o)?;
+        if fresh {
+            if let Some(m) = self.materialization.as_mut() {
+                let t = Triple::new(
+                    self.store.encode(s).expect("just inserted"),
+                    self.store.encode(p).expect("just inserted"),
+                    self.store.encode(o).expect("just inserted"),
+                );
+                m.extend(
+                    self.store.model(&self.model)?,
+                    &self.rulebase,
+                    self.store.dict(),
+                    &[t],
+                );
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Loads the synonym table's value-to-value edges into the graph —
+    /// the DBpedia-import step of Section III.B.
+    pub fn load_synonym_edges(&mut self) -> Result<usize, MdwError> {
+        let triples = self.synonyms.to_triples();
+        let mut n = 0;
+        for (s, p, o) in triples {
+            // Synonym edges connect literals; RDF forbids literal subjects,
+            // so values are wrapped as value nodes in the dwh namespace.
+            let s = Term::iri(mdw_rdf::vocab::cs::dwh(&format!("term/{}", s.label())));
+            let o = Term::iri(mdw_rdf::vocab::cs::dwh(&format!("term/{}", o.label())));
+            if self.store.insert(&self.model, &s, &p, &o)? {
+                n += 1;
+            }
+        }
+        self.materialization = None;
+        Ok(n)
+    }
+
+    /// Builds (or rebuilds) the semantic index — the paper's OWL index
+    /// build. Returns the materialization statistics.
+    pub fn build_semantic_index(&mut self) -> Result<MaterializeStats, MdwError> {
+        let m = Materialization::materialize(
+            self.store.model(&self.model)?,
+            &self.rulebase,
+            self.store.dict(),
+        );
+        let stats = m.stats().clone();
+        self.materialization = Some(m);
+        Ok(stats)
+    }
+
+    /// Whether the semantic index is currently built.
+    pub fn has_semantic_index(&self) -> bool {
+        self.materialization.is_some()
+    }
+
+    /// The entailed view (base ∪ semantic index). Errors if the index is
+    /// not built — derived triples "only exist through the indexes".
+    pub fn entailed(&self) -> Result<EntailedGraph<'_>, MdwError> {
+        let m = self.materialization.as_ref().ok_or(MdwError::IndexNotBuilt)?;
+        Ok(EntailedGraph::new(self.store.model(&self.model)?, m.derived()))
+    }
+
+    /// Runs the Section IV.A search.
+    pub fn search(&self, request: &SearchRequest) -> Result<SearchResults, MdwError> {
+        let view = self.entailed()?;
+        Ok(search::search(&view, self.store.dict(), &self.synonyms, request))
+    }
+
+    /// Runs the Section IV.B lineage traversal.
+    pub fn lineage(&self, request: &LineageRequest) -> Result<LineageResult, MdwError> {
+        let view = self.entailed()?;
+        Ok(lineage::trace(&view, self.store.dict(), request))
+    }
+
+    /// Schema-level flow aggregation (Figure 7, coarse granularity).
+    pub fn schema_flow(&self) -> Result<Vec<FlowRow>, MdwError> {
+        let view = self.entailed()?;
+        Ok(lineage::schema_flow(&view, self.store.dict()))
+    }
+
+    /// Attribute-level drill-down of one schema pair (Figure 7).
+    pub fn drill_down(&self, source: &Term, target: &Term) -> Result<Vec<Hop>, MdwError> {
+        let view = self.entailed()?;
+        Ok(lineage::drill_down(&view, self.store.dict(), source, target))
+    }
+
+    /// Aggregates a lineage result by schema — the impact summary of
+    /// Section IV.B's change-management motivation.
+    pub fn impact_summary(&self, result: &LineageResult) -> Result<ImpactSummary, MdwError> {
+        let view = self.entailed()?;
+        Ok(lineage::impact_summary(&view, self.store.dict(), result))
+    }
+
+    /// The audit question of Section IV.B: which applications, roles, and
+    /// users have access to an information item.
+    pub fn who_can_access(&self, item: &Term) -> Result<AccessReport, MdwError> {
+        let view = self.entailed()?;
+        Ok(governance::who_can_access(&view, self.store.dict(), item))
+    }
+
+    /// Data-governance gap analysis: data-mart items without an owner.
+    pub fn governance_gaps(&self) -> Result<GovernanceGaps, MdwError> {
+        let view = self.entailed()?;
+        Ok(governance::ownerless_items(&view, self.store.dict()))
+    }
+
+    /// The report-developer assistant (the paper's "under development" use
+    /// case): ranked data sources for a business concept.
+    pub fn find_sources(&self, concept: &Term) -> Result<SourceCandidates, MdwError> {
+        let view = self.entailed()?;
+        Ok(assist::find_sources(&view, self.store.dict(), concept))
+    }
+
+    /// Executes a `SEM_MATCH`-style query against this warehouse. When the
+    /// query names a rulebase, the built semantic index is supplied
+    /// automatically.
+    pub fn sem_match(&self, query: &SemMatch) -> Result<QueryOutput, MdwError> {
+        let query = query.clone().model(&self.model);
+        Ok(query.execute(&self.store, self.materialization.as_ref())?)
+    }
+
+    /// The Table I census of the current model.
+    pub fn census(&self) -> Result<Census, MdwError> {
+        Ok(census(self.store.model(&self.model)?, self.store.dict()))
+    }
+
+    /// Statistics of the current model (the paper's node/edge scale).
+    pub fn stats(&self) -> Result<GraphStats, MdwError> {
+        Ok(self.store.model(&self.model)?.stats())
+    }
+
+    /// Number of derived triples in the semantic index (0 if not built).
+    pub fn derived_count(&self) -> usize {
+        self.materialization.as_ref().map_or(0, |m| m.derived().len())
+    }
+
+    /// Takes a full historization snapshot of the current model.
+    pub fn snapshot(&mut self, tag: &str) -> Result<VersionRecord, MdwError> {
+        let model = self.model.clone();
+        self.history
+            .snapshot(&mut self.store, &model, tag).cloned()
+    }
+
+    /// The historization registry.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Diffs two historized versions.
+    pub fn diff(&self, from: &str, to: &str) -> Result<VersionDiff, MdwError> {
+        self.history.diff(&self.store, from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdw_rdf::vocab;
+
+    fn dm(l: &str) -> Term {
+        Term::iri(vocab::cs::dm(l))
+    }
+
+    fn dwh(l: &str) -> Term {
+        Term::iri(vocab::cs::dwh(l))
+    }
+
+    fn loaded_warehouse() -> MetadataWarehouse {
+        let mut w = MetadataWarehouse::new();
+        let ontology = Extract::new(
+            "protege",
+            vec![
+                (dm("Application1_View_Column"), Term::iri(vocab::rdfs::SUB_CLASS_OF), dm("Attribute")),
+                (dm("Attribute"), Term::iri(vocab::rdfs::LABEL), Term::plain("Attribute")),
+                (dm("Application1_View_Column"), Term::iri(vocab::rdfs::LABEL), Term::plain("Column")),
+            ],
+        );
+        let facts = Extract::new(
+            "scanner",
+            vec![
+                (dwh("customer_id"), Term::iri(vocab::rdf::TYPE), dm("Application1_View_Column")),
+                (dwh("customer_id"), Term::iri(vocab::cs::HAS_NAME), Term::plain("customer_id")),
+                (dwh("client_information_id"), Term::iri(vocab::cs::IS_MAPPED_TO), dwh("partner_id")),
+                (dwh("partner_id"), Term::iri(vocab::cs::IS_MAPPED_TO), dwh("customer_id")),
+            ],
+        );
+        w.ingest(vec![ontology, facts]).unwrap();
+        w.build_semantic_index().unwrap();
+        w
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let w = loaded_warehouse();
+        assert!(w.has_semantic_index());
+        assert!(w.derived_count() > 0);
+
+        let results = w.search(&SearchRequest::new("customer")).unwrap();
+        assert!(results.group("Attribute").is_some());
+        assert!(results.group("Column").is_some());
+
+        let lin = w
+            .lineage(&LineageRequest::downstream(dwh("client_information_id")))
+            .unwrap();
+        assert!(lin.endpoint(&dwh("customer_id")).is_some());
+    }
+
+    #[test]
+    fn search_without_index_fails() {
+        let mut w = MetadataWarehouse::new();
+        w.ingest(vec![]).unwrap();
+        assert!(matches!(
+            w.search(&SearchRequest::new("x")),
+            Err(MdwError::IndexNotBuilt)
+        ));
+    }
+
+    #[test]
+    fn ingest_invalidates_index() {
+        let mut w = loaded_warehouse();
+        assert!(w.has_semantic_index());
+        w.ingest(vec![Extract::new("more", vec![])]).unwrap();
+        assert!(!w.has_semantic_index());
+    }
+
+    #[test]
+    fn insert_fact_extends_index_incrementally() {
+        let mut w = loaded_warehouse();
+        // A new column of the same class must immediately inherit Attribute.
+        w.insert_fact(
+            &dwh("partner_id"),
+            &Term::iri(vocab::rdf::TYPE),
+            &dm("Application1_View_Column"),
+        )
+        .unwrap();
+        w.insert_fact(
+            &dwh("partner_id"),
+            &Term::iri(vocab::cs::HAS_NAME),
+            &Term::plain("partner_id"),
+        )
+        .unwrap();
+        assert!(w.has_semantic_index());
+        let results = w.search(&SearchRequest::new("partner")).unwrap();
+        assert!(results.group("Attribute").is_some());
+    }
+
+    #[test]
+    fn sem_match_auto_supplies_index() {
+        let w = loaded_warehouse();
+        let out = w
+            .sem_match(
+                &SemMatch::new("{ ?x rdf:type dm:Attribute }")
+                    .rulebase("OWLPRIME")
+                    .alias("dm", vocab::cs::DM)
+                    .select(&["?x"]),
+            )
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+    }
+
+    #[test]
+    fn census_and_stats() {
+        let w = loaded_warehouse();
+        let census = w.census().unwrap();
+        assert_eq!(census.total_edges, w.stats().unwrap().edges);
+        assert!(census.total_nodes > 0);
+    }
+
+    #[test]
+    fn snapshot_and_diff() {
+        let mut w = loaded_warehouse();
+        w.snapshot("2009.1").unwrap();
+        w.insert_fact(
+            &dwh("new_col"),
+            &Term::iri(vocab::rdf::TYPE),
+            &dm("Application1_View_Column"),
+        )
+        .unwrap();
+        w.snapshot("2009.2").unwrap();
+        let diff = w.diff("2009.1", "2009.2").unwrap();
+        assert_eq!(diff.added.len(), 1);
+        assert!(diff.removed.is_empty());
+        assert_eq!(w.history().len(), 2);
+    }
+
+    #[test]
+    fn resync_replaces_a_source() {
+        let mut w = loaded_warehouse();
+        assert!(w.sources().contains(&"scanner"));
+        // The scanner re-delivers: customer_id is gone, a new column exists.
+        let report = w
+            .resync(Extract::new(
+                "scanner",
+                vec![
+                    (dwh("new_col"), Term::iri(vocab::rdf::TYPE), dm("Application1_View_Column")),
+                    (dwh("new_col"), Term::iri(vocab::cs::HAS_NAME), Term::plain("new_col")),
+                ],
+            ))
+            .unwrap();
+        assert_eq!(report.added, 2);
+        assert_eq!(report.removed, 4); // customer_id's 2 + the 2 mapping edges
+        // Index was invalidated by the removals.
+        assert!(!w.has_semantic_index());
+        w.build_semantic_index().unwrap();
+        // The old column is gone from search; the new one is found.
+        assert_eq!(
+            w.search(&SearchRequest::new("customer")).unwrap().instance_count(),
+            0
+        );
+        assert_eq!(
+            w.search(&SearchRequest::new("new_col")).unwrap().instance_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn resync_pure_addition_keeps_index() {
+        let mut w = loaded_warehouse();
+        // A brand-new source only adds → incremental index extension.
+        let report = w
+            .resync(Extract::new(
+                "fresh-scanner",
+                vec![(
+                    dwh("extra"),
+                    Term::iri(vocab::rdf::TYPE),
+                    dm("Application1_View_Column"),
+                )],
+            ))
+            .unwrap();
+        assert_eq!(report.removed, 0);
+        assert!(w.has_semantic_index());
+        // The incremental extension derived the inherited type.
+        let results = w.search(&SearchRequest::new("customer")).unwrap();
+        assert!(results.instance_count() > 0);
+    }
+
+    #[test]
+    fn resync_respects_shared_assertions() {
+        let mut w = loaded_warehouse();
+        // A second source asserts one of the scanner's triples.
+        w.ingest(vec![Extract::new(
+            "second-scanner",
+            vec![(dwh("customer_id"), Term::iri(vocab::cs::HAS_NAME), Term::plain("customer_id"))],
+        )])
+        .unwrap();
+        // The first scanner withdraws everything.
+        let report = w.resync(Extract::new("scanner", vec![])).unwrap();
+        assert!(report.retained_by_others >= 1);
+        w.build_semantic_index().unwrap();
+        // The shared hasName fact survived.
+        let results = w.search(&SearchRequest::new("customer")).unwrap();
+        assert_eq!(results.instance_count(), 0); // type fact gone → no class match
+        let graph = w.store().model(w.model_name()).unwrap();
+        let name_pat = w
+            .store()
+            .pattern(Some(&dwh("customer_id")), Some(&Term::iri(vocab::cs::HAS_NAME)), None)
+            .unwrap();
+        assert_eq!(graph.scan(name_pat).count(), 1);
+    }
+
+    #[test]
+    fn resync_rejects_invalid_triples() {
+        let mut w = loaded_warehouse();
+        let err = w
+            .resync(Extract::new(
+                "bad",
+                vec![(Term::plain("lit"), Term::iri("p"), Term::iri("o"))],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, MdwError::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn synonym_edges_load() {
+        let mut w = MetadataWarehouse::new();
+        let n = w.load_synonym_edges().unwrap();
+        assert!(n > 0);
+        // Idempotent: re-loading adds nothing.
+        assert_eq!(w.load_synonym_edges().unwrap(), 0);
+    }
+
+    #[test]
+    fn schema_flow_and_drill_down_empty_without_schemas() {
+        let w = loaded_warehouse();
+        assert!(w.schema_flow().unwrap().is_empty());
+        assert!(w
+            .drill_down(&dwh("a"), &dwh("b"))
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! Corpus scale configuration.
+
+/// Named scale presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny corpus for unit tests (hundreds of nodes).
+    Small,
+    /// Medium corpus for integration tests (thousands of nodes).
+    Medium,
+    /// The published scale of one warehouse version: ≈130 k nodes,
+    /// ≈1.2 M edges (Section III.A).
+    Paper,
+}
+
+/// Generator configuration. All sizes are exact counts, not averages, so a
+/// `(seed, config)` pair fully determines the corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusConfig {
+    /// RNG seed; corpora with equal seed and sizes are identical.
+    pub seed: u64,
+    /// Number of applications.
+    pub applications: usize,
+    /// Tables per application.
+    pub tables_per_app: usize,
+    /// Columns per table.
+    pub columns_per_table: usize,
+    /// Stages of the DWH pipeline (Figure 2 has 3: inbound, integration,
+    /// marts). Sweepable for the Section V path-explosion experiment.
+    pub dwh_stages: usize,
+    /// Information items per DWH stage.
+    pub items_per_stage: usize,
+    /// Out-degree of `isMappedTo` from each item to the next stage
+    /// (1 = chains; >1 = the exploding DAG of Section V).
+    pub mapping_fanout: usize,
+    /// Fraction (0–100) of mappings that are reified with a rule condition.
+    pub rule_condition_pct: u8,
+    /// Users in the role subject area.
+    pub users: usize,
+    /// Roles per application.
+    pub roles_per_app: usize,
+    /// Synthetic business-concept classes (on top of the fixed banking
+    /// concepts).
+    pub concepts: usize,
+    /// Reports per application data mart (usage edges).
+    pub reports_per_app: usize,
+    /// Foreign-key-style `dm:referencesColumn` edges per application column
+    /// (edge-density knob for matching the paper's edges/node ratio).
+    pub column_ref_edges: usize,
+    /// `dm:isRelatedTo` edges per DWH item (same-stage relationships).
+    pub item_related_edges: usize,
+    /// Value domains (shared `dm:usesDomain` targets of DWH items).
+    pub domains: usize,
+    /// `dm:usesItem` edges per report.
+    pub report_uses: usize,
+    /// Include the extended subject areas of Figure 9 (data governance,
+    /// log files, physical components).
+    pub extended_scope: bool,
+}
+
+impl CorpusConfig {
+    /// A preset configuration.
+    pub fn preset(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => CorpusConfig {
+                seed: 42,
+                applications: 3,
+                tables_per_app: 2,
+                columns_per_table: 3,
+                dwh_stages: 3,
+                items_per_stage: 10,
+                mapping_fanout: 1,
+                rule_condition_pct: 50,
+                users: 5,
+                roles_per_app: 2,
+                concepts: 5,
+                reports_per_app: 1,
+                column_ref_edges: 1,
+                item_related_edges: 1,
+                domains: 5,
+                report_uses: 3,
+                extended_scope: false,
+            },
+            Scale::Medium => CorpusConfig {
+                seed: 42,
+                applications: 20,
+                tables_per_app: 5,
+                columns_per_table: 6,
+                dwh_stages: 3,
+                items_per_stage: 400,
+                mapping_fanout: 1,
+                rule_condition_pct: 30,
+                users: 100,
+                roles_per_app: 3,
+                concepts: 40,
+                reports_per_app: 3,
+                column_ref_edges: 2,
+                item_related_edges: 2,
+                domains: 20,
+                report_uses: 5,
+                extended_scope: false,
+            },
+            // Calibrated against Section III.A: ~130k nodes, ~1.2M edges.
+            Scale::Paper => CorpusConfig {
+                seed: 42,
+                applications: 280,
+                tables_per_app: 9,
+                columns_per_table: 11,
+                dwh_stages: 3,
+                items_per_stage: 16_000,
+                mapping_fanout: 3,
+                rule_condition_pct: 30,
+                users: 2_600,
+                roles_per_app: 8,
+                concepts: 300,
+                reports_per_app: 5,
+                column_ref_edges: 4,
+                item_related_edges: 4,
+                domains: 50,
+                report_uses: 15,
+                extended_scope: false,
+            },
+        }
+    }
+
+    /// Small preset.
+    pub fn small() -> Self {
+        Self::preset(Scale::Small)
+    }
+
+    /// Medium preset.
+    pub fn medium() -> Self {
+        Self::preset(Scale::Medium)
+    }
+
+    /// Paper-scale preset.
+    pub fn paper() -> Self {
+        Self::preset(Scale::Paper)
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the DWH stage count (Section V sweep).
+    pub fn with_stages(mut self, stages: usize) -> Self {
+        self.dwh_stages = stages;
+        self
+    }
+
+    /// Overrides the mapping fanout (Section V sweep).
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        self.mapping_fanout = fanout;
+        self
+    }
+
+    /// Enables the extended Figure 9 scope.
+    pub fn extended(mut self) -> Self {
+        self.extended_scope = true;
+        self
+    }
+
+    /// Scales all entity counts by an integer divisor (for sweeps between
+    /// presets). Divisor 1 is identity; larger divisors shrink the corpus.
+    pub fn shrunk_by(mut self, divisor: usize) -> Self {
+        let d = divisor.max(1);
+        self.applications = (self.applications / d).max(1);
+        self.items_per_stage = (self.items_per_stage / d).max(1);
+        self.users = (self.users / d).max(1);
+        self.concepts = (self.concepts / d).max(1);
+        self
+    }
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_grow_monotonically() {
+        let s = CorpusConfig::small();
+        let m = CorpusConfig::medium();
+        let p = CorpusConfig::paper();
+        assert!(s.applications < m.applications);
+        assert!(m.applications < p.applications);
+        assert!(m.items_per_stage < p.items_per_stage);
+    }
+
+    #[test]
+    fn builders() {
+        let c = CorpusConfig::small().with_seed(7).with_stages(6).with_fanout(3).extended();
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.dwh_stages, 6);
+        assert_eq!(c.mapping_fanout, 3);
+        assert!(c.extended_scope);
+    }
+
+    #[test]
+    fn shrunk_never_zero() {
+        let c = CorpusConfig::small().shrunk_by(1000);
+        assert!(c.applications >= 1);
+        assert!(c.items_per_stage >= 1);
+    }
+}

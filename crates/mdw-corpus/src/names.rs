@@ -1,0 +1,137 @@
+//! Name pools for the synthetic banking landscape.
+//!
+//! Two flavours, both present in the real warehouse per Section III.A:
+//! descriptive names built from banking vocabulary ("customer", "partner",
+//! "portfolio" …) and "quite cryptic" legacy names like `TCD100` ("due to
+//! technical restrictions on the length of table names in legacy systems").
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Banking-domain words used to compose descriptive names. The first few
+/// deliberately include the paper's running-example vocabulary so that a
+/// search for "customer" always has hits at every scale.
+pub const BUSINESS_WORDS: &[&str] = &[
+    "customer", "partner", "client", "account", "transaction", "payment", "portfolio",
+    "position", "balance", "trade", "order", "instrument", "security", "deposit",
+    "loan", "mortgage", "card", "branch", "advisor", "contract", "fee", "rate",
+    "currency", "settlement", "collateral", "risk", "limit", "exposure", "statement",
+    "address", "segment", "product", "channel", "booking", "ledger", "valuation",
+];
+
+/// Suffixes for column-ish names.
+pub const COLUMN_SUFFIXES: &[&str] = &["id", "code", "name", "type", "date", "amount", "flag", "key"];
+
+/// Legacy table-name prefixes (cryptic).
+pub const CRYPTIC_PREFIXES: &[&str] = &["TCD", "TKD", "XAV", "ZBR", "QPL", "TRF", "KST"];
+
+/// Role names — the paper's examples: "business owner", "business user",
+/// consultant, investment banker, accountant; IT side: administrator,
+/// support.
+pub const ROLE_NAMES: &[&str] = &[
+    "business owner", "business user", "consultant", "investment banker", "accountant",
+    "administrator", "support",
+];
+
+/// Rule-condition fragments for reified mappings.
+pub const RULE_CONDITIONS: &[&str] = &[
+    "segment = 'PB'",
+    "segment = 'IB'",
+    "currency = 'CHF'",
+    "currency = 'USD'",
+    "status = 'active'",
+    "country = 'CH'",
+    "country = 'US'",
+    "booking_center = 'ZH'",
+];
+
+/// Programming languages / third-party software for the extended (Figure 9)
+/// physical subject area.
+pub const TECHNOLOGIES: &[&str] = &[
+    "COBOL", "PL/1", "Java", "C++", "PL/SQL", "Oracle 11g", "DB2", "MQ Series", "WebSphere",
+];
+
+/// Picks one element of a slice.
+pub fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// A descriptive snake_case name like `customer_id` or
+/// `partner_balance_code`.
+pub fn descriptive(rng: &mut StdRng) -> String {
+    let w1 = pick(rng, BUSINESS_WORDS);
+    let suffix = pick(rng, COLUMN_SUFFIXES);
+    if rng.gen_bool(0.3) {
+        let w2 = pick(rng, BUSINESS_WORDS);
+        format!("{w1}_{w2}_{suffix}")
+    } else {
+        format!("{w1}_{suffix}")
+    }
+}
+
+/// A cryptic legacy name like `TCD100`.
+pub fn cryptic(rng: &mut StdRng) -> String {
+    format!("{}{}", pick(rng, CRYPTIC_PREFIXES), rng.gen_range(100..1000))
+}
+
+/// A table name: cryptic with probability `cryptic_pct`/100, else
+/// descriptive.
+pub fn table_name(rng: &mut StdRng, cryptic_pct: u8) -> String {
+    if rng.gen_range(0..100) < cryptic_pct {
+        cryptic(rng)
+    } else {
+        descriptive(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            assert_eq!(descriptive(&mut a), descriptive(&mut b));
+        }
+    }
+
+    #[test]
+    fn cryptic_names_look_legacy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let n = cryptic(&mut rng);
+            assert!(n.len() >= 6);
+            assert!(n.chars().rev().take(3).all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn descriptive_names_contain_business_words() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let n = descriptive(&mut rng);
+            assert!(BUSINESS_WORDS.iter().any(|w| n.contains(w)));
+            assert!(n.contains('_'));
+        }
+    }
+
+    #[test]
+    fn table_name_split() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let all_cryptic: Vec<_> = (0..10).map(|_| table_name(&mut rng, 100)).collect();
+        assert!(all_cryptic.iter().all(|n| n.chars().next().unwrap().is_ascii_uppercase()));
+        let all_desc: Vec<_> = (0..10).map(|_| table_name(&mut rng, 0)).collect();
+        assert!(all_desc.iter().all(|n| n.contains('_')));
+    }
+
+    #[test]
+    fn customer_is_first_class_vocabulary() {
+        // The paper's running example must always be generatable.
+        assert!(BUSINESS_WORDS.contains(&"customer"));
+        assert!(BUSINESS_WORDS.contains(&"partner"));
+        assert!(BUSINESS_WORDS.contains(&"client"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Dictionary encoding: a two-way mapping between [`Term`]s and dense
+//! integer [`TermId`]s.
+//!
+//! All triples in the store are stored as `(u64, u64, u64)` id tuples, so the
+//! dictionary is the only place that holds term strings. Ids are assigned
+//! densely in interning order, which keeps the id space compact and makes the
+//! reverse direction a simple `Vec` lookup.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::term::Term;
+
+/// A dense identifier for an interned [`Term`].
+///
+/// Ids are only meaningful relative to the [`Dictionary`] that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u64);
+
+impl TermId {
+    /// The raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An append-only interning dictionary.
+///
+/// Interning the same term twice returns the same id; ids are never reused
+/// or invalidated, so snapshots taken at different times (the historization
+/// mechanism of `mdw-core`) can share one dictionary.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a term, returning its id. Idempotent.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u64);
+        self.terms.push(term.clone());
+        self.ids.insert(term.clone(), id);
+        id
+    }
+
+    /// Interns a term by value, avoiding one clone on first insertion.
+    pub fn intern_owned(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.ids.get(&term) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u64);
+        self.terms.push(term.clone());
+        self.ids.insert(term, id);
+        id
+    }
+
+    /// Looks up an already-interned term without interning it.
+    pub fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Resolves an id back to its term.
+    pub fn term(&self, id: TermId) -> Option<&Term> {
+        self.terms.get(id.0 as usize)
+    }
+
+    /// Resolves an id, panicking on foreign ids. For internal use where the
+    /// id provably came from this dictionary.
+    pub fn term_unchecked(&self, id: TermId) -> &Term {
+        &self.terms[id.0 as usize]
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no term has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over all `(id, term)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u64), t))
+    }
+
+    /// Approximate heap size of the dictionary in bytes, used by the
+    /// historization statistics.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = self.terms.capacity() * std::mem::size_of::<Term>();
+        for term in &self.terms {
+            bytes += 2 * term_heap_bytes(term); // stored once in vec, once in map key
+        }
+        bytes += self.ids.capacity()
+            * (std::mem::size_of::<Term>() + std::mem::size_of::<TermId>());
+        bytes
+    }
+}
+
+fn term_heap_bytes(term: &Term) -> usize {
+    match term {
+        Term::Iri(s) | Term::BlankNode(s) => s.len(),
+        Term::Literal(lit) => {
+            lit.lexical.len()
+                + match &lit.kind {
+                    crate::term::LiteralKind::Plain => 0,
+                    crate::term::LiteralKind::Lang(t) => t.len(),
+                    crate::term::LiteralKind::Typed(t) => t.len(),
+                }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::iri("http://ex.org/a"));
+        let b = d.intern(&Term::iri("http://ex.org/a"));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_in_order() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::iri("a"));
+        let b = d.intern(&Term::iri("b"));
+        let c = d.intern(&Term::plain("c"));
+        assert_eq!((a.raw(), b.raw(), c.raw()), (0, 1, 2));
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut d = Dictionary::new();
+        let terms = [Term::iri("http://ex.org/a"),
+            Term::bnode("b1"),
+            Term::plain("Zurich"),
+            Term::lang("Kunde", "de"),
+            Term::integer(100)];
+        let ids: Vec<_> = terms.iter().map(|t| d.intern(t)).collect();
+        for (term, id) in terms.iter().zip(&ids) {
+            assert_eq!(d.term(*id), Some(term));
+            assert_eq!(d.lookup(term), Some(*id));
+        }
+    }
+
+    #[test]
+    fn distinct_literal_kinds_get_distinct_ids() {
+        let mut d = Dictionary::new();
+        let plain = d.intern(&Term::plain("100"));
+        let typed = d.intern(&Term::integer(100));
+        assert_ne!(plain, typed);
+    }
+
+    #[test]
+    fn lookup_missing_is_none() {
+        let d = Dictionary::new();
+        assert_eq!(d.lookup(&Term::iri("nope")), None);
+        assert_eq!(d.term(TermId(0)), None);
+    }
+
+    #[test]
+    fn intern_owned_matches_intern() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::iri("x"));
+        let b = d.intern_owned(Term::iri("x"));
+        assert_eq!(a, b);
+        let c = d.intern_owned(Term::iri("y"));
+        assert_eq!(c.raw(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut d = Dictionary::new();
+        d.intern(&Term::iri("a"));
+        d.intern(&Term::iri("b"));
+        let collected: Vec<_> = d.iter().map(|(id, t)| (id.raw(), t.label().to_string())).collect();
+        assert_eq!(collected, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+
+    #[test]
+    fn approx_bytes_grows() {
+        let mut d = Dictionary::new();
+        let before = d.approx_bytes();
+        d.intern(&Term::iri("http://example.org/some/very/long/iri#LocalName"));
+        assert!(d.approx_bytes() > before);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types for the RDF substrate.
+
+use std::fmt;
+
+/// Errors raised by the RDF substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A model with this name already exists in the store.
+    ModelExists(String),
+    /// No model with this name exists in the store.
+    UnknownModel(String),
+    /// A term id did not resolve in the dictionary (corruption or a foreign
+    /// dictionary's id).
+    UnknownTermId(u64),
+    /// A triple was rejected during staging validation.
+    InvalidTriple {
+        /// Human-readable reason for the rejection.
+        reason: String,
+    },
+    /// A parse error in the Turtle/N-Triples subset parser.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::ModelExists(name) => write!(f, "model already exists: {name}"),
+            RdfError::UnknownModel(name) => write!(f, "unknown model: {name}"),
+            RdfError::UnknownTermId(id) => write!(f, "unknown term id: {id}"),
+            RdfError::InvalidTriple { reason } => write!(f, "invalid triple: {reason}"),
+            RdfError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            RdfError::UnknownModel("X".into()).to_string(),
+            "unknown model: X"
+        );
+        assert_eq!(
+            RdfError::Parse { line: 3, message: "bad IRI".into() }.to_string(),
+            "parse error at line 3: bad IRI"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # mdw-rdf — RDF substrate for the meta-data warehouse
+//!
+//! This crate is the storage substrate of the Credit Suisse meta-data
+//! warehouse reproduction (ICDE 2012). The paper stores all meta-data of the
+//! bank as one big labeled RDF graph inside Oracle's Spatial/Semantic option;
+//! this crate provides the equivalent building blocks in pure Rust:
+//!
+//! * [`term::Term`] — IRIs, blank nodes, and plain/typed/language literals,
+//! * [`dict::Dictionary`] — a two-way interning dictionary mapping terms to
+//!   dense integer ids (dictionary encoding, as used by every serious triple
+//!   store),
+//! * [`index::TripleIndex`] — three covering index permutations (SPO, POS,
+//!   OSP) supporting range scans for every bound-prefix access pattern,
+//! * [`store::Store`] — named RDF models (the paper queries
+//!   `SEM_MODELS('DWH_CURR')`) over a shared dictionary,
+//! * [`staging::StagingArea`] — the staging-table + validating bulk-load
+//!   pipeline of the paper's Figure 4,
+//! * [`turtle`] — a Turtle/N-Triples subset parser and serializer used as the
+//!   ontology and fact exchange format (the Protégé-export substitute),
+//! * [`vocab`] — the RDF/RDFS/OWL/XSD vocabulary plus the Credit Suisse
+//!   namespaces (`dm:`, `dt:`) that appear in the paper's SPARQL listings.
+//!
+//! Everything above the substrate (inference, SPARQL, the warehouse services)
+//! lives in the sibling crates `mdw-reason`, `mdw-sparql`, and `mdw-core`.
+
+pub mod dict;
+pub mod error;
+pub mod index;
+pub mod persist;
+pub mod staging;
+pub mod store;
+pub mod term;
+pub mod triple;
+pub mod turtle;
+pub mod vocab;
+
+pub use dict::{Dictionary, TermId};
+pub use error::RdfError;
+pub use index::TripleIndex;
+pub use persist::{load_store, save_store, SaveReport};
+pub use staging::{LoadReport, StagingArea};
+pub use store::{Graph, Store, TripleSource};
+pub use term::{Literal, LiteralKind, Term};
+pub use triple::{Triple, TriplePattern};

@@ -1,0 +1,214 @@
+//! Store persistence: saving and loading a whole [`Store`] as N-Triples
+//! files on disk.
+//!
+//! The paper's warehouse lives in Oracle tables; the pure-Rust equivalent of
+//! "the database survives the process" is a directory layout:
+//!
+//! ```text
+//! <dir>/manifest.tsv     one line per model:  <file-stem> \t <model name>
+//! <dir>/model_0.nt       the model's triples as N-Triples
+//! <dir>/model_1.nt       …
+//! ```
+//!
+//! N-Triples is self-contained (no shared dictionary on disk); loading
+//! re-interns every term, so a save/load round trip preserves graph
+//! contents but not term-id assignments — exactly the guarantee the
+//! warehouse needs (nothing persists raw ids).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::error::RdfError;
+use crate::store::Store;
+use crate::turtle;
+
+/// What a save wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaveReport {
+    /// `(model name, triples written)` per model.
+    pub models: Vec<(String, usize)>,
+}
+
+impl SaveReport {
+    /// Total triples written.
+    pub fn total(&self) -> usize {
+        self.models.iter().map(|(_, n)| n).sum()
+    }
+}
+
+fn io_err(context: &str, e: std::io::Error) -> RdfError {
+    RdfError::InvalidTriple { reason: format!("persistence I/O ({context}): {e}") }
+}
+
+/// Saves every model of the store into `dir` (created if missing).
+/// Any previous manifest in the directory is overwritten.
+pub fn save_store(store: &Store, dir: &Path) -> Result<SaveReport, RdfError> {
+    fs::create_dir_all(dir).map_err(|e| io_err("create dir", e))?;
+    let mut manifest = String::new();
+    let mut models = Vec::new();
+    for (i, name) in store.model_names().into_iter().enumerate() {
+        let stem = format!("model_{i}");
+        let graph = store.model(name)?;
+        let text = turtle::graph_to_ntriples(graph, store.dict());
+        let path = dir.join(format!("{stem}.nt"));
+        let mut file = fs::File::create(&path).map_err(|e| io_err("create model file", e))?;
+        file.write_all(text.as_bytes())
+            .map_err(|e| io_err("write model file", e))?;
+        manifest.push_str(&format!("{stem}\t{name}\n"));
+        models.push((name.to_string(), graph.len()));
+    }
+    fs::write(dir.join("manifest.tsv"), manifest).map_err(|e| io_err("write manifest", e))?;
+    Ok(SaveReport { models })
+}
+
+/// Loads a store previously written by [`save_store`].
+pub fn load_store(dir: &Path) -> Result<Store, RdfError> {
+    let manifest = fs::read_to_string(dir.join("manifest.tsv"))
+        .map_err(|e| io_err("read manifest", e))?;
+    let mut store = Store::new();
+    for (lineno, line) in manifest.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (stem, name) = line.split_once('\t').ok_or_else(|| RdfError::Parse {
+            line: lineno + 1,
+            message: format!("malformed manifest line: {line:?}"),
+        })?;
+        let text = fs::read_to_string(dir.join(format!("{stem}.nt")))
+            .map_err(|e| io_err("read model file", e))?;
+        let doc = turtle::parse(&text)?;
+        store.create_model(name)?;
+        for (s, p, o) in doc.triples {
+            store.insert(name, &s, &p, &o)?;
+        }
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+    use crate::vocab;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mdw-persist-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_store() -> Store {
+        let mut store = Store::new();
+        store.create_model("DWH_CURR").unwrap();
+        store.create_model("HIST_2009.1").unwrap();
+        let data: Vec<(&str, Term, Term, Term)> = vec![
+            (
+                "DWH_CURR",
+                Term::iri("http://ex.org/a"),
+                Term::iri(vocab::rdf::TYPE),
+                Term::iri("http://ex.org/Customer"),
+            ),
+            (
+                "DWH_CURR",
+                Term::iri("http://ex.org/a"),
+                Term::iri(vocab::cs::HAS_NAME),
+                Term::plain("a name with \"quotes\" and\nnewlines"),
+            ),
+            (
+                "HIST_2009.1",
+                Term::iri("http://ex.org/old"),
+                Term::iri("http://ex.org/p"),
+                Term::integer(42),
+            ),
+        ];
+        for (m, s, p, o) in data {
+            store.insert(m, &s, &p, &o).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let store = sample_store();
+        let report = save_store(&store, &dir).unwrap();
+        assert_eq!(report.total(), 3);
+        assert_eq!(report.models.len(), 2);
+
+        let loaded = load_store(&dir).unwrap();
+        assert_eq!(loaded.model_names(), store.model_names());
+        for name in store.model_names() {
+            let original: Vec<String> = {
+                let g = store.model(name).unwrap();
+                g.iter()
+                    .map(|t| {
+                        let (s, p, o) = store.decode(t).unwrap();
+                        format!("{s} {p} {o}")
+                    })
+                    .collect()
+            };
+            let reloaded: Vec<String> = {
+                let g = loaded.model(name).unwrap();
+                g.iter()
+                    .map(|t| {
+                        let (s, p, o) = loaded.decode(t).unwrap();
+                        format!("{s} {p} {o}")
+                    })
+                    .collect()
+            };
+            let mut a = original.clone();
+            let mut b = reloaded.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "model {name}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_overwrites_previous() {
+        let dir = temp_dir("overwrite");
+        let store = sample_store();
+        save_store(&store, &dir).unwrap();
+        // Save a smaller store into the same directory.
+        let mut small = Store::new();
+        small.create_model("only").unwrap();
+        small
+            .insert("only", &Term::iri("a"), &Term::iri("p"), &Term::iri("b"))
+            .unwrap();
+        save_store(&small, &dir).unwrap();
+        let loaded = load_store(&dir).unwrap();
+        assert_eq!(loaded.model_names(), vec!["only"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_dir_fails() {
+        let dir = temp_dir("missing");
+        assert!(load_store(&dir).is_err());
+    }
+
+    #[test]
+    fn load_rejects_malformed_manifest() {
+        let dir = temp_dir("badmanifest");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("manifest.tsv"), "no-tab-here\n").unwrap();
+        let err = load_store(&dir).unwrap_err();
+        assert!(matches!(err, RdfError::Parse { .. }));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let dir = temp_dir("empty");
+        let store = Store::new();
+        save_store(&store, &dir).unwrap();
+        let loaded = load_store(&dir).unwrap();
+        assert!(loaded.model_names().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

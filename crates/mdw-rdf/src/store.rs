@@ -1,0 +1,457 @@
+//! The RDF store: named models over a shared dictionary.
+//!
+//! The paper's SPARQL queries address a named model —
+//! `SEM_MODELS('DWH_CURR')` — inside one Oracle semantic store. [`Store`]
+//! mirrors that: one [`Dictionary`] shared by any number of named [`Graph`]s
+//! ("models"). The historization mechanism of `mdw-core` keeps one model per
+//! release version in the same store, which is exactly why the dictionary is
+//! shared and append-only.
+
+use std::collections::{BTreeMap, HashSet};
+
+use parking_lot::RwLock;
+
+use crate::dict::{Dictionary, TermId};
+use crate::error::RdfError;
+use crate::index::TripleIndex;
+use crate::term::Term;
+use crate::triple::{Triple, TriplePattern};
+
+/// Anything that can answer triple-pattern scans.
+///
+/// Both a plain [`Graph`] and the entailment-aware view in `mdw-reason`
+/// implement this, so the SPARQL executor is agnostic to whether a query
+/// opted into a rulebase (the paper's "OWL indexes").
+pub trait TripleSource {
+    /// All triples matching the pattern.
+    fn scan_pattern(&self, pattern: TriplePattern) -> Box<dyn Iterator<Item = Triple> + '_>;
+
+    /// Whether the exact triple is present.
+    fn contains_triple(&self, t: Triple) -> bool {
+        self.scan_pattern(TriplePattern::exact(t)).next().is_some()
+    }
+
+    /// Estimated (possibly capped) number of matches; used by the join
+    /// planner for selectivity ordering.
+    fn estimate(&self, pattern: TriplePattern, cap: usize) -> usize {
+        self.scan_pattern(pattern).take(cap).count()
+    }
+
+    /// Total triple count.
+    fn len_triples(&self) -> usize;
+}
+
+/// A single named RDF model (a graph of encoded triples).
+#[derive(Debug, Default, Clone)]
+pub struct Graph {
+    index: TripleIndex,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an encoded triple; `true` if it was new.
+    pub fn insert(&mut self, t: Triple) -> bool {
+        self.index.insert(t)
+    }
+
+    /// Removes an encoded triple; `true` if it was present.
+    pub fn remove(&mut self, t: Triple) -> bool {
+        self.index.remove(t)
+    }
+
+    /// Whether the triple is present.
+    pub fn contains(&self, t: Triple) -> bool {
+        self.index.contains(t)
+    }
+
+    /// Number of triples (edges, in the paper's counting).
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Pattern scan over the graph.
+    pub fn scan(&self, pattern: TriplePattern) -> impl Iterator<Item = Triple> + '_ {
+        self.index.scan(pattern)
+    }
+
+    /// All triples in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.index.iter()
+    }
+
+    /// Merge all triples of `other` into `self`; returns new-triple count.
+    pub fn merge(&mut self, other: &Graph) -> usize {
+        self.index.merge(&other.index)
+    }
+
+    /// The underlying index (used by `mdw-reason` to overlay entailments).
+    pub fn index(&self) -> &TripleIndex {
+        &self.index
+    }
+
+    /// Graph statistics in the paper's node/edge vocabulary.
+    pub fn stats(&self) -> GraphStats {
+        let mut subjects = HashSet::new();
+        let mut predicates = HashSet::new();
+        let mut objects = HashSet::new();
+        for t in self.index.iter() {
+            subjects.insert(t.s);
+            predicates.insert(t.p);
+            objects.insert(t.o);
+        }
+        let nodes = subjects.union(&objects).count();
+        GraphStats {
+            edges: self.index.len(),
+            nodes,
+            distinct_subjects: subjects.len(),
+            distinct_predicates: predicates.len(),
+            distinct_objects: objects.len(),
+            approx_bytes: self.index.approx_bytes(),
+        }
+    }
+}
+
+impl TripleSource for Graph {
+    fn scan_pattern(&self, pattern: TriplePattern) -> Box<dyn Iterator<Item = Triple> + '_> {
+        Box::new(self.index.scan(pattern))
+    }
+
+    fn contains_triple(&self, t: Triple) -> bool {
+        self.index.contains(t)
+    }
+
+    fn estimate(&self, pattern: TriplePattern, cap: usize) -> usize {
+        self.index.count(pattern, Some(cap))
+    }
+
+    fn len_triples(&self) -> usize {
+        self.index.len()
+    }
+}
+
+/// Node/edge statistics of a graph, phrased the way the paper reports scale
+/// ("approximately 130,000 nodes and about 1.2 million edges in every
+/// version").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Triple count.
+    pub edges: usize,
+    /// Distinct subjects ∪ objects.
+    pub nodes: usize,
+    /// Distinct subjects.
+    pub distinct_subjects: usize,
+    /// Distinct predicates.
+    pub distinct_predicates: usize,
+    /// Distinct objects.
+    pub distinct_objects: usize,
+    /// Approximate index heap bytes.
+    pub approx_bytes: usize,
+}
+
+/// A store of named models sharing one dictionary.
+#[derive(Debug, Default)]
+pub struct Store {
+    dict: Dictionary,
+    models: BTreeMap<String, Graph>,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Mutable access to the dictionary (interning during load).
+    pub fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// Creates a new, empty model. Fails if the name is taken.
+    pub fn create_model(&mut self, name: &str) -> Result<(), RdfError> {
+        if self.models.contains_key(name) {
+            return Err(RdfError::ModelExists(name.to_string()));
+        }
+        self.models.insert(name.to_string(), Graph::new());
+        Ok(())
+    }
+
+    /// Drops a model; `true` if it existed.
+    pub fn drop_model(&mut self, name: &str) -> bool {
+        self.models.remove(name).is_some()
+    }
+
+    /// Looks up a model by name.
+    pub fn model(&self, name: &str) -> Result<&Graph, RdfError> {
+        self.models
+            .get(name)
+            .ok_or_else(|| RdfError::UnknownModel(name.to_string()))
+    }
+
+    /// Mutable model lookup.
+    pub fn model_mut(&mut self, name: &str) -> Result<&mut Graph, RdfError> {
+        self.models
+            .get_mut(name)
+            .ok_or_else(|| RdfError::UnknownModel(name.to_string()))
+    }
+
+    /// All model names, sorted.
+    pub fn model_names(&self) -> Vec<&str> {
+        self.models.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Whether a model exists.
+    pub fn has_model(&self, name: &str) -> bool {
+        self.models.contains_key(name)
+    }
+
+    /// Interns three terms and inserts the triple into a model.
+    /// Creates the model's entry in the dictionary but *not* the model itself.
+    pub fn insert(
+        &mut self,
+        model: &str,
+        s: &Term,
+        p: &Term,
+        o: &Term,
+    ) -> Result<bool, RdfError> {
+        if !s.is_subject_capable() {
+            return Err(RdfError::InvalidTriple {
+                reason: format!("literal subject: {s}"),
+            });
+        }
+        if !p.is_iri() {
+            return Err(RdfError::InvalidTriple {
+                reason: format!("non-IRI predicate: {p}"),
+            });
+        }
+        let t = Triple::new(self.dict.intern(s), self.dict.intern(p), self.dict.intern(o));
+        let graph = self
+            .models
+            .get_mut(model)
+            .ok_or_else(|| RdfError::UnknownModel(model.to_string()))?;
+        Ok(graph.insert(t))
+    }
+
+    /// Encodes a term without inserting anything (read-side lookups).
+    pub fn encode(&self, term: &Term) -> Option<TermId> {
+        self.dict.lookup(term)
+    }
+
+    /// Decodes a triple into its terms.
+    pub fn decode(&self, t: Triple) -> Result<(&Term, &Term, &Term), RdfError> {
+        let s = self.dict.term(t.s).ok_or(RdfError::UnknownTermId(t.s.0))?;
+        let p = self.dict.term(t.p).ok_or(RdfError::UnknownTermId(t.p.0))?;
+        let o = self.dict.term(t.o).ok_or(RdfError::UnknownTermId(t.o.0))?;
+        Ok((s, p, o))
+    }
+
+    /// Builds a pattern from optional terms, resolving them in the
+    /// dictionary. Returns `None` if a bound term is unknown — i.e. the
+    /// pattern can match nothing.
+    pub fn pattern(
+        &self,
+        s: Option<&Term>,
+        p: Option<&Term>,
+        o: Option<&Term>,
+    ) -> Option<TriplePattern> {
+        let resolve = |t: Option<&Term>| -> Option<Option<TermId>> {
+            match t {
+                None => Some(None),
+                Some(term) => self.dict.lookup(term).map(Some),
+            }
+        };
+        Some(TriplePattern {
+            s: resolve(s)?,
+            p: resolve(p)?,
+            o: resolve(o)?,
+        })
+    }
+}
+
+/// A thread-safe store wrapper for the concurrent-reader benchmarks
+/// (the paper's warehouse serves "a still growing community of business and
+/// IT users"; reads dominate between releases).
+#[derive(Debug, Default)]
+pub struct SharedStore {
+    inner: RwLock<Store>,
+}
+
+impl SharedStore {
+    /// Wraps a store.
+    pub fn new(store: Store) -> Self {
+        SharedStore { inner: RwLock::new(store) }
+    }
+
+    /// Runs a closure with shared read access.
+    pub fn read<R>(&self, f: impl FnOnce(&Store) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Runs a closure with exclusive write access.
+    pub fn write<R>(&self, f: impl FnOnce(&mut Store) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    fn store_with_model() -> Store {
+        let mut s = Store::new();
+        s.create_model("DWH_CURR").unwrap();
+        s
+    }
+
+    #[test]
+    fn create_duplicate_model_fails() {
+        let mut s = store_with_model();
+        assert_eq!(
+            s.create_model("DWH_CURR"),
+            Err(RdfError::ModelExists("DWH_CURR".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_model_fails() {
+        let s = Store::new();
+        assert!(matches!(s.model("nope"), Err(RdfError::UnknownModel(_))));
+    }
+
+    #[test]
+    fn insert_and_scan_round_trip() {
+        let mut s = store_with_model();
+        let john = Term::iri("http://ex.org/john");
+        let customer = Term::iri("http://ex.org/Customer");
+        assert!(s
+            .insert("DWH_CURR", &john, &vocab::rdf_type(), &customer)
+            .unwrap());
+        // duplicate insert
+        assert!(!s
+            .insert("DWH_CURR", &john, &vocab::rdf_type(), &customer)
+            .unwrap());
+
+        let pat = s
+            .pattern(Some(&john), Some(&vocab::rdf_type()), None)
+            .unwrap();
+        let hits: Vec<_> = s.model("DWH_CURR").unwrap().scan(pat).collect();
+        assert_eq!(hits.len(), 1);
+        let (ds, dp, do_) = s.decode(hits[0]).unwrap();
+        assert_eq!(ds, &john);
+        assert_eq!(dp, &vocab::rdf_type());
+        assert_eq!(do_, &customer);
+    }
+
+    #[test]
+    fn literal_subject_rejected() {
+        let mut s = store_with_model();
+        let err = s
+            .insert(
+                "DWH_CURR",
+                &Term::plain("lit"),
+                &vocab::rdf_type(),
+                &Term::iri("http://ex.org/C"),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RdfError::InvalidTriple { .. }));
+    }
+
+    #[test]
+    fn non_iri_predicate_rejected() {
+        let mut s = store_with_model();
+        let err = s
+            .insert(
+                "DWH_CURR",
+                &Term::iri("http://ex.org/a"),
+                &Term::plain("p"),
+                &Term::iri("http://ex.org/b"),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RdfError::InvalidTriple { .. }));
+    }
+
+    #[test]
+    fn pattern_with_unknown_term_is_none() {
+        let s = store_with_model();
+        assert!(s.pattern(Some(&Term::iri("unknown")), None, None).is_none());
+    }
+
+    #[test]
+    fn stats_count_nodes_and_edges() {
+        let mut s = store_with_model();
+        let a = Term::iri("a");
+        let b = Term::iri("b");
+        let c = Term::iri("c");
+        let p = Term::iri("p");
+        s.insert("DWH_CURR", &a, &p, &b).unwrap();
+        s.insert("DWH_CURR", &b, &p, &c).unwrap();
+        let stats = s.model("DWH_CURR").unwrap().stats();
+        assert_eq!(stats.edges, 2);
+        assert_eq!(stats.nodes, 3); // a, b, c — p is only a predicate
+        assert_eq!(stats.distinct_predicates, 1);
+    }
+
+    #[test]
+    fn model_names_sorted() {
+        let mut s = Store::new();
+        s.create_model("b").unwrap();
+        s.create_model("a").unwrap();
+        assert_eq!(s.model_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn drop_model() {
+        let mut s = store_with_model();
+        assert!(s.drop_model("DWH_CURR"));
+        assert!(!s.drop_model("DWH_CURR"));
+        assert!(!s.has_model("DWH_CURR"));
+    }
+
+    #[test]
+    fn shared_store_read_write() {
+        let shared = SharedStore::new(store_with_model());
+        shared.write(|s| {
+            s.insert(
+                "DWH_CURR",
+                &Term::iri("a"),
+                &Term::iri("p"),
+                &Term::iri("b"),
+            )
+            .unwrap();
+        });
+        let n = shared.read(|s| s.model("DWH_CURR").unwrap().len());
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn graph_merge() {
+        let mut s = Store::new();
+        s.create_model("v1").unwrap();
+        s.create_model("v2").unwrap();
+        let a = Term::iri("a");
+        let p = Term::iri("p");
+        let b = Term::iri("b");
+        let c = Term::iri("c");
+        s.insert("v1", &a, &p, &b).unwrap();
+        s.insert("v2", &a, &p, &b).unwrap();
+        s.insert("v2", &a, &p, &c).unwrap();
+        let v2 = s.model("v2").unwrap().clone();
+        let added = s.model_mut("v1").unwrap().merge(&v2);
+        assert_eq!(added, 1);
+        assert_eq!(s.model("v1").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! The entailment-aware graph view.
+//!
+//! [`EntailedGraph`] unions a base graph with the derived triples of a
+//! [`Materialization`](crate::engine::Materialization). It implements
+//! [`TripleSource`], so the SPARQL executor can run over it exactly as it
+//! runs over a plain graph — this is what "the query references the OWL
+//! index" means in the paper: same query shape, denser graph.
+
+use mdw_rdf::index::TripleIndex;
+use mdw_rdf::store::{Graph, TripleSource};
+use mdw_rdf::triple::{Triple, TriplePattern};
+
+/// A read-only union of a base graph and an entailment index.
+///
+/// The two are disjoint by construction (the engine never stores an asserted
+/// triple in the derived index), so chained scans yield no duplicates.
+#[derive(Debug, Clone, Copy)]
+pub struct EntailedGraph<'a> {
+    base: &'a Graph,
+    derived: &'a TripleIndex,
+}
+
+impl<'a> EntailedGraph<'a> {
+    /// Creates the view.
+    pub fn new(base: &'a Graph, derived: &'a TripleIndex) -> Self {
+        EntailedGraph { base, derived }
+    }
+
+    /// The asserted-facts part.
+    pub fn base(&self) -> &'a Graph {
+        self.base
+    }
+
+    /// The derived part (the semantic index).
+    pub fn derived(&self) -> &'a TripleIndex {
+        self.derived
+    }
+
+    /// Pattern scan over base ∪ derived.
+    pub fn scan(&self, pattern: TriplePattern) -> impl Iterator<Item = Triple> + 'a {
+        self.base.scan(pattern).chain(self.derived.scan(pattern))
+    }
+
+    /// Total triple count (base + derived).
+    pub fn len(&self) -> usize {
+        self.base.len() + self.derived.len()
+    }
+
+    /// True if both parts are empty.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty() && self.derived.is_empty()
+    }
+
+    /// Whether the triple is asserted or derived.
+    pub fn contains(&self, t: Triple) -> bool {
+        self.base.contains(t) || self.derived.contains(t)
+    }
+}
+
+impl TripleSource for EntailedGraph<'_> {
+    fn scan_pattern(&self, pattern: TriplePattern) -> Box<dyn Iterator<Item = Triple> + '_> {
+        Box::new(self.base.scan(pattern).chain(self.derived.scan(pattern)))
+    }
+
+    fn contains_triple(&self, t: Triple) -> bool {
+        self.contains(t)
+    }
+
+    fn estimate(&self, pattern: TriplePattern, cap: usize) -> usize {
+        let base = self.base.index().count(pattern, Some(cap));
+        if base >= cap {
+            return base;
+        }
+        base + self.derived.count(pattern, Some(cap - base))
+    }
+
+    fn len_triples(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Materialization;
+    use crate::rulebase::Rulebase;
+    use mdw_rdf::store::Store;
+    use mdw_rdf::term::Term;
+    use mdw_rdf::vocab;
+
+    fn setup() -> (Store, Materialization) {
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        let rb = Rulebase::owlprime(store.dict_mut());
+        for (s, p, o) in [
+            ("Individual", vocab::rdfs::SUB_CLASS_OF, "Party"),
+            ("john", vocab::rdf::TYPE, "Individual"),
+        ] {
+            store
+                .insert("m", &Term::iri(s), &Term::iri(p), &Term::iri(o))
+                .unwrap();
+        }
+        let m = Materialization::materialize(store.model("m").unwrap(), &rb, store.dict());
+        (store, m)
+    }
+
+    #[test]
+    fn view_sees_base_and_derived() {
+        let (store, m) = setup();
+        let g = store.model("m").unwrap();
+        let view = EntailedGraph::new(g, m.derived());
+
+        let john = store.encode(&Term::iri("john")).unwrap();
+        let ty = store.encode(&Term::iri(vocab::rdf::TYPE)).unwrap();
+        let types: Vec<_> = view
+            .scan(TriplePattern::with_sp(john, ty))
+            .map(|t| t.o)
+            .collect();
+        // Asserted Individual + derived Party.
+        assert_eq!(types.len(), 2);
+        assert!(view.len() > g.len());
+    }
+
+    #[test]
+    fn base_only_scan_misses_derived() {
+        let (store, m) = setup();
+        let g = store.model("m").unwrap();
+        let john = store.encode(&Term::iri("john")).unwrap();
+        let ty = store.encode(&Term::iri(vocab::rdf::TYPE)).unwrap();
+        let party = store.encode(&Term::iri("Party")).unwrap();
+        let derived_triple = mdw_rdf::triple::Triple::new(john, ty, party);
+        assert!(!g.contains(derived_triple));
+        let view = EntailedGraph::new(g, m.derived());
+        assert!(view.contains(derived_triple));
+    }
+
+    #[test]
+    fn no_duplicates_in_union_scan() {
+        let (store, m) = setup();
+        let g = store.model("m").unwrap();
+        let view = EntailedGraph::new(g, m.derived());
+        let mut all: Vec<_> = view.scan(TriplePattern::any()).collect();
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+
+    #[test]
+    fn estimate_caps() {
+        let (store, m) = setup();
+        let g = store.model("m").unwrap();
+        let view = EntailedGraph::new(g, m.derived());
+        assert_eq!(view.estimate(TriplePattern::any(), 1), 1);
+        assert_eq!(view.estimate(TriplePattern::any(), 1000), view.len());
+    }
+}

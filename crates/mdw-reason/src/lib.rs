@@ -1,0 +1,34 @@
+//! # mdw-reason — rulebase inference for the meta-data warehouse
+//!
+//! The paper loads its meta-data graph into Oracle's semantic store and
+//! builds *semantic indexes* with the `OWLPRIME` rulebase: the indexes "read
+//! all relationships (meta-data schema and hierarchies) and apply them on the
+//! basic facts. The resulting derived RDF triples … are included in the
+//! indexes. In fact, the indexes add additional edges to the meta-data graph
+//! and therefore increase its density." Crucially, "these derived RDF triples
+//! do only exist through the indexes" — a query that does not name the
+//! rulebase sees only the asserted facts.
+//!
+//! This crate reproduces that design:
+//!
+//! * [`rule::Rule`] — datalog-style rules over triple patterns,
+//! * [`rulebase::Rulebase`] — the RDFS core plus the OWLPRIME subset the
+//!   paper relies on (subclass/subproperty transitivity and inheritance,
+//!   domain/range, symmetric/transitive/inverse properties, equivalence,
+//!   `owl:sameAs`),
+//! * [`engine`] — semi-naive forward chaining that materializes derived
+//!   triples into a separate [`TripleIndex`](mdw_rdf::TripleIndex) (the
+//!   "semantic index"), with incremental extension when new facts arrive,
+//! * [`entailed::EntailedGraph`] — a [`TripleSource`](mdw_rdf::TripleSource)
+//!   view unioning a base graph with its entailment index, which is what a
+//!   query gets when it opts into `SEM_RULEBASES('OWLPRIME')`.
+
+pub mod engine;
+pub mod entailed;
+pub mod rule;
+pub mod rulebase;
+
+pub use engine::{Materialization, MaterializeStats};
+pub use entailed::EntailedGraph;
+pub use rule::{Rule, RuleAtom, RuleTerm};
+pub use rulebase::Rulebase;

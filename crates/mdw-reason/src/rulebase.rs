@@ -1,0 +1,221 @@
+//! The OWLPRIME-subset rulebase.
+//!
+//! Oracle's `OWLPRIME` is a pragmatic OWL fragment chosen for scalable
+//! forward-chaining. The paper's warehouse relies on exactly the parts
+//! reproduced here: class/property hierarchies (RDFS), domain typing, and the
+//! OWL property characteristics it calls out (`isRelatedTo` is symmetric;
+//! mapping-chain reasoning benefits from transitivity and inverses).
+
+use mdw_rdf::dict::Dictionary;
+use mdw_rdf::term::Term;
+use mdw_rdf::vocab;
+
+use crate::rule::dsl::{atom, c, v};
+use crate::rule::Rule;
+
+/// A named collection of inference rules, bound to a dictionary.
+#[derive(Debug, Clone)]
+pub struct Rulebase {
+    /// Rulebase name — the paper's queries say `SEM_RULEBASES('OWLPRIME')`.
+    pub name: &'static str,
+    /// The rules.
+    pub rules: Vec<Rule>,
+}
+
+impl Rulebase {
+    /// Builds the RDFS-only rulebase (hierarchy + domain/range reasoning).
+    pub fn rdfs(dict: &mut Dictionary) -> Self {
+        let sub_class = c(dict.intern(&Term::iri(vocab::rdfs::SUB_CLASS_OF)));
+        let sub_prop = c(dict.intern(&Term::iri(vocab::rdfs::SUB_PROPERTY_OF)));
+        let domain = c(dict.intern(&Term::iri(vocab::rdfs::DOMAIN)));
+        let range = c(dict.intern(&Term::iri(vocab::rdfs::RANGE)));
+        let ty = c(dict.intern(&Term::iri(vocab::rdf::TYPE)));
+
+        let rules = vec![
+            // rdfs11: subClassOf is transitive.
+            Rule::new(
+                "rdfs11-subclass-transitivity",
+                vec![atom(v(0), sub_class, v(1)), atom(v(1), sub_class, v(2))],
+                atom(v(0), sub_class, v(2)),
+            ),
+            // rdfs9: members of a subclass are members of the superclass.
+            Rule::new(
+                "rdfs9-type-inheritance",
+                vec![atom(v(0), ty, v(1)), atom(v(1), sub_class, v(2))],
+                atom(v(0), ty, v(2)),
+            ),
+            // rdfs5: subPropertyOf is transitive.
+            Rule::new(
+                "rdfs5-subproperty-transitivity",
+                vec![atom(v(0), sub_prop, v(1)), atom(v(1), sub_prop, v(2))],
+                atom(v(0), sub_prop, v(2)),
+            ),
+            // rdfs7: statements propagate up the property hierarchy.
+            Rule::new(
+                "rdfs7-subproperty-inheritance",
+                vec![atom(v(0), v(1), v(2)), atom(v(1), sub_prop, v(3))],
+                atom(v(0), v(3), v(2)),
+            ),
+            // rdfs2: domain typing.
+            Rule::new(
+                "rdfs2-domain",
+                vec![atom(v(1), domain, v(3)), atom(v(0), v(1), v(2))],
+                atom(v(0), ty, v(3)),
+            ),
+            // rdfs3: range typing. Restricted to IRI objects at evaluation
+            // time is unnecessary here: literals never appear in subject
+            // position of a derived rdf:type triple's *subject*, but v(2) is
+            // the object; the engine filters literal-subject heads.
+            Rule::new(
+                "rdfs3-range",
+                vec![atom(v(1), range, v(3)), atom(v(0), v(1), v(2))],
+                atom(v(2), ty, v(3)),
+            ),
+        ];
+        Rulebase { name: "RDFS", rules }
+    }
+
+    /// Builds the OWLPRIME-subset rulebase: RDFS plus the OWL property
+    /// characteristics the paper's warehouse uses.
+    pub fn owlprime(dict: &mut Dictionary) -> Self {
+        let mut base = Self::rdfs(dict);
+
+        let ty = c(dict.intern(&Term::iri(vocab::rdf::TYPE)));
+        let sub_class = c(dict.intern(&Term::iri(vocab::rdfs::SUB_CLASS_OF)));
+        let sub_prop = c(dict.intern(&Term::iri(vocab::rdfs::SUB_PROPERTY_OF)));
+        let symmetric = c(dict.intern(&Term::iri(vocab::owl::SYMMETRIC_PROPERTY)));
+        let transitive = c(dict.intern(&Term::iri(vocab::owl::TRANSITIVE_PROPERTY)));
+        let inverse_of = c(dict.intern(&Term::iri(vocab::owl::INVERSE_OF)));
+        let same_as = c(dict.intern(&Term::iri(vocab::owl::SAME_AS)));
+        let eq_class = c(dict.intern(&Term::iri(vocab::owl::EQUIVALENT_CLASS)));
+        let eq_prop = c(dict.intern(&Term::iri(vocab::owl::EQUIVALENT_PROPERTY)));
+
+        base.rules.extend(vec![
+            // owl: symmetric properties (the paper's isRelatedTo example).
+            Rule::new(
+                "owl-symmetric",
+                vec![atom(v(1), ty, symmetric), atom(v(0), v(1), v(2))],
+                atom(v(2), v(1), v(0)),
+            ),
+            // owl: transitive properties.
+            Rule::new(
+                "owl-transitive",
+                vec![
+                    atom(v(1), ty, transitive),
+                    atom(v(0), v(1), v(2)),
+                    atom(v(2), v(1), v(3)),
+                ],
+                atom(v(0), v(1), v(3)),
+            ),
+            // owl: inverseOf, both directions.
+            Rule::new(
+                "owl-inverse-fwd",
+                vec![atom(v(1), inverse_of, v(3)), atom(v(0), v(1), v(2))],
+                atom(v(2), v(3), v(0)),
+            ),
+            Rule::new(
+                "owl-inverse-bwd",
+                vec![atom(v(1), inverse_of, v(3)), atom(v(0), v(3), v(2))],
+                atom(v(2), v(1), v(0)),
+            ),
+            // owl: equivalentClass ⟺ mutual subClassOf.
+            Rule::new(
+                "owl-eqclass-fwd",
+                vec![atom(v(0), eq_class, v(1))],
+                atom(v(0), sub_class, v(1)),
+            ),
+            Rule::new(
+                "owl-eqclass-bwd",
+                vec![atom(v(0), eq_class, v(1))],
+                atom(v(1), sub_class, v(0)),
+            ),
+            // owl: equivalentProperty ⟺ mutual subPropertyOf.
+            Rule::new(
+                "owl-eqprop-fwd",
+                vec![atom(v(0), eq_prop, v(1))],
+                atom(v(0), sub_prop, v(1)),
+            ),
+            Rule::new(
+                "owl-eqprop-bwd",
+                vec![atom(v(0), eq_prop, v(1))],
+                atom(v(1), sub_prop, v(0)),
+            ),
+            // owl:sameAs — symmetry, transitivity, and statement copying.
+            Rule::new(
+                "owl-sameas-symmetry",
+                vec![atom(v(0), same_as, v(1))],
+                atom(v(1), same_as, v(0)),
+            ),
+            Rule::new(
+                "owl-sameas-transitivity",
+                vec![atom(v(0), same_as, v(1)), atom(v(1), same_as, v(2))],
+                atom(v(0), same_as, v(2)),
+            ),
+            Rule::new(
+                "owl-sameas-subject",
+                vec![atom(v(0), same_as, v(1)), atom(v(0), v(2), v(3))],
+                atom(v(1), v(2), v(3)),
+            ),
+            Rule::new(
+                "owl-sameas-object",
+                vec![atom(v(0), same_as, v(1)), atom(v(2), v(3), v(0))],
+                atom(v(2), v(3), v(1)),
+            ),
+        ]);
+        base.name = "OWLPRIME";
+        base
+    }
+
+    /// An empty rulebase — querying with it is equivalent to querying the
+    /// asserted facts only.
+    pub fn empty() -> Self {
+        Rulebase { name: "NONE", rules: Vec::new() }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the rulebase has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdfs_has_six_rules() {
+        let mut dict = Dictionary::new();
+        assert_eq!(Rulebase::rdfs(&mut dict).len(), 6);
+    }
+
+    #[test]
+    fn owlprime_extends_rdfs() {
+        let mut dict = Dictionary::new();
+        let rb = Rulebase::owlprime(&mut dict);
+        assert_eq!(rb.name, "OWLPRIME");
+        assert!(rb.len() > Rulebase::rdfs(&mut Dictionary::new()).len());
+        // Every rule name is unique.
+        let mut names: Vec<_> = rb.rules.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), rb.len());
+    }
+
+    #[test]
+    fn empty_rulebase() {
+        assert!(Rulebase::empty().is_empty());
+    }
+
+    #[test]
+    fn building_interns_vocabulary() {
+        let mut dict = Dictionary::new();
+        Rulebase::owlprime(&mut dict);
+        assert!(dict.lookup(&Term::iri(vocab::rdfs::SUB_CLASS_OF)).is_some());
+        assert!(dict.lookup(&Term::iri(vocab::owl::SYMMETRIC_PROPERTY)).is_some());
+    }
+}

@@ -1,0 +1,224 @@
+//! Lineage against the fixed schema: a BFS/DFS over the mappings table.
+//!
+//! Semantically the same traversal as the graph warehouse's Section IV.B
+//! service, driven by the adjacency indexes of the mappings table instead
+//! of `isMappedTo` edges. Target filtering is by entity table / rollup
+//! group rather than by (entailed) class membership.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::schema::RelationalStore;
+
+/// Traversal direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelDirection {
+    /// Against the data flow (provenance).
+    Upstream,
+    /// Along the data flow (impact).
+    Downstream,
+}
+
+/// A lineage request against the baseline.
+#[derive(Debug, Clone)]
+pub struct RelLineageRequest {
+    /// Start entity id.
+    pub start: String,
+    /// Direction.
+    pub direction: RelDirection,
+    /// Targets must roll up into this group (e.g. `"Application"`).
+    pub target_group: Option<String>,
+    /// Hop limit.
+    pub max_depth: usize,
+    /// Path enumeration limit.
+    pub max_paths: usize,
+    /// Only traverse mappings whose condition contains this string.
+    pub rule_condition_filter: Option<String>,
+}
+
+impl RelLineageRequest {
+    /// Downstream request with default limits.
+    pub fn downstream(start: impl Into<String>) -> Self {
+        RelLineageRequest {
+            start: start.into(),
+            direction: RelDirection::Downstream,
+            target_group: None,
+            max_depth: 16,
+            max_paths: 100_000,
+            rule_condition_filter: None,
+        }
+    }
+
+    /// Upstream request with default limits.
+    pub fn upstream(start: impl Into<String>) -> Self {
+        RelLineageRequest { direction: RelDirection::Upstream, ..Self::downstream(start) }
+    }
+
+    /// Restricts targets to a rollup group.
+    pub fn to_group(mut self, group: impl Into<String>) -> Self {
+        self.target_group = Some(group.into());
+        self
+    }
+
+    /// Restricts traversal by rule condition.
+    pub fn with_rule_filter(mut self, cond: impl Into<String>) -> Self {
+        self.rule_condition_filter = Some(cond.into());
+        self
+    }
+}
+
+/// The traversal result.
+#[derive(Debug, Clone)]
+pub struct RelLineageResult {
+    /// Qualifying endpoint ids → min distance.
+    pub endpoints: BTreeMap<String, usize>,
+    /// Enumerated simple paths (as id sequences, start exclusive).
+    pub paths: Vec<Vec<String>>,
+    /// Paths explored before filtering.
+    pub paths_explored: usize,
+}
+
+/// Runs the traversal.
+pub fn rel_lineage(store: &RelationalStore, request: &RelLineageRequest) -> RelLineageResult {
+    let mut result = RelLineageResult {
+        endpoints: BTreeMap::new(),
+        paths: Vec::new(),
+        paths_explored: 0,
+    };
+    let mut on_path: BTreeSet<String> = BTreeSet::new();
+    on_path.insert(request.start.clone());
+    let mut stack: Vec<String> = Vec::new();
+    dfs(store, request, &request.start, 0, &mut on_path, &mut stack, &mut result);
+
+    // Endpoint qualification by rollup group.
+    if let Some(group) = &request.target_group {
+        let qualifies = |id: &str| {
+            store
+                .entity(id)
+                .map(|(t, _)| t.rollups().contains(&group.as_str()))
+                .unwrap_or(false)
+        };
+        result.endpoints.retain(|id, _| qualifies(id));
+        let kept: BTreeSet<&String> = result.endpoints.keys().collect();
+        result
+            .paths
+            .retain(|p| p.last().map(|e| kept.contains(e)).unwrap_or(false));
+    }
+    result
+}
+
+fn dfs(
+    store: &RelationalStore,
+    request: &RelLineageRequest,
+    node: &str,
+    depth: usize,
+    on_path: &mut BTreeSet<String>,
+    stack: &mut Vec<String>,
+    result: &mut RelLineageResult,
+) {
+    if depth >= request.max_depth || result.paths_explored >= request.max_paths {
+        return;
+    }
+    let next: Vec<(String, Option<String>)> = match request.direction {
+        RelDirection::Downstream => store
+            .mappings_from(node)
+            .into_iter()
+            .map(|m| (m.to.clone(), m.condition.clone()))
+            .collect(),
+        RelDirection::Upstream => store
+            .mappings_to(node)
+            .into_iter()
+            .map(|m| (m.from.clone(), m.condition.clone()))
+            .collect(),
+    };
+    for (target, condition) in next {
+        if on_path.contains(&target) {
+            continue;
+        }
+        if let Some(filter) = &request.rule_condition_filter {
+            match &condition {
+                Some(c) if c.contains(filter.as_str()) => {}
+                _ => continue,
+            }
+        }
+        if result.paths_explored >= request.max_paths {
+            return;
+        }
+        result.paths_explored += 1;
+        stack.push(target.clone());
+        on_path.insert(target.clone());
+        let d = depth + 1;
+        result
+            .endpoints
+            .entry(target.clone())
+            .and_modify(|old| *old = (*old).min(d))
+            .or_insert(d);
+        result.paths.push(stack.clone());
+        dfs(store, request, &target, d, on_path, stack, result);
+        on_path.remove(&target);
+        stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::load_extracts;
+    use mdw_corpus::fig2;
+
+    fn loaded() -> RelationalStore {
+        let fx = fig2::fixture();
+        let mut store = RelationalStore::new();
+        load_extracts(&mut store, &[fx.ontology, fx.facts]);
+        store
+    }
+
+    const CLIENT: &str = "http://www.credit-suisse.com/dwh/client_information_id";
+    const PARTNER: &str = "http://www.credit-suisse.com/dwh/partner_id";
+    const CUSTOMER: &str = "http://www.credit-suisse.com/dwh/customer_id";
+
+    #[test]
+    fn downstream_full_chain() {
+        let store = loaded();
+        let result = rel_lineage(&store, &RelLineageRequest::downstream(CLIENT));
+        assert_eq!(result.endpoints.get(PARTNER), Some(&1));
+        assert_eq!(result.endpoints.get(CUSTOMER), Some(&2));
+    }
+
+    #[test]
+    fn group_filter_matches_listing2() {
+        let store = loaded();
+        let result =
+            rel_lineage(&store, &RelLineageRequest::downstream(CLIENT).to_group("Application"));
+        assert_eq!(result.endpoints.len(), 1);
+        assert!(result.endpoints.contains_key(CUSTOMER));
+        assert_eq!(result.paths.len(), 1);
+        assert_eq!(result.paths[0].len(), 2);
+    }
+
+    #[test]
+    fn upstream_provenance() {
+        let store = loaded();
+        let result = rel_lineage(&store, &RelLineageRequest::upstream(CUSTOMER));
+        assert_eq!(result.endpoints.get(CLIENT), Some(&2));
+    }
+
+    #[test]
+    fn rule_condition_filter() {
+        let store = loaded();
+        let result = rel_lineage(
+            &store,
+            &RelLineageRequest::downstream(CLIENT).with_rule_filter("to_number"),
+        );
+        // Only the first hop's condition contains "to_number".
+        assert!(result.endpoints.contains_key(PARTNER));
+        assert!(!result.endpoints.contains_key(CUSTOMER));
+    }
+
+    #[test]
+    fn unknown_start() {
+        let store = loaded();
+        let result = rel_lineage(&store, &RelLineageRequest::downstream("http://nope"));
+        assert!(result.endpoints.is_empty());
+        assert_eq!(result.paths_explored, 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! The fixed relational schema.
+//!
+//! The textbook design: one typed table per entity kind of Figure 1, one
+//! mapping table for data flows. The class hierarchy is *not data* here —
+//! rollups like "a Column is an Attribute" are compiled into the
+//! application code (see [`EntityTable::rollups`]), which is exactly why
+//! every new metadata kind needs a migration.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// The fixed entity tables. Adding a variant is a code change plus a
+/// [`Migration`](crate::migration::Migration) — the rigidity under study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EntityTable {
+    /// Applications.
+    Applications,
+    /// Databases.
+    Databases,
+    /// Database schemas.
+    Schemas,
+    /// Tables.
+    Tables,
+    /// Application columns.
+    Columns,
+    /// DWH view columns (data marts).
+    ViewColumns,
+    /// DWH source-file columns (inbound).
+    SourceFileColumns,
+    /// DWH integration items.
+    DwhItems,
+    /// Application interfaces.
+    Interfaces,
+    /// Roles.
+    Roles,
+    /// Users.
+    Users,
+    /// Reports.
+    Reports,
+    /// Value domains.
+    Domains,
+    /// Tables added by migrations (dynamic extensions).
+    Extension(u32),
+}
+
+impl EntityTable {
+    /// All fixed tables (excluding migrations).
+    pub const FIXED: [EntityTable; 13] = [
+        EntityTable::Applications,
+        EntityTable::Databases,
+        EntityTable::Schemas,
+        EntityTable::Tables,
+        EntityTable::Columns,
+        EntityTable::ViewColumns,
+        EntityTable::SourceFileColumns,
+        EntityTable::DwhItems,
+        EntityTable::Interfaces,
+        EntityTable::Roles,
+        EntityTable::Users,
+        EntityTable::Reports,
+        EntityTable::Domains,
+    ];
+
+    /// Display name of the table.
+    pub fn name(self) -> String {
+        match self {
+            EntityTable::Applications => "applications".to_string(),
+            EntityTable::Databases => "databases".to_string(),
+            EntityTable::Schemas => "schemas".to_string(),
+            EntityTable::Tables => "tables".to_string(),
+            EntityTable::Columns => "columns".to_string(),
+            EntityTable::ViewColumns => "view_columns".to_string(),
+            EntityTable::SourceFileColumns => "source_file_columns".to_string(),
+            EntityTable::DwhItems => "dwh_items".to_string(),
+            EntityTable::Interfaces => "interfaces".to_string(),
+            EntityTable::Roles => "roles".to_string(),
+            EntityTable::Users => "users".to_string(),
+            EntityTable::Reports => "reports".to_string(),
+            EntityTable::Domains => "domains".to_string(),
+            EntityTable::Extension(i) => format!("ext_{i}"),
+        }
+    }
+
+    /// The hard-coded class rollups: which result groups an entity of this
+    /// table also counts under (the relational stand-in for the hierarchy
+    /// layer — note it is *code*, not data).
+    pub fn rollups(self) -> &'static [&'static str] {
+        match self {
+            EntityTable::Columns => &["Column", "Attribute"],
+            EntityTable::ViewColumns => &["Column", "Attribute", "Application"],
+            EntityTable::SourceFileColumns => &["Source Column", "Attribute", "Interface"],
+            EntityTable::DwhItems => &["Column", "Attribute"],
+            EntityTable::Applications => &["Application"],
+            EntityTable::Databases => &["Database"],
+            EntityTable::Schemas => &["Schema"],
+            EntityTable::Tables => &["Table"],
+            EntityTable::Interfaces => &["Interface"],
+            EntityTable::Roles => &["Role"],
+            EntityTable::Users => &["User"],
+            EntityTable::Reports => &["Report"],
+            EntityTable::Domains => &["Domain"],
+            EntityTable::Extension(_) => &["Extension"],
+        }
+    }
+}
+
+/// One row of an entity table: the fixed attributes the schema anticipated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EntityRow {
+    /// Entity identifier (the IRI in the graph world).
+    pub id: String,
+    /// Name column.
+    pub name: Option<String>,
+    /// Schema membership.
+    pub schema: Option<String>,
+    /// DWH area.
+    pub area: Option<String>,
+    /// Abstraction level.
+    pub level: Option<String>,
+    /// Data type (columns only).
+    pub data_type: Option<String>,
+    /// Extension attributes added by migrations: column name → value.
+    pub extra: BTreeMap<String, String>,
+}
+
+/// One row of the mappings table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingRow {
+    /// Source item id.
+    pub from: String,
+    /// Target item id.
+    pub to: String,
+    /// Transformation rule condition.
+    pub condition: Option<String>,
+}
+
+/// The whole store: typed tables plus the indexes a DBA would create.
+#[derive(Debug, Default)]
+pub struct RelationalStore {
+    tables: BTreeMap<EntityTable, Vec<EntityRow>>,
+    mappings: Vec<MappingRow>,
+    /// id → (table, row index).
+    by_id: HashMap<String, (EntityTable, usize)>,
+    /// Forward mapping adjacency: from-id → mapping indexes.
+    forward: HashMap<String, Vec<usize>>,
+    /// Reverse mapping adjacency: to-id → mapping indexes.
+    reverse: HashMap<String, Vec<usize>>,
+    /// Extension tables registered by migrations.
+    extensions: Vec<String>,
+}
+
+impl RelationalStore {
+    /// Creates an empty store with the fixed tables.
+    pub fn new() -> Self {
+        let mut tables = BTreeMap::new();
+        for t in EntityTable::FIXED {
+            tables.insert(t, Vec::new());
+        }
+        RelationalStore { tables, ..Default::default() }
+    }
+
+    /// Inserts an entity row. An entity id can exist only once across all
+    /// tables (ids are IRIs); re-insertion merges the non-`None` fields.
+    pub fn upsert_entity(&mut self, table: EntityTable, row: EntityRow) {
+        match self.by_id.get(&row.id) {
+            Some(&(t, idx)) => {
+                let existing = &mut self.tables.get_mut(&t).expect("table exists")[idx];
+                if existing.name.is_none() {
+                    existing.name = row.name;
+                }
+                if existing.schema.is_none() {
+                    existing.schema = row.schema;
+                }
+                if existing.area.is_none() {
+                    existing.area = row.area;
+                }
+                if existing.level.is_none() {
+                    existing.level = row.level;
+                }
+                if existing.data_type.is_none() {
+                    existing.data_type = row.data_type;
+                }
+                existing.extra.extend(row.extra);
+            }
+            None => {
+                let rows = self.tables.entry(table).or_default();
+                self.by_id.insert(row.id.clone(), (table, rows.len()));
+                rows.push(row);
+            }
+        }
+    }
+
+    /// Inserts a mapping row and maintains both adjacency indexes.
+    pub fn insert_mapping(&mut self, mapping: MappingRow) {
+        let idx = self.mappings.len();
+        self.forward.entry(mapping.from.clone()).or_default().push(idx);
+        self.reverse.entry(mapping.to.clone()).or_default().push(idx);
+        self.mappings.push(mapping);
+    }
+
+    /// Sets the condition of an existing (from, to) mapping, if present.
+    pub fn set_mapping_condition(&mut self, from: &str, to: &str, condition: String) -> bool {
+        if let Some(indexes) = self.forward.get(from) {
+            for &i in indexes {
+                if self.mappings[i].to == to {
+                    self.mappings[i].condition = Some(condition);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Rows of one table.
+    pub fn rows(&self, table: EntityTable) -> &[EntityRow] {
+        self.tables.get(&table).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over `(table, row)` for every entity.
+    pub fn all_rows(&self) -> impl Iterator<Item = (EntityTable, &EntityRow)> {
+        self.tables.iter().flat_map(|(t, rows)| rows.iter().map(move |r| (*t, r)))
+    }
+
+    /// Looks up an entity by id.
+    pub fn entity(&self, id: &str) -> Option<(EntityTable, &EntityRow)> {
+        self.by_id
+            .get(id)
+            .map(|&(t, idx)| (t, &self.tables.get(&t).expect("table exists")[idx]))
+    }
+
+    /// All mapping rows.
+    pub fn mappings(&self) -> &[MappingRow] {
+        &self.mappings
+    }
+
+    /// Outgoing mappings of an item.
+    pub fn mappings_from(&self, id: &str) -> Vec<&MappingRow> {
+        self.forward
+            .get(id)
+            .map(|v| v.iter().map(|&i| &self.mappings[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Incoming mappings of an item.
+    pub fn mappings_to(&self, id: &str) -> Vec<&MappingRow> {
+        self.reverse
+            .get(id)
+            .map(|v| v.iter().map(|&i| &self.mappings[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Total entity rows across all tables.
+    pub fn entity_count(&self) -> usize {
+        self.tables.values().map(Vec::len).sum()
+    }
+
+    /// Registers an extension table (used by migrations); returns its id.
+    pub fn register_extension(&mut self, name: &str) -> EntityTable {
+        let table = EntityTable::Extension(self.extensions.len() as u32);
+        self.extensions.push(name.to_string());
+        self.tables.insert(table, Vec::new());
+        table
+    }
+
+    /// Number of tables currently in the schema (fixed + extensions).
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: &str, name: &str) -> EntityRow {
+        EntityRow { id: id.into(), name: Some(name.into()), ..Default::default() }
+    }
+
+    #[test]
+    fn upsert_merges_fields() {
+        let mut s = RelationalStore::new();
+        s.upsert_entity(EntityTable::Columns, row("c1", "customer_id"));
+        s.upsert_entity(
+            EntityTable::Columns,
+            EntityRow { id: "c1".into(), schema: Some("s1".into()), ..Default::default() },
+        );
+        let (t, r) = s.entity("c1").unwrap();
+        assert_eq!(t, EntityTable::Columns);
+        assert_eq!(r.name.as_deref(), Some("customer_id"));
+        assert_eq!(r.schema.as_deref(), Some("s1"));
+        assert_eq!(s.entity_count(), 1);
+    }
+
+    #[test]
+    fn mapping_adjacency() {
+        let mut s = RelationalStore::new();
+        s.insert_mapping(MappingRow { from: "a".into(), to: "b".into(), condition: None });
+        s.insert_mapping(MappingRow { from: "b".into(), to: "c".into(), condition: None });
+        assert_eq!(s.mappings_from("a").len(), 1);
+        assert_eq!(s.mappings_to("c").len(), 1);
+        assert!(s.mappings_from("c").is_empty());
+        assert!(s.set_mapping_condition("a", "b", "cond".into()));
+        assert_eq!(s.mappings_from("a")[0].condition.as_deref(), Some("cond"));
+        assert!(!s.set_mapping_condition("a", "z", "x".into()));
+    }
+
+    #[test]
+    fn rollups_encode_hierarchy_in_code() {
+        assert!(EntityTable::ViewColumns.rollups().contains(&"Attribute"));
+        assert!(EntityTable::SourceFileColumns.rollups().contains(&"Interface"));
+    }
+
+    #[test]
+    fn extension_tables() {
+        let mut s = RelationalStore::new();
+        let before = s.table_count();
+        let ext = s.register_extension("log_files");
+        assert_eq!(s.table_count(), before + 1);
+        s.upsert_entity(ext, row("log1", "app0.log"));
+        assert_eq!(s.rows(ext).len(), 1);
+        assert_eq!(ext.name(), "ext_0");
+    }
+}

@@ -1,0 +1,201 @@
+//! Search against the fixed schema.
+//!
+//! Functionally equivalent to the graph warehouse's Section IV.A search —
+//! same term matching, same grouped output — but the grouping hierarchy is
+//! the hard-coded [`EntityTable::rollups`](crate::schema::EntityTable)
+//! instead of `rdfs:subClassOf` data, and the "area" filter is a plain
+//! column predicate. No inference, no synonym edges: exactly what the
+//! textbook design gives you out of the box.
+
+use std::collections::BTreeMap;
+
+use crate::schema::RelationalStore;
+
+/// A search request against the relational baseline.
+#[derive(Debug, Clone)]
+pub struct RelSearchRequest {
+    /// The search term.
+    pub term: String,
+    /// Restrict to entities whose rollup groups include this label
+    /// (the stand-in for the hierarchy filter).
+    pub group_filter: Option<String>,
+    /// Area filter.
+    pub area: Option<String>,
+    /// Case-sensitive matching.
+    pub case_sensitive: bool,
+}
+
+impl RelSearchRequest {
+    /// A case-insensitive search with no filters.
+    pub fn new(term: impl Into<String>) -> Self {
+        RelSearchRequest {
+            term: term.into(),
+            group_filter: None,
+            area: None,
+            case_sensitive: false,
+        }
+    }
+
+    /// Restricts to one rollup group.
+    pub fn in_group(mut self, group: impl Into<String>) -> Self {
+        self.group_filter = Some(group.into());
+        self
+    }
+
+    /// Restricts to an area.
+    pub fn in_area(mut self, area: impl Into<String>) -> Self {
+        self.area = Some(area.into());
+        self
+    }
+}
+
+/// Grouped results, mirroring the graph warehouse's output shape.
+#[derive(Debug, Clone)]
+pub struct RelSearchResults {
+    /// Group label → matching entity ids (sorted).
+    pub groups: BTreeMap<String, Vec<String>>,
+    /// Distinct matching entities.
+    pub instance_count: usize,
+}
+
+impl RelSearchResults {
+    /// Count of one group.
+    pub fn count(&self, group: &str) -> usize {
+        self.groups.get(group).map(Vec::len).unwrap_or(0)
+    }
+}
+
+/// Runs the search: scan every entity table, match the name column, group
+/// by the hard-coded rollups.
+pub fn rel_search(store: &RelationalStore, request: &RelSearchRequest) -> RelSearchResults {
+    let needle = if request.case_sensitive {
+        request.term.clone()
+    } else {
+        request.term.to_lowercase()
+    };
+    let mut groups: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut instance_count = 0usize;
+
+    for (table, row) in store.all_rows() {
+        let Some(name) = &row.name else { continue };
+        let haystack = if request.case_sensitive {
+            name.clone()
+        } else {
+            name.to_lowercase()
+        };
+        if !haystack.contains(&needle) {
+            continue;
+        }
+        if let Some(area) = &request.area {
+            if row.area.as_deref() != Some(area.as_str()) {
+                continue;
+            }
+        }
+        let rollups: Vec<&str> = match &request.group_filter {
+            None => table.rollups().to_vec(),
+            Some(filter) => {
+                if table.rollups().contains(&filter.as_str()) {
+                    table.rollups().to_vec()
+                } else {
+                    continue;
+                }
+            }
+        };
+        instance_count += 1;
+        for group in rollups {
+            groups.entry(group.to_string()).or_default().push(row.id.clone());
+        }
+    }
+    for ids in groups.values_mut() {
+        ids.sort();
+        ids.dedup();
+    }
+    RelSearchResults { groups, instance_count }
+}
+
+/// Convenience: per-group counts in label order (the Figure 6 table shape).
+pub fn grouped_counts(results: &RelSearchResults) -> Vec<(String, usize)> {
+    results
+        .groups
+        .iter()
+        .map(|(g, ids)| (g.clone(), ids.len()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::load_extracts;
+    use mdw_corpus::fig2;
+
+    fn loaded() -> RelationalStore {
+        let fx = fig2::fixture();
+        let mut store = RelationalStore::new();
+        load_extracts(&mut store, &[fx.ontology, fx.facts]);
+        store
+    }
+
+    #[test]
+    fn search_customer_matches_graph_shape() {
+        let store = loaded();
+        let results = rel_search(&store, &RelSearchRequest::new("customer"));
+        // customer_id rolls up into Column, Attribute, and Application —
+        // the same multi-group membership as the graph's Figure 6 output.
+        assert_eq!(results.count("Column"), 1);
+        assert_eq!(results.count("Attribute"), 1);
+        assert_eq!(results.count("Application"), 1);
+        assert_eq!(results.instance_count, 1);
+    }
+
+    #[test]
+    fn case_sensitivity() {
+        let store = loaded();
+        let insensitive = rel_search(&store, &RelSearchRequest::new("CUSTOMER"));
+        assert_eq!(insensitive.instance_count, 1);
+        let mut req = RelSearchRequest::new("CUSTOMER");
+        req.case_sensitive = true;
+        assert_eq!(rel_search(&store, &req).instance_count, 0);
+    }
+
+    #[test]
+    fn group_filter() {
+        let store = loaded();
+        let results = rel_search(
+            &store,
+            &RelSearchRequest::new("id").in_group("Interface"),
+        );
+        // Only the source-file column rolls up into Interface.
+        assert_eq!(results.instance_count, 1);
+        assert!(results.groups.contains_key("Interface"));
+    }
+
+    #[test]
+    fn area_filter() {
+        let store = loaded();
+        let results = rel_search(
+            &store,
+            &RelSearchRequest::new("id").in_area("Integration"),
+        );
+        assert_eq!(results.instance_count, 1); // partner_id only
+    }
+
+    #[test]
+    fn no_synonym_support_by_design() {
+        // The baseline finds "client…" but NOT customer_id for "client" —
+        // the semantic gap the graph + synonym table closes.
+        let store = loaded();
+        let results = rel_search(&store, &RelSearchRequest::new("client"));
+        assert_eq!(results.instance_count, 1);
+    }
+
+    #[test]
+    fn grouped_counts_sorted() {
+        let store = loaded();
+        let results = rel_search(&store, &RelSearchRequest::new("id"));
+        let counts = grouped_counts(&results);
+        let labels: Vec<&String> = counts.iter().map(|(l, _)| l).collect();
+        let mut sorted = labels.clone();
+        sorted.sort();
+        assert_eq!(labels, sorted);
+    }
+}

@@ -1,0 +1,401 @@
+//! The abstract syntax tree of the SPARQL subset.
+
+use std::collections::BTreeMap;
+
+use mdw_rdf::term::Term;
+
+/// A SPARQL variable (without the leading `?`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub String);
+
+impl Var {
+    /// Creates a variable from its name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Var(name.into())
+    }
+
+    /// The variable name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A position in a triple pattern: variable or constant term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeRef {
+    /// A variable.
+    Var(Var),
+    /// A constant RDF term.
+    Term(Term),
+}
+
+impl NodeRef {
+    /// The variable, if this is one.
+    pub fn as_var(&self) -> Option<&Var> {
+        match self {
+            NodeRef::Var(v) => Some(v),
+            NodeRef::Term(_) => None,
+        }
+    }
+}
+
+/// A SPARQL 1.1 property path expression.
+///
+/// The paper's lineage use case is *defined* by a path expression —
+/// "the path used can be described by the regular expression:
+/// `(isMappedTo)* rdf:type`" (Figure 8) — so the engine supports the
+/// path operators needed to write that query natively:
+/// `iri`, `^p` (inverse), `p/q` (sequence), `p|q` (alternative),
+/// `p*`, `p+`, `p?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathExpr {
+    /// A single predicate IRI.
+    Iri(Term),
+    /// `^p` — traverse p backwards.
+    Inverse(Box<PathExpr>),
+    /// `p/q` — p then q.
+    Seq(Box<PathExpr>, Box<PathExpr>),
+    /// `p|q` — either.
+    Alt(Box<PathExpr>, Box<PathExpr>),
+    /// `p*` — zero or more.
+    ZeroOrMore(Box<PathExpr>),
+    /// `p+` — one or more.
+    OneOrMore(Box<PathExpr>),
+    /// `p?` — zero or one.
+    ZeroOrOne(Box<PathExpr>),
+}
+
+impl PathExpr {
+    /// True if this path can match with zero hops (start = end).
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            PathExpr::Iri(_) => false,
+            PathExpr::Inverse(p) => p.is_nullable(),
+            PathExpr::Seq(a, b) => a.is_nullable() && b.is_nullable(),
+            PathExpr::Alt(a, b) => a.is_nullable() || b.is_nullable(),
+            PathExpr::ZeroOrMore(_) | PathExpr::ZeroOrOne(_) => true,
+            PathExpr::OneOrMore(p) => p.is_nullable(),
+        }
+    }
+}
+
+/// The predicate position of a triple pattern: a plain node (variable or
+/// IRI) or a property path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verb {
+    /// A variable or constant predicate.
+    Node(NodeRef),
+    /// A property path (never a variable inside, per SPARQL).
+    Path(PathExpr),
+}
+
+impl Verb {
+    /// The variable, if the verb is one.
+    pub fn as_var(&self) -> Option<&Var> {
+        match self {
+            Verb::Node(n) => n.as_var(),
+            Verb::Path(_) => None,
+        }
+    }
+
+    /// Convenience constructor for a constant predicate.
+    pub fn iri(term: Term) -> Self {
+        Verb::Node(NodeRef::Term(term))
+    }
+}
+
+/// A triple pattern in a basic graph pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternTriple {
+    /// Subject position.
+    pub s: NodeRef,
+    /// Predicate position (node or property path).
+    pub p: Verb,
+    /// Object position.
+    pub o: NodeRef,
+}
+
+impl PatternTriple {
+    /// All variables used by this pattern.
+    pub fn vars(&self) -> impl Iterator<Item = &Var> {
+        [self.s.as_var(), self.p.as_var(), self.o.as_var()]
+            .into_iter()
+            .flatten()
+    }
+}
+
+/// A filter / projection expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A variable reference.
+    Var(Var),
+    /// A constant term.
+    Const(Term),
+    /// `=`.
+    Eq(Box<Expr>, Box<Expr>),
+    /// `!=`.
+    Ne(Box<Expr>, Box<Expr>),
+    /// `<` (numeric if both sides are numeric, else lexicographic).
+    Lt(Box<Expr>, Box<Expr>),
+    /// `<=`.
+    Le(Box<Expr>, Box<Expr>),
+    /// `>`.
+    Gt(Box<Expr>, Box<Expr>),
+    /// `>=`.
+    Ge(Box<Expr>, Box<Expr>),
+    /// `&&`.
+    And(Box<Expr>, Box<Expr>),
+    /// `||`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `!`.
+    Not(Box<Expr>),
+    /// `regex(expr, "pattern", "flags")` — `regexp_like` in the paper's SQL.
+    Regex {
+        /// The expression whose string value is tested.
+        target: Box<Expr>,
+        /// The pattern.
+        pattern: String,
+        /// Flags (only `i` is supported).
+        flags: String,
+    },
+    /// `bound(?v)`.
+    Bound(Var),
+    /// `str(expr)` — the string form of a term.
+    Str(Box<Expr>),
+    /// `EXISTS { … }` — true if the pattern matches under the current
+    /// binding.
+    Exists(Box<GraphPattern>),
+    /// `NOT EXISTS { … }`.
+    NotExists(Box<GraphPattern>),
+}
+
+/// A graph pattern (the contents of a `WHERE` clause).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphPattern {
+    /// A basic graph pattern: a conjunction of triple patterns.
+    Bgp(Vec<PatternTriple>),
+    /// Sequential join of two patterns.
+    Join(Box<GraphPattern>, Box<GraphPattern>),
+    /// Left outer join: `lhs OPTIONAL { rhs }`.
+    Optional(Box<GraphPattern>, Box<GraphPattern>),
+    /// `{ lhs } UNION { rhs }`.
+    Union(Box<GraphPattern>, Box<GraphPattern>),
+    /// `pattern FILTER(expr)`.
+    Filter(Expr, Box<GraphPattern>),
+}
+
+impl GraphPattern {
+    /// Collects all variables mentioned anywhere in the pattern,
+    /// in first-occurrence order.
+    pub fn all_vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Var>) {
+        let push = |v: &Var, out: &mut Vec<Var>| {
+            if !out.contains(v) {
+                out.push(v.clone());
+            }
+        };
+        match self {
+            GraphPattern::Bgp(triples) => {
+                for t in triples {
+                    for v in t.vars() {
+                        push(v, out);
+                    }
+                }
+            }
+            GraphPattern::Join(a, b)
+            | GraphPattern::Optional(a, b)
+            | GraphPattern::Union(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            GraphPattern::Filter(expr, inner) => {
+                inner.collect_vars(out);
+                expr_vars(expr, out);
+            }
+        }
+    }
+}
+
+fn expr_vars(expr: &Expr, out: &mut Vec<Var>) {
+    let push = |v: &Var, out: &mut Vec<Var>| {
+        if !out.contains(v) {
+            out.push(v.clone());
+        }
+    };
+    match expr {
+        Expr::Var(v) | Expr::Bound(v) => push(v, out),
+        Expr::Const(_) => {}
+        Expr::Eq(a, b)
+        | Expr::Ne(a, b)
+        | Expr::Lt(a, b)
+        | Expr::Le(a, b)
+        | Expr::Gt(a, b)
+        | Expr::Ge(a, b)
+        | Expr::And(a, b)
+        | Expr::Or(a, b) => {
+            expr_vars(a, out);
+            expr_vars(b, out);
+        }
+        Expr::Not(a) | Expr::Str(a) => expr_vars(a, out),
+        Expr::Regex { target, .. } => expr_vars(target, out),
+        Expr::Exists(p) | Expr::NotExists(p) => p.collect_vars(out),
+    }
+}
+
+/// One item of the `SELECT` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// A plain variable projection.
+    Var(Var),
+    /// `(COUNT(?v) AS ?alias)` or `(COUNT(*) AS ?alias)`.
+    Count {
+        /// The counted variable; `None` means `COUNT(*)`.
+        var: Option<Var>,
+        /// `COUNT(DISTINCT …)`.
+        distinct: bool,
+        /// The output column.
+        alias: Var,
+    },
+}
+
+impl SelectItem {
+    /// The output column name of this item.
+    pub fn output_var(&self) -> &Var {
+        match self {
+            SelectItem::Var(v) => v,
+            SelectItem::Count { alias, .. } => alias,
+        }
+    }
+}
+
+/// The `SELECT` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// `SELECT *`.
+    Star,
+    /// An explicit projection list.
+    Items(Vec<SelectItem>),
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderKey {
+    /// The sort variable.
+    pub var: Var,
+    /// Ascending (`true`) or descending.
+    pub ascending: bool,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `PREFIX` table: prefix → namespace IRI.
+    pub prefixes: BTreeMap<String, String>,
+    /// `ASK` form: the answer is a single boolean (does the pattern match?).
+    pub ask: bool,
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// The projection.
+    pub selection: Selection,
+    /// The `WHERE` pattern.
+    pub pattern: GraphPattern,
+    /// `GROUP BY` variables.
+    pub group_by: Vec<Var>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+    /// `OFFSET`.
+    pub offset: Option<usize>,
+}
+
+impl Query {
+    /// The output column names in order.
+    pub fn output_columns(&self) -> Vec<String> {
+        if self.ask {
+            return vec!["ask".to_string()];
+        }
+        match &self.selection {
+            Selection::Star => self.pattern.all_vars().into_iter().map(|v| v.0).collect(),
+            Selection::Items(items) => {
+                items.iter().map(|i| i.output_var().0.clone()).collect()
+            }
+        }
+    }
+
+    /// True if the query uses aggregation.
+    pub fn is_aggregate(&self) -> bool {
+        !self.group_by.is_empty()
+            || matches!(&self.selection, Selection::Items(items)
+                if items.iter().any(|i| matches!(i, SelectItem::Count { .. })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+
+    #[test]
+    fn pattern_triple_vars() {
+        let t = PatternTriple {
+            s: NodeRef::Var(v("s")),
+            p: Verb::iri(Term::iri("p")),
+            o: NodeRef::Var(v("o")),
+        };
+        let vars: Vec<_> = t.vars().collect();
+        assert_eq!(vars, vec![&v("s"), &v("o")]);
+    }
+
+    #[test]
+    fn all_vars_dedup_in_order() {
+        let pattern = GraphPattern::Filter(
+            Expr::Regex {
+                target: Box::new(Expr::Var(v("name"))),
+                pattern: "customer".into(),
+                flags: "i".into(),
+            },
+            Box::new(GraphPattern::Bgp(vec![
+                PatternTriple {
+                    s: NodeRef::Var(v("x")),
+                    p: Verb::iri(Term::iri("p")),
+                    o: NodeRef::Var(v("name")),
+                },
+                PatternTriple {
+                    s: NodeRef::Var(v("x")),
+                    p: Verb::iri(Term::iri("q")),
+                    o: NodeRef::Var(v("y")),
+                },
+            ])),
+        );
+        assert_eq!(pattern.all_vars(), vec![v("x"), v("name"), v("y")]);
+    }
+
+    #[test]
+    fn output_columns_star_and_items() {
+        let q = Query {
+            prefixes: BTreeMap::new(),
+            ask: false,
+            distinct: false,
+            selection: Selection::Items(vec![
+                SelectItem::Var(v("class")),
+                SelectItem::Count { var: None, distinct: false, alias: v("n") },
+            ]),
+            pattern: GraphPattern::Bgp(vec![]),
+            group_by: vec![v("class")],
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        };
+        assert_eq!(q.output_columns(), vec!["class", "n"]);
+        assert!(q.is_aggregate());
+    }
+}

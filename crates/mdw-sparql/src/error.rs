@@ -1,0 +1,52 @@
+//! Error type for the SPARQL engine.
+
+use std::fmt;
+
+/// Errors from parsing or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// Query text failed to parse.
+    Parse {
+        /// 1-based line in the query text.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The query references an undefined prefix.
+    UndefinedPrefix(String),
+    /// A semantic error (e.g. projecting an unbound variable under
+    /// aggregation, unknown model name).
+    Semantic(String),
+    /// A regex filter failed to compile.
+    BadRegex(String),
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Parse { line, message } => {
+                write!(f, "query parse error at line {line}: {message}")
+            }
+            SparqlError::UndefinedPrefix(p) => write!(f, "undefined prefix: {p}:"),
+            SparqlError::Semantic(m) => write!(f, "semantic error: {m}"),
+            SparqlError::BadRegex(m) => write!(f, "bad regex: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SparqlError::Parse { line: 2, message: "expected WHERE".into() };
+        assert_eq!(e.to_string(), "query parse error at line 2: expected WHERE");
+        assert_eq!(
+            SparqlError::UndefinedPrefix("dm".into()).to_string(),
+            "undefined prefix: dm:"
+        );
+    }
+}

@@ -1,0 +1,362 @@
+//! `mdwh` — a command-line frontend for the meta-data warehouse.
+//!
+//! The paper's warehouse has a web frontend (Figures 6 and 7); this CLI is
+//! the open-source equivalent: generate a landscape, persist it, and ask it
+//! the paper's questions from the shell.
+//!
+//! ```text
+//! mdwh generate --scale medium --out ./mdw-data [--seed N] [--extended]
+//! mdwh info     --store ./mdw-data
+//! mdwh census   --store ./mdw-data
+//! mdwh search   --store ./mdw-data customer [--synonyms] [--area Integration]
+//! mdwh lineage  --store ./mdw-data dwh_stage0_item0 [--upstream] [--depth N]
+//!               [--rule-filter "segment = 'PB'"]
+//! mdwh audit    --store ./mdw-data dwh_stage2_item0
+//! mdwh sparql   --store ./mdw-data 'SELECT ?x WHERE { ?x a dm:Application }'
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use metadata_warehouse::core::governance::render_access;
+use metadata_warehouse::core::lineage::LineageRequest;
+use metadata_warehouse::core::model::Area;
+use metadata_warehouse::core::report;
+use metadata_warehouse::core::search::SearchRequest;
+use metadata_warehouse::core::warehouse::MetadataWarehouse;
+use metadata_warehouse::corpus::{generate, CorpusConfig, Scale};
+use metadata_warehouse::rdf::persist::{load_store, save_store};
+use metadata_warehouse::rdf::vocab;
+use metadata_warehouse::rdf::Term;
+use metadata_warehouse::sparql::SemMatch;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("mdwh: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  mdwh generate --scale small|medium|paper --out DIR [--seed N] [--extended]
+  mdwh info     --store DIR
+  mdwh census   --store DIR
+  mdwh search   --store DIR TERM [--synonyms] [--area NAME] [--class LOCAL]
+  mdwh lineage  --store DIR ITEM [--upstream] [--depth N] [--rule-filter STR]
+  mdwh audit    --store DIR ITEM
+  mdwh gaps     --store DIR
+  mdwh sources  --store DIR CONCEPT
+  mdwh sparql   --store DIR QUERY [--no-rulebase]";
+
+/// Minimal flag parser: collects `--key value` pairs, `--flag` booleans,
+/// and bare positionals.
+struct Args {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+const VALUE_FLAGS: &[&str] = &[
+    "--scale", "--out", "--seed", "--store", "--area", "--class", "--depth", "--rule-filter",
+];
+
+fn parse_args(args: &[String]) -> Args {
+    let mut parsed = Args { positional: Vec::new(), options: Vec::new(), flags: Vec::new() };
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(stripped) = arg.strip_prefix("--") {
+            if VALUE_FLAGS.contains(&arg.as_str()) {
+                if let Some(value) = iter.next() {
+                    parsed.options.push((stripped.to_string(), value.clone()));
+                }
+            } else {
+                parsed.flags.push(stripped.to_string());
+            }
+        } else {
+            parsed.positional.push(arg.clone());
+        }
+    }
+    parsed
+}
+
+impl Args {
+    fn option(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(USAGE.to_string());
+    };
+    let parsed = parse_args(rest);
+    match command.as_str() {
+        "generate" => cmd_generate(&parsed),
+        "info" => cmd_info(&parsed),
+        "census" => cmd_census(&parsed),
+        "search" => cmd_search(&parsed),
+        "lineage" => cmd_lineage(&parsed),
+        "audit" => cmd_audit(&parsed),
+        "gaps" => cmd_gaps(&parsed),
+        "sources" => cmd_sources(&parsed),
+        "sparql" => cmd_sparql(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}\n{USAGE}")),
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let scale = match args.option("scale").unwrap_or("medium") {
+        "small" => Scale::Small,
+        "medium" => Scale::Medium,
+        "paper" => Scale::Paper,
+        other => return Err(format!("unknown scale: {other}")),
+    };
+    let out = PathBuf::from(args.option("out").ok_or("generate needs --out DIR")?);
+    let mut config = CorpusConfig::preset(scale);
+    if let Some(seed) = args.option("seed") {
+        config.seed = seed.parse().map_err(|_| format!("bad seed: {seed}"))?;
+    }
+    if args.flag("extended") {
+        config.extended_scope = true;
+    }
+    eprintln!("generating {scale:?} corpus (seed {}) …", config.seed);
+    let corpus = generate(&config);
+    let mut warehouse = MetadataWarehouse::new();
+    let report = warehouse
+        .ingest(corpus.into_extracts())
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "loaded {} triples ({} duplicates, {} rejected)",
+        report.load.loaded,
+        report.load.duplicates,
+        report.load.rejections.len()
+    );
+    let save = save_store(warehouse.store(), &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} triples across {} model(s) to {}",
+        save.total(),
+        save.models.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// Loads a persisted store and builds the semantic index.
+fn open_warehouse(args: &Args) -> Result<MetadataWarehouse, String> {
+    let dir = PathBuf::from(args.option("store").ok_or("missing --store DIR")?);
+    let store = load_store(&dir).map_err(|e| e.to_string())?;
+    let model = if store.has_model("DWH_CURR") {
+        "DWH_CURR".to_string()
+    } else {
+        store
+            .model_names()
+            .first()
+            .map(|s| s.to_string())
+            .ok_or("store holds no models")?
+    };
+    let mut warehouse =
+        MetadataWarehouse::from_store(store, &model).map_err(|e| e.to_string())?;
+    warehouse.build_semantic_index().map_err(|e| e.to_string())?;
+    Ok(warehouse)
+}
+
+/// Resolves a user-supplied item name: a full IRI, or a local name in the
+/// `dwh` instance namespace.
+fn resolve_item(name: &str) -> Term {
+    if name.starts_with("http://") || name.starts_with("https://") {
+        Term::iri(name)
+    } else {
+        Term::iri(vocab::cs::dwh(name))
+    }
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let warehouse = open_warehouse(args)?;
+    let stats = warehouse.stats().map_err(|e| e.to_string())?;
+    println!("model:   {}", warehouse.model_name());
+    println!("nodes:   {}", stats.nodes);
+    println!("edges:   {}", stats.edges);
+    println!("derived: {} (semantic index)", warehouse.derived_count());
+    println!(
+        "models on disk: {}",
+        warehouse.store().model_names().join(", ")
+    );
+    Ok(())
+}
+
+fn cmd_census(args: &Args) -> Result<(), String> {
+    let warehouse = open_warehouse(args)?;
+    let census = warehouse.census().map_err(|e| e.to_string())?;
+    print!("{}", report::render_census(&census));
+    Ok(())
+}
+
+fn cmd_search(args: &Args) -> Result<(), String> {
+    let term = args
+        .positional
+        .first()
+        .ok_or("search needs a TERM argument")?;
+    let warehouse = open_warehouse(args)?;
+    let mut request = SearchRequest::new(term.clone());
+    if args.flag("synonyms") {
+        request = request.with_synonyms();
+    }
+    if let Some(area) = args.option("area") {
+        request = request.in_area(match area {
+            "Inbound" | "DWH Inbound Interface" => Area::InboundInterface,
+            "Integration" => Area::Integration,
+            "DataMart" | "Data Mart" => Area::DataMart,
+            other => Area::Other(other.to_string()),
+        });
+    }
+    if let Some(class) = args.option("class") {
+        request = request.filter_class(Term::iri(vocab::cs::dm(class)));
+    }
+    let results = warehouse.search(&request).map_err(|e| e.to_string())?;
+    print!("{}", report::render_search(term, &results));
+    Ok(())
+}
+
+fn cmd_lineage(args: &Args) -> Result<(), String> {
+    let item = args
+        .positional
+        .first()
+        .ok_or("lineage needs an ITEM argument")?;
+    let warehouse = open_warehouse(args)?;
+    let start = resolve_item(item);
+    let mut request = if args.flag("upstream") {
+        LineageRequest::upstream(start)
+    } else {
+        LineageRequest::downstream(start)
+    };
+    if let Some(depth) = args.option("depth") {
+        request = request.max_depth(depth.parse().map_err(|_| format!("bad depth: {depth}"))?);
+    }
+    if let Some(filter) = args.option("rule-filter") {
+        request = request.with_rule_filter(filter);
+    }
+    let result = warehouse.lineage(&request).map_err(|e| e.to_string())?;
+    print!("{}", report::render_lineage(&result));
+    Ok(())
+}
+
+fn cmd_audit(args: &Args) -> Result<(), String> {
+    let item = args
+        .positional
+        .first()
+        .ok_or("audit needs an ITEM argument")?;
+    let warehouse = open_warehouse(args)?;
+    let report = warehouse
+        .who_can_access(&resolve_item(item))
+        .map_err(|e| e.to_string())?;
+    print!("{}", render_access(&report));
+    Ok(())
+}
+
+fn cmd_gaps(args: &Args) -> Result<(), String> {
+    let warehouse = open_warehouse(args)?;
+    let gaps = warehouse.governance_gaps().map_err(|e| e.to_string())?;
+    println!(
+        "data-mart items inspected: {}  |  ownerless: {}  |  coverage: {:.1} %",
+        gaps.inspected,
+        gaps.ownerless.len(),
+        gaps.coverage() * 100.0
+    );
+    for item in gaps.ownerless.iter().take(20) {
+        println!("  {}", item.label());
+    }
+    if gaps.ownerless.len() > 20 {
+        println!("  … and {} more", gaps.ownerless.len() - 20);
+    }
+    Ok(())
+}
+
+fn cmd_sources(args: &Args) -> Result<(), String> {
+    let concept = args
+        .positional
+        .first()
+        .ok_or("sources needs a CONCEPT argument (e.g. Party or Customer)")?;
+    let warehouse = open_warehouse(args)?;
+    let concept_term = if concept.starts_with("http://") || concept.starts_with("https://") {
+        Term::iri(concept.clone())
+    } else {
+        Term::iri(vocab::cs::dm(concept))
+    };
+    let result = warehouse
+        .find_sources(&concept_term)
+        .map_err(|e| e.to_string())?;
+    print!(
+        "{}",
+        metadata_warehouse::core::assist::render_sources(&result)
+    );
+    Ok(())
+}
+
+fn cmd_sparql(args: &Args) -> Result<(), String> {
+    let pattern_or_query = args
+        .positional
+        .first()
+        .ok_or("sparql needs a QUERY argument")?;
+    let warehouse = open_warehouse(args)?;
+    // Full SELECT queries run through the parser directly; bare `{ … }`
+    // patterns go through SemMatch with the standard aliases.
+    let upper = pattern_or_query.trim_start().to_uppercase();
+    let is_full_query =
+        upper.starts_with("SELECT") || upper.starts_with("PREFIX") || upper.starts_with("ASK");
+    let output = if is_full_query {
+        let query = metadata_warehouse::sparql::parser::parse(&with_default_prefixes(
+            pattern_or_query,
+        ))
+        .map_err(|e| e.to_string())?;
+        let graph = warehouse
+            .store()
+            .model(warehouse.model_name())
+            .map_err(|e| e.to_string())?;
+        metadata_warehouse::sparql::exec::execute(&query, graph, warehouse.store().dict())
+            .map_err(|e| e.to_string())?
+    } else {
+        let mut sem = SemMatch::new(pattern_or_query.clone())
+            .alias("dm", vocab::cs::DM)
+            .alias("dt", vocab::cs::DT)
+            .alias("dwh", vocab::cs::DWH);
+        if !args.flag("no-rulebase") {
+            sem = sem.rulebase("OWLPRIME");
+        }
+        warehouse.sem_match(&sem).map_err(|e| e.to_string())?
+    };
+    print!("{}", output.to_table());
+    println!("({} rows)", output.rows.len());
+    Ok(())
+}
+
+/// Prepends the warehouse's standard prefixes to a full query unless it
+/// declares its own.
+fn with_default_prefixes(query: &str) -> String {
+    if query.trim_start().to_uppercase().starts_with("PREFIX") {
+        return query.to_string();
+    }
+    format!(
+        "PREFIX rdf: <{}>\nPREFIX rdfs: <{}>\nPREFIX owl: <{}>\nPREFIX dm: <{}>\nPREFIX dt: <{}>\nPREFIX dwh: <{}>\n{query}",
+        vocab::rdf::NS,
+        vocab::rdfs::NS,
+        vocab::owl::NS,
+        vocab::cs::DM,
+        vocab::cs::DT,
+        vocab::cs::DWH,
+    )
+}

@@ -1,0 +1,29 @@
+//! # metadata-warehouse — facade crate
+//!
+//! Reproduction of *The Credit Suisse Meta-data Warehouse* (Jossen,
+//! Blunschi, Mori, Kossmann, Stockinger — ICDE 2012): an enterprise
+//! meta-data warehouse that stores all business and technical metadata of a
+//! large organization as one labeled RDF graph, with search and
+//! lineage/provenance services on top.
+//!
+//! This crate re-exports the workspace crates under stable paths:
+//!
+//! * [`rdf`] — the RDF substrate (terms, dictionary encoding, triple
+//!   indexes, named models, staging/bulk-load, Turtle subset),
+//! * [`reason`] — the OWLPRIME-subset rulebase and entailment indexes,
+//! * [`sparql`] — the SPARQL-subset engine and the `SEM_MATCH`-style API,
+//! * [`core`] — the meta-data warehouse itself (Table I model, ingest,
+//!   historization, search, lineage, synonyms, reports),
+//! * [`corpus`] — the synthetic banking-landscape generator,
+//! * [`relational`] — the fixed-schema relational baseline the paper argues
+//!   against.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and experiment index.
+
+pub use mdw_core as core;
+pub use mdw_corpus as corpus;
+pub use mdw_rdf as rdf;
+pub use mdw_reason as reason;
+pub use mdw_relational as relational;
+pub use mdw_sparql as sparql;

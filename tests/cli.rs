@@ -1,0 +1,132 @@
+//! Integration tests for the `mdwh` command-line frontend: generate a
+//! store on disk, then drive every subcommand against it.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::OnceLock;
+
+fn mdwh() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mdwh"))
+}
+
+/// A shared generated store (built once per test binary run).
+fn store_dir() -> &'static PathBuf {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("mdwh-cli-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let output = mdwh()
+            .args(["generate", "--scale", "small", "--out"])
+            .arg(&dir)
+            .output()
+            .expect("run mdwh generate");
+        assert!(
+            output.status.success(),
+            "generate failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        dir
+    })
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let dir = store_dir();
+    let output = mdwh()
+        .args(args.iter().flat_map(|a| {
+            if *a == "@STORE" {
+                vec!["--store", dir.to_str().unwrap()]
+            } else {
+                vec![*a]
+            }
+        }))
+        .output()
+        .expect("run mdwh");
+    assert!(
+        output.status.success(),
+        "mdwh {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).to_string()
+}
+
+#[test]
+fn info_reports_scale() {
+    let out = run_ok(&["info", "@STORE"]);
+    assert!(out.contains("model:   DWH_CURR"));
+    assert!(out.contains("nodes:"));
+    assert!(out.contains("derived:"));
+}
+
+#[test]
+fn census_prints_table1() {
+    let out = run_ok(&["census", "@STORE"]);
+    assert!(out.contains("Table I census"));
+    assert!(out.contains("Hierarchies"));
+}
+
+#[test]
+fn search_with_synonyms() {
+    let plain = run_ok(&["search", "@STORE", "client"]);
+    let expanded = run_ok(&["search", "@STORE", "client", "--synonyms"]);
+    assert!(expanded.contains("expanded to: client, customer, partner"));
+    // Synonyms can only widen the result set.
+    let count = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("distinct matching instance"))
+            .and_then(|l| l.trim().split(' ').next())
+            .and_then(|n| n.parse::<usize>().ok())
+            .unwrap_or(0)
+    };
+    assert!(count(&expanded) >= count(&plain));
+}
+
+#[test]
+fn lineage_downstream_and_filtered() {
+    let out = run_ok(&["lineage", "@STORE", "dwh_stage0_item0"]);
+    assert!(out.contains("Lineage from dwh_stage0_item0"));
+    assert!(out.contains("--isMappedTo"));
+    let filtered = run_ok(&[
+        "lineage",
+        "@STORE",
+        "dwh_stage0_item0",
+        "--rule-filter",
+        "segment = 'PB'",
+    ]);
+    assert!(filtered.contains("endpoints"));
+}
+
+#[test]
+fn audit_lists_roles() {
+    let out = run_ok(&["audit", "@STORE", "dwh_stage2_item0"]);
+    assert!(out.contains("Access audit for dwh_stage2_item0"));
+    assert!(out.contains("distinct users with access:"));
+}
+
+#[test]
+fn sparql_pattern_and_full_query() {
+    let out = run_ok(&["sparql", "@STORE", "{ ?x rdf:type dm:Application }"]);
+    assert!(out.contains("rows)"));
+    let out = run_ok(&[
+        "sparql",
+        "@STORE",
+        "SELECT (COUNT(*) AS ?n) WHERE { ?x a dm:Application }",
+    ]);
+    assert!(out.contains("(1 rows)"));
+    assert!(out.contains('3')); // small corpus has 3 applications
+    // ASK through the full-query path.
+    let out = run_ok(&["sparql", "@STORE", "ASK { ?x a dm:Application }"]);
+    assert!(out.contains("true"));
+}
+
+#[test]
+fn sources_ranks_candidates() {
+    let out = run_ok(&["sources", "@STORE", "Party"]);
+    assert!(out.contains("Data sources for concept Party"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let output = mdwh().arg("frobnicate").output().expect("run mdwh");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage:"));
+}

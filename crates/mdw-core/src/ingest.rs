@@ -16,12 +16,14 @@
 
 use std::time::{Duration, Instant};
 
+use mdw_rdf::failpoint;
 use mdw_rdf::staging::{LoadReport, StagingArea};
 use mdw_rdf::store::Store;
 use mdw_rdf::term::Term;
 use mdw_rdf::turtle;
 
 use crate::error::MdwError;
+use crate::resilience::{run_with_retry, Clock, RetryPolicy};
 
 /// One source export, already converted to RDF triples.
 #[derive(Debug, Clone)]
@@ -101,6 +103,154 @@ pub fn ingest(
     Ok(IngestReport { extracts: per_extract, staged, load, stage_time, load_time })
 }
 
+/// How one extract fared in a resilient ingest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractStatus {
+    /// Loaded on the first attempt.
+    Loaded,
+    /// Loaded after one or more transient failures.
+    RetriedThenLoaded {
+        /// Attempts consumed (≥ 2).
+        attempts: u32,
+    },
+    /// Set aside: the graph holds none of this extract's triples.
+    Quarantined {
+        /// Why the extract was quarantined.
+        reason: String,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+    },
+}
+
+impl ExtractStatus {
+    /// True if the extract's triples made it into the graph.
+    pub fn is_loaded(&self) -> bool {
+        !matches!(self, ExtractStatus::Quarantined { .. })
+    }
+}
+
+/// Per-extract outcome of a resilient ingest.
+#[derive(Debug, Clone)]
+pub struct ExtractOutcome {
+    /// Which system produced the extract.
+    pub source: String,
+    /// Triples the extract carried.
+    pub triples: usize,
+    /// What happened to it.
+    pub status: ExtractStatus,
+    /// Triples newly inserted (0 when quarantined).
+    pub loaded: usize,
+    /// Triples already present (0 when quarantined).
+    pub duplicates: usize,
+    /// Triples rejected by per-triple validation while the extract as a
+    /// whole still loaded.
+    pub rejected: usize,
+}
+
+/// The trace of one fault-tolerant ingestion run.
+#[derive(Debug, Clone, Default)]
+pub struct ResilientIngestReport {
+    /// One outcome per extract, in delivery order.
+    pub outcomes: Vec<ExtractOutcome>,
+}
+
+impl ResilientIngestReport {
+    /// Total triples newly inserted.
+    pub fn loaded(&self) -> usize {
+        self.outcomes.iter().map(|o| o.loaded).sum()
+    }
+
+    /// Sources that ended up quarantined.
+    pub fn quarantined_sources(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.status.is_loaded())
+            .map(|o| o.source.as_str())
+            .collect()
+    }
+
+    /// True if every extract loaded and nothing was rejected.
+    pub fn is_clean(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|o| o.status.is_loaded() && o.rejected == 0)
+    }
+}
+
+/// Stages and loads each extract *independently*, retrying transient
+/// failures with backoff and quarantining extracts that cannot load — one
+/// bad delivery no longer poisons the whole release ingest.
+///
+/// Classification: transient errors ([`MdwError::is_transient`]) are
+/// retried up to `policy.max_attempts` with `clock`-injected backoff;
+/// permanent errors quarantine the extract immediately, as does an extract
+/// whose every triple fails validation (a systematically broken export —
+/// retrying cannot help).
+///
+/// Failpoints consulted per attempt: `ingest::extract::<source>` first,
+/// then the generic `ingest::extract`, plus whatever the staging and
+/// persistence layers have armed.
+pub fn ingest_resilient(
+    store: &mut Store,
+    model: &str,
+    extracts: Vec<Extract>,
+    policy: &RetryPolicy,
+    clock: &dyn Clock,
+) -> Result<ResilientIngestReport, MdwError> {
+    // A missing model is a caller bug, not a per-extract fault.
+    store.model(model)?;
+    let mut report = ResilientIngestReport::default();
+    for extract in extracts {
+        let source = extract.source.clone();
+        let triples = extract.triples.len();
+        let specific = format!("ingest::extract::{source}");
+        let attempt_once = |store: &mut Store, _attempt: u32| -> Result<LoadReport, MdwError> {
+            failpoint::check(&specific)?;
+            failpoint::check("ingest::extract")?;
+            let mut staging = StagingArea::new();
+            staging.stage_batch(&source, extract.triples.clone());
+            Ok(staging.bulk_load(store, model)?)
+        };
+        let outcome = match run_with_retry(policy, clock, |a| attempt_once(store, a)) {
+            Ok(retried) => {
+                let load = retried.value;
+                let fully_rejected = triples > 0 && load.rejections.len() == triples;
+                let status = if fully_rejected {
+                    ExtractStatus::Quarantined {
+                        reason: format!(
+                            "validation rejected all {triples} triples (first: {})",
+                            load.rejections[0].reason
+                        ),
+                        attempts: retried.attempts,
+                    }
+                } else if retried.attempts > 1 {
+                    ExtractStatus::RetriedThenLoaded { attempts: retried.attempts }
+                } else {
+                    ExtractStatus::Loaded
+                };
+                ExtractOutcome {
+                    source,
+                    triples,
+                    status,
+                    loaded: load.loaded,
+                    duplicates: load.duplicates,
+                    rejected: if fully_rejected { 0 } else { load.rejections.len() },
+                }
+            }
+            Err((error, attempts)) => ExtractOutcome {
+                source,
+                triples,
+                status: ExtractStatus::Quarantined { reason: error.to_string(), attempts },
+                loaded: 0,
+                duplicates: 0,
+                rejected: 0,
+            },
+        };
+        report.outcomes.push(outcome);
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +328,161 @@ mod tests {
         let mut store = Store::new();
         let err = ingest(&mut store, "missing", vec![]).unwrap_err();
         assert!(matches!(err, MdwError::Rdf(_)));
+    }
+
+    mod resilient {
+        use super::*;
+        use crate::resilience::{failpoint, FailSpec, TestClock};
+
+        fn good_extract(source: &str, node: &str) -> Extract {
+            Extract::new(
+                source,
+                vec![(
+                    Term::iri(format!("http://ex.org/{node}")),
+                    Term::iri(vocab::rdf::TYPE),
+                    Term::iri("http://ex.org/Table"),
+                )],
+            )
+        }
+
+        #[test]
+        fn flaky_source_succeeds_after_three_transient_failures() {
+            failpoint::reset();
+            let mut store = Store::new();
+            store.create_model("m").unwrap();
+            // The first three delivery attempts fail, the fourth works.
+            failpoint::arm("ingest::extract::flaky", FailSpec::Times(3));
+            let clock = TestClock::new();
+            let policy = RetryPolicy::default(); // 4 attempts
+            let report = ingest_resilient(
+                &mut store,
+                "m",
+                vec![good_extract("flaky", "t1")],
+                &policy,
+                &clock,
+            )
+            .unwrap();
+            assert_eq!(report.outcomes.len(), 1);
+            assert_eq!(
+                report.outcomes[0].status,
+                ExtractStatus::RetriedThenLoaded { attempts: 4 }
+            );
+            assert_eq!(report.loaded(), 1);
+            // Backoff was requested but never actually slept.
+            assert_eq!(clock.sleeps().len(), 3);
+            assert!(clock.sleeps()[1] > clock.sleeps()[0]);
+            failpoint::reset();
+        }
+
+        #[test]
+        fn exhausted_retries_quarantine_the_extract() {
+            failpoint::reset();
+            let mut store = Store::new();
+            store.create_model("m").unwrap();
+            failpoint::arm("ingest::extract::dead", FailSpec::Always);
+            let clock = TestClock::new();
+            let policy = RetryPolicy::default().with_max_attempts(3);
+            let report = ingest_resilient(
+                &mut store,
+                "m",
+                vec![good_extract("dead", "t1"), good_extract("healthy", "t2")],
+                &policy,
+                &clock,
+            )
+            .unwrap();
+            // The dead source is quarantined; the healthy one still loads.
+            assert_eq!(report.quarantined_sources(), vec!["dead"]);
+            match &report.outcomes[0].status {
+                ExtractStatus::Quarantined { attempts, reason } => {
+                    assert_eq!(*attempts, 3);
+                    assert!(reason.contains("ingest::extract::dead"), "{reason}");
+                }
+                other => panic!("expected quarantine, got {other:?}"),
+            }
+            assert_eq!(report.outcomes[1].status, ExtractStatus::Loaded);
+            assert_eq!(store.model("m").unwrap().len(), 1);
+            failpoint::reset();
+        }
+
+        #[test]
+        fn fully_rejected_extract_is_quarantined_without_retry() {
+            failpoint::reset();
+            let mut store = Store::new();
+            store.create_model("m").unwrap();
+            let bad = Extract::new(
+                "broken-export",
+                vec![
+                    (Term::plain("lit1"), Term::iri("p"), Term::iri("o")),
+                    (Term::plain("lit2"), Term::iri("p"), Term::iri("o")),
+                ],
+            );
+            let clock = TestClock::new();
+            let report = ingest_resilient(
+                &mut store,
+                "m",
+                vec![bad],
+                &RetryPolicy::default(),
+                &clock,
+            )
+            .unwrap();
+            match &report.outcomes[0].status {
+                ExtractStatus::Quarantined { attempts, reason } => {
+                    // Validation failure is permanent — one attempt only.
+                    assert_eq!(*attempts, 1);
+                    assert!(reason.contains("rejected all 2"), "{reason}");
+                }
+                other => panic!("expected quarantine, got {other:?}"),
+            }
+            assert!(clock.sleeps().is_empty());
+            assert_eq!(store.model("m").unwrap().len(), 0);
+        }
+
+        #[test]
+        fn partial_rejection_still_loads_the_extract() {
+            failpoint::reset();
+            let mut store = Store::new();
+            store.create_model("m").unwrap();
+            let mixed = Extract::new(
+                "mixed",
+                vec![
+                    (
+                        Term::iri("http://ex.org/ok"),
+                        Term::iri(vocab::rdf::TYPE),
+                        Term::iri("http://ex.org/Table"),
+                    ),
+                    (Term::plain("lit"), Term::iri("p"), Term::iri("o")),
+                ],
+            );
+            let report = ingest_resilient(
+                &mut store,
+                "m",
+                vec![mixed],
+                &RetryPolicy::no_retry(),
+                &TestClock::new(),
+            )
+            .unwrap();
+            assert_eq!(report.outcomes[0].status, ExtractStatus::Loaded);
+            assert_eq!(report.outcomes[0].loaded, 1);
+            assert_eq!(report.outcomes[0].rejected, 1);
+            assert!(!report.is_clean());
+        }
+
+        #[test]
+        fn generic_failpoint_hits_every_extract() {
+            failpoint::reset();
+            let mut store = Store::new();
+            store.create_model("m").unwrap();
+            failpoint::arm("ingest::extract", FailSpec::Always);
+            let report = ingest_resilient(
+                &mut store,
+                "m",
+                vec![good_extract("a", "t1"), good_extract("b", "t2")],
+                &RetryPolicy::no_retry(),
+                &TestClock::new(),
+            )
+            .unwrap();
+            assert_eq!(report.quarantined_sources(), vec!["a", "b"]);
+            failpoint::reset();
+        }
     }
 }

@@ -1,0 +1,238 @@
+//! Fault-tolerance machinery: retry policies, injectable clocks, and the
+//! fault-injection registry re-exported from the substrate.
+//!
+//! The paper's pipeline ingests ~80 source exports per release; in
+//! production some deliveries always fail — a scanner times out, a file
+//! arrives half-written. The warehouse must make progress anyway: retry
+//! what is transient, quarantine what is not, and never corrupt the graph.
+//! This module supplies the policy pieces; the pipeline wiring lives in
+//! [`crate::ingest::ingest_resilient`].
+//!
+//! Everything here is deterministic under test: [`Clock`] abstracts
+//! sleeping so tests use [`TestClock`] (which only records the requested
+//! delays), and the failpoint registry (re-exported as [`failpoint`])
+//! injects faults from seeded streams — no wall-clock time, no real I/O
+//! errors needed.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crate::error::MdwError;
+
+/// The deterministic fault-injection registry (see
+/// [`mdw_rdf::failpoint`]): `arm` named failpoints to make persistence
+/// and ingest paths fail on demand.
+pub use mdw_rdf::failpoint;
+
+/// How an armed failpoint fires (re-exported for convenience).
+pub use mdw_rdf::failpoint::FailSpec;
+
+/// A source of delay, so retry backoff is injectable: production uses
+/// [`SystemClock`], tests use [`TestClock`] and assert on the recorded
+/// delays instead of actually waiting.
+pub trait Clock {
+    /// Waits for `duration` (or pretends to).
+    fn sleep(&self, duration: Duration);
+}
+
+/// The real clock: [`std::thread::sleep`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn sleep(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+}
+
+/// A recording clock for tests: `sleep` returns immediately and the
+/// requested delays are observable. Clones share the same recording.
+#[derive(Debug, Clone, Default)]
+pub struct TestClock {
+    sleeps: Rc<RefCell<Vec<Duration>>>,
+}
+
+impl TestClock {
+    /// A fresh recording clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every delay requested so far, in order.
+    pub fn sleeps(&self) -> Vec<Duration> {
+        self.sleeps.borrow().clone()
+    }
+
+    /// Sum of all requested delays.
+    pub fn total_slept(&self) -> Duration {
+        self.sleeps.borrow().iter().sum()
+    }
+}
+
+impl Clock for TestClock {
+    fn sleep(&self, duration: Duration) {
+        self.sleeps.borrow_mut().push(duration);
+    }
+}
+
+/// Bounded retry with exponential backoff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 = no retries.
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Backoff factor between consecutive retries.
+    pub multiplier: u32,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(50),
+            multiplier: 2,
+            max_delay: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retry() -> Self {
+        RetryPolicy { max_attempts: 1, ..Default::default() }
+    }
+
+    /// Sets the attempt bound.
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Sets the first-retry delay.
+    pub fn with_base_delay(mut self, d: Duration) -> Self {
+        self.base_delay = d;
+        self
+    }
+
+    /// The backoff delay after failed attempt number `attempt` (1-based):
+    /// `base * multiplier^(attempt-1)`, capped at `max_delay`.
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let factor = self.multiplier.saturating_pow(attempt.saturating_sub(1));
+        self.base_delay
+            .saturating_mul(factor)
+            .min(self.max_delay)
+    }
+}
+
+/// A successful retried operation: the value plus how many attempts it
+/// took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryOutcome<T> {
+    /// What the operation returned.
+    pub value: T,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// Runs `op` under `policy`: transient failures
+/// ([`MdwError::is_transient`]) are retried after a backoff sleep on
+/// `clock`; permanent failures and exhaustion return the last error with
+/// the attempt count.
+pub fn run_with_retry<T>(
+    policy: &RetryPolicy,
+    clock: &dyn Clock,
+    mut op: impl FnMut(u32) -> Result<T, MdwError>,
+) -> Result<RetryOutcome<T>, (MdwError, u32)> {
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match op(attempt) {
+            Ok(value) => return Ok(RetryOutcome { value, attempts: attempt }),
+            Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                clock.sleep(policy.delay_for(attempt));
+            }
+            Err(e) => return Err((e, attempt)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdw_rdf::RdfError;
+
+    fn transient() -> MdwError {
+        MdwError::Rdf(RdfError::Injected { failpoint: "t".into() })
+    }
+
+    fn permanent() -> MdwError {
+        MdwError::Rdf(RdfError::corrupt("x", "y"))
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(100),
+            multiplier: 3,
+            max_delay: Duration::from_millis(1200),
+        };
+        assert_eq!(p.delay_for(1), Duration::from_millis(100));
+        assert_eq!(p.delay_for(2), Duration::from_millis(300));
+        assert_eq!(p.delay_for(3), Duration::from_millis(900));
+        assert_eq!(p.delay_for(4), Duration::from_millis(1200)); // capped
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_failures() {
+        let clock = TestClock::new();
+        let policy = RetryPolicy::default();
+        let mut failures_left = 3;
+        let out = run_with_retry(&policy, &clock, |_| {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(transient())
+            } else {
+                Ok("done")
+            }
+        })
+        .unwrap();
+        assert_eq!(out.value, "done");
+        assert_eq!(out.attempts, 4);
+        // Three sleeps with doubling delays — recorded, never slept.
+        assert_eq!(
+            clock.sleeps(),
+            vec![
+                Duration::from_millis(50),
+                Duration::from_millis(100),
+                Duration::from_millis(200),
+            ]
+        );
+    }
+
+    #[test]
+    fn permanent_failure_is_not_retried() {
+        let clock = TestClock::new();
+        let policy = RetryPolicy::default();
+        let (err, attempts) =
+            run_with_retry::<()>(&policy, &clock, |_| Err(permanent())).unwrap_err();
+        assert_eq!(attempts, 1);
+        assert!(!err.is_transient());
+        assert!(clock.sleeps().is_empty());
+    }
+
+    #[test]
+    fn exhaustion_returns_last_error() {
+        let clock = TestClock::new();
+        let policy = RetryPolicy::default().with_max_attempts(3);
+        let (err, attempts) =
+            run_with_retry::<()>(&policy, &clock, |_| Err(transient())).unwrap_err();
+        assert_eq!(attempts, 3);
+        assert!(err.is_transient());
+        assert_eq!(clock.sleeps().len(), 2);
+    }
+}

@@ -16,6 +16,10 @@
 //! 5. [`MetadataWarehouse::snapshot`] historizes the current graph at each
 //!    release.
 
+use std::path::{Path, PathBuf};
+
+use mdw_rdf::journal::{Journal, JournalOp};
+use mdw_rdf::persist::{self, RecoveryReport, SaveReport};
 use mdw_rdf::store::{GraphStats, Store};
 use mdw_rdf::term::Term;
 use mdw_rdf::triple::Triple;
@@ -26,16 +30,25 @@ use crate::assist::{self, SourceCandidates};
 use crate::error::MdwError;
 use crate::governance::{self, AccessReport, GovernanceGaps};
 use crate::history::{History, VersionDiff, VersionRecord};
-use crate::ingest::{ingest, Extract, IngestReport};
+use crate::ingest::{ingest, ingest_resilient, Extract, IngestReport, ResilientIngestReport};
 use crate::lineage::{self, FlowRow, Hop, ImpactSummary, LineageRequest, LineageResult};
 use crate::model::{census, Census};
 use crate::search::{self, SearchRequest, SearchResults};
+use crate::resilience::{Clock, RetryPolicy};
 use crate::sync::{SourceRegistry, SyncReport};
 use crate::synonyms::SynonymTable;
 
 /// The default current-model name, as queried in the paper's listings
 /// (`SEM_MODELS('DWH_CURR')`).
 pub const DEFAULT_MODEL: &str = "DWH_CURR";
+
+/// Disk attachment of a durable warehouse: the store directory plus its
+/// open write-ahead journal.
+#[derive(Debug)]
+struct Durability {
+    dir: PathBuf,
+    journal: Journal,
+}
 
 /// The meta-data warehouse.
 #[derive(Debug)]
@@ -47,6 +60,7 @@ pub struct MetadataWarehouse {
     synonyms: SynonymTable,
     history: History,
     sources: SourceRegistry,
+    durability: Option<Durability>,
 }
 
 impl Default for MetadataWarehouse {
@@ -75,6 +89,7 @@ impl MetadataWarehouse {
             synonyms: SynonymTable::banking(),
             history: History::new(),
             sources: SourceRegistry::new(),
+            durability: None,
         }
     }
 
@@ -92,7 +107,77 @@ impl MetadataWarehouse {
             synonyms: SynonymTable::banking(),
             history: History::new(),
             sources: SourceRegistry::new(),
+            durability: None,
         })
+    }
+
+    /// Opens (or creates) a durable warehouse in `dir` with the default
+    /// model: recovers the last committed state (snapshot + journal
+    /// replay, truncating any torn journal tail) and keeps the journal
+    /// open so every subsequent mutation is logged before it is
+    /// acknowledged.
+    pub fn open(dir: &Path) -> Result<(Self, RecoveryReport), MdwError> {
+        Self::open_with_model(dir, DEFAULT_MODEL)
+    }
+
+    /// [`Self::open`] with a custom current-model name.
+    pub fn open_with_model(dir: &Path, model: &str) -> Result<(Self, RecoveryReport), MdwError> {
+        let (mut store, report) = persist::recover(dir)?;
+        if !store.has_model(model) {
+            store.create_model(model)?;
+        }
+        let mut warehouse = Self::from_store(store, model)?;
+        let journal = Journal::open(dir)?;
+        warehouse.durability = Some(Durability { dir: dir.to_path_buf(), journal });
+        Ok((warehouse, report))
+    }
+
+    /// Makes an in-memory warehouse durable: snapshots the current state
+    /// into `dir` and starts journaling there. Returns the snapshot
+    /// report.
+    pub fn attach_durability(&mut self, dir: &Path) -> Result<SaveReport, MdwError> {
+        let mut journal = Journal::open(dir)?;
+        let base = journal.next_seq().saturating_sub(1);
+        let report = persist::save_snapshot(&self.store, dir, base)?;
+        journal.reset(base)?;
+        self.durability = Some(Durability { dir: dir.to_path_buf(), journal });
+        Ok(report)
+    }
+
+    /// Whether mutations are journaled to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The store directory, when durable.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Folds the journal into a fresh snapshot: write the whole store
+    /// atomically, then truncate the journal to just a base marker.
+    /// Returns `None` when the warehouse is not durable.
+    pub fn checkpoint(&mut self) -> Result<Option<SaveReport>, MdwError> {
+        let Some(d) = self.durability.as_mut() else {
+            return Ok(None);
+        };
+        let base = d.journal.next_seq().saturating_sub(1);
+        let report = persist::save_snapshot(&self.store, &d.dir, base)?;
+        d.journal.reset(base)?;
+        Ok(Some(report))
+    }
+
+    /// Appends one batch to the journal, if durable. Called *after* the
+    /// in-memory mutation succeeded: the journal is a redo log, and a
+    /// batch is only acknowledged to the caller once it is on disk.
+    fn journal_batch(&mut self, ops: Vec<JournalOp>) -> Result<(), MdwError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        if let Some(d) = self.durability.as_mut() {
+            d.journal.append(&self.model, &ops)?;
+        }
+        Ok(())
     }
 
     /// The current-model name.
@@ -127,7 +212,7 @@ impl MetadataWarehouse {
             .map(|e| (e.source.clone(), e.triples.clone()))
             .collect();
         let report = ingest(&mut self.store, &self.model, extracts)?;
-        for (source, triples) in copies {
+        for (source, triples) in &copies {
             let encoded = triples.iter().filter_map(|(s, p, o)| {
                 Some(Triple::new(
                     self.store.encode(s)?,
@@ -135,8 +220,73 @@ impl MetadataWarehouse {
                     self.store.encode(o)?,
                 ))
             });
-            self.sources.record_additive(&source, encoded);
+            self.sources.record_additive(source, encoded);
         }
+        self.journal_batch(self.loaded_triples_as_ops(&copies)?)?;
+        self.materialization = None;
+        Ok(report)
+    }
+
+    /// Journal ops for the extract triples that actually reside in the
+    /// model after a load (validation rejects never reach the journal).
+    #[allow(clippy::type_complexity)]
+    fn loaded_triples_as_ops(
+        &self,
+        copies: &[(String, Vec<(Term, Term, Term)>)],
+    ) -> Result<Vec<JournalOp>, MdwError> {
+        if self.durability.is_none() {
+            return Ok(Vec::new());
+        }
+        let graph = self.store.model(&self.model)?;
+        let mut ops = Vec::new();
+        for (_, triples) in copies {
+            for (s, p, o) in triples {
+                let ids = (self.store.encode(s), self.store.encode(p), self.store.encode(o));
+                if let (Some(si), Some(pi), Some(oi)) = ids {
+                    if graph.contains(Triple::new(si, pi, oi)) {
+                        ops.push(JournalOp::Insert(s.clone(), p.clone(), o.clone()));
+                    }
+                }
+            }
+        }
+        Ok(ops)
+    }
+
+    /// Fault-tolerant variant of [`Self::ingest`]: each extract is staged
+    /// and loaded independently, transient failures are retried under
+    /// `policy` (backoff slept on `clock`), and extracts that cannot load
+    /// are quarantined instead of failing the whole release. Provenance is
+    /// recorded — and the journal written — only for extracts that loaded.
+    pub fn ingest_resilient(
+        &mut self,
+        extracts: Vec<Extract>,
+        policy: &RetryPolicy,
+        clock: &dyn Clock,
+    ) -> Result<ResilientIngestReport, MdwError> {
+        #[allow(clippy::type_complexity)]
+        let copies: Vec<(String, Vec<(Term, Term, Term)>)> = extracts
+            .iter()
+            .map(|e| (e.source.clone(), e.triples.clone()))
+            .collect();
+        let report = ingest_resilient(&mut self.store, &self.model, extracts, policy, clock)?;
+        #[allow(clippy::type_complexity)]
+        let loaded: Vec<(String, Vec<(Term, Term, Term)>)> = copies
+            .into_iter()
+            .zip(&report.outcomes)
+            .filter(|(_, outcome)| outcome.status.is_loaded())
+            .map(|(copy, _)| copy)
+            .collect();
+        for (source, triples) in &loaded {
+            let encoded = triples.iter().filter_map(|(s, p, o)| {
+                Some(Triple::new(
+                    self.store.encode(s)?,
+                    self.store.encode(p)?,
+                    self.store.encode(o)?,
+                ))
+            });
+            self.sources.record_additive(source, encoded);
+        }
+        self.journal_batch(self.loaded_triples_as_ops(&loaded)?)?;
         self.materialization = None;
         Ok(report)
     }
@@ -171,6 +321,18 @@ impl MetadataWarehouse {
         for &t in &removed {
             graph.remove(t);
         }
+        if self.durability.is_some() {
+            let mut ops = Vec::with_capacity(added.len() + removed.len());
+            for &t in &added {
+                let (s, p, o) = self.store.decode(t)?;
+                ops.push(JournalOp::Insert(s.clone(), p.clone(), o.clone()));
+            }
+            for &t in &removed {
+                let (s, p, o) = self.store.decode(t)?;
+                ops.push(JournalOp::Remove(s.clone(), p.clone(), o.clone()));
+            }
+            self.journal_batch(ops)?;
+        }
         if removed.is_empty() {
             if let Some(m) = self.materialization.as_mut() {
                 m.extend(self.store.model(&self.model)?, &self.rulebase, self.store.dict(), &added);
@@ -191,6 +353,9 @@ impl MetadataWarehouse {
     /// lands in the base model.
     pub fn insert_fact(&mut self, s: &Term, p: &Term, o: &Term) -> Result<bool, MdwError> {
         let fresh = self.store.insert(&self.model, s, p, o)?;
+        if fresh {
+            self.journal_batch(vec![JournalOp::Insert(s.clone(), p.clone(), o.clone())])?;
+        }
         if fresh {
             if let Some(m) = self.materialization.as_mut() {
                 let t = Triple::new(
@@ -214,6 +379,7 @@ impl MetadataWarehouse {
     pub fn load_synonym_edges(&mut self) -> Result<usize, MdwError> {
         let triples = self.synonyms.to_triples();
         let mut n = 0;
+        let mut ops = Vec::new();
         for (s, p, o) in triples {
             // Synonym edges connect literals; RDF forbids literal subjects,
             // so values are wrapped as value nodes in the dwh namespace.
@@ -221,8 +387,12 @@ impl MetadataWarehouse {
             let o = Term::iri(mdw_rdf::vocab::cs::dwh(&format!("term/{}", o.label())));
             if self.store.insert(&self.model, &s, &p, &o)? {
                 n += 1;
+                if self.durability.is_some() {
+                    ops.push(JournalOp::Insert(s, p, o));
+                }
             }
         }
+        self.journal_batch(ops)?;
         self.materialization = None;
         Ok(n)
     }
@@ -329,8 +499,15 @@ impl MetadataWarehouse {
     /// Takes a full historization snapshot of the current model.
     pub fn snapshot(&mut self, tag: &str) -> Result<VersionRecord, MdwError> {
         let model = self.model.clone();
-        self.history
-            .snapshot(&mut self.store, &model, tag).cloned()
+        let record = self
+            .history
+            .snapshot(&mut self.store, &model, tag)
+            .cloned()?;
+        // Historization copies the current model into a new HIST model —
+        // too big for the journal; fold everything into a fresh disk
+        // snapshot instead.
+        self.checkpoint()?;
+        Ok(record)
     }
 
     /// The historization registry.
@@ -560,6 +737,119 @@ mod tests {
             ))
             .unwrap_err();
         assert!(matches!(err, MdwError::InvalidRequest(_)));
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mdw-warehouse-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_state_survives_reopen_via_journal() {
+        let dir = temp_dir("journal-reopen");
+        {
+            let (mut w, rec) = MetadataWarehouse::open(&dir).unwrap();
+            assert!(w.is_durable());
+            assert_eq!(rec.replayed_batches, 0);
+            w.ingest(vec![Extract::new(
+                "scanner",
+                vec![(dwh("a"), Term::iri(vocab::rdf::TYPE), dm("Thing"))],
+            )])
+            .unwrap();
+            w.insert_fact(&dwh("a"), &Term::iri(vocab::cs::HAS_NAME), &Term::plain("a"))
+                .unwrap();
+            // No checkpoint: the state lives only in the journal.
+        }
+        let (w, rec) = MetadataWarehouse::open(&dir).unwrap();
+        assert_eq!(rec.replayed_batches, 2);
+        assert_eq!(w.stats().unwrap().edges, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_folds_journal_into_snapshot() {
+        let dir = temp_dir("checkpoint");
+        {
+            let (mut w, _) = MetadataWarehouse::open(&dir).unwrap();
+            w.ingest(vec![Extract::new(
+                "scanner",
+                vec![(dwh("a"), Term::iri(vocab::rdf::TYPE), dm("Thing"))],
+            )])
+            .unwrap();
+            let report = w.checkpoint().unwrap().expect("durable");
+            assert_eq!(report.total(), 1);
+        }
+        let (w, rec) = MetadataWarehouse::open(&dir).unwrap();
+        assert_eq!(rec.replayed_batches, 0, "journal was folded in");
+        assert_eq!(w.stats().unwrap().edges, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_resync_removals_survive_reopen() {
+        let dir = temp_dir("resync");
+        {
+            let (mut w, _) = MetadataWarehouse::open(&dir).unwrap();
+            w.ingest(vec![Extract::new(
+                "scanner",
+                vec![
+                    (dwh("old"), Term::iri(vocab::rdf::TYPE), dm("Thing")),
+                    (dwh("keep"), Term::iri(vocab::rdf::TYPE), dm("Thing")),
+                ],
+            )])
+            .unwrap();
+            w.resync(Extract::new(
+                "scanner",
+                vec![(dwh("keep"), Term::iri(vocab::rdf::TYPE), dm("Thing"))],
+            ))
+            .unwrap();
+        }
+        let (w, _) = MetadataWarehouse::open(&dir).unwrap();
+        assert_eq!(w.stats().unwrap().edges, 1);
+        let graph = w.store().model(w.model_name()).unwrap();
+        let kept = w
+            .store()
+            .pattern(Some(&dwh("keep")), None, None)
+            .unwrap();
+        assert_eq!(graph.scan(kept).count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn historization_snapshot_checkpoints_durable_store() {
+        let dir = temp_dir("hist");
+        {
+            let (mut w, _) = MetadataWarehouse::open(&dir).unwrap();
+            w.ingest(vec![Extract::new(
+                "scanner",
+                vec![(dwh("a"), Term::iri(vocab::rdf::TYPE), dm("Thing"))],
+            )])
+            .unwrap();
+            w.snapshot("2009.1").unwrap();
+        }
+        let (w, rec) = MetadataWarehouse::open(&dir).unwrap();
+        assert_eq!(rec.replayed_batches, 0);
+        // Both the current model and the historized copy came back.
+        assert_eq!(w.stats().unwrap().edges, 1);
+        assert_eq!(w.store().model_names().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn attach_durability_snapshots_existing_state() {
+        let dir = temp_dir("attach");
+        let mut w = loaded_warehouse();
+        assert!(!w.is_durable());
+        let report = w.attach_durability(&dir).unwrap();
+        assert_eq!(report.total(), w.stats().unwrap().edges);
+        assert!(w.store_dir().is_some());
+        let (reopened, _) = MetadataWarehouse::open(&dir).unwrap();
+        assert_eq!(reopened.stats().unwrap().edges, w.stats().unwrap().edges);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -24,6 +24,47 @@ pub enum RdfError {
         /// What went wrong.
         message: String,
     },
+    /// An I/O failure in the persistence layer (environment-level, usually
+    /// transient — retryable).
+    Io {
+        /// What the store was doing (e.g. "write manifest").
+        context: String,
+        /// The underlying OS error, rendered.
+        message: String,
+    },
+    /// On-disk state that fails validation: bad magic, checksum mismatch,
+    /// truncated snapshot files, malformed journal records. Permanent —
+    /// retrying cannot help; `recover`/`fsck` are the remedies.
+    Corrupt {
+        /// Which artifact is damaged (e.g. "journal", "model_3_0.nt").
+        context: String,
+        /// What the validator found.
+        message: String,
+    },
+    /// A fault injected by an armed failpoint (testing/fault-drills only);
+    /// treated as transient by the retry machinery.
+    Injected {
+        /// The failpoint that fired.
+        failpoint: String,
+    },
+}
+
+impl RdfError {
+    /// Wraps an OS-level I/O error with its persistence context.
+    pub fn io(context: impl Into<String>, e: std::io::Error) -> RdfError {
+        RdfError::Io { context: context.into(), message: e.to_string() }
+    }
+
+    /// Builds a corruption error for a named on-disk artifact.
+    pub fn corrupt(context: impl Into<String>, message: impl Into<String>) -> RdfError {
+        RdfError::Corrupt { context: context.into(), message: message.into() }
+    }
+
+    /// True for failures worth retrying (environmental I/O and injected
+    /// faults); false for corruption, validation, and logic errors.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RdfError::Io { .. } | RdfError::Injected { .. })
+    }
 }
 
 impl fmt::Display for RdfError {
@@ -35,6 +76,15 @@ impl fmt::Display for RdfError {
             RdfError::InvalidTriple { reason } => write!(f, "invalid triple: {reason}"),
             RdfError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            RdfError::Io { context, message } => {
+                write!(f, "persistence I/O error ({context}): {message}")
+            }
+            RdfError::Corrupt { context, message } => {
+                write!(f, "corrupt store ({context}): {message}")
+            }
+            RdfError::Injected { failpoint } => {
+                write!(f, "injected fault at failpoint: {failpoint}")
             }
         }
     }
@@ -56,5 +106,22 @@ mod tests {
             RdfError::Parse { line: 3, message: "bad IRI".into() }.to_string(),
             "parse error at line 3: bad IRI"
         );
+        assert_eq!(
+            RdfError::corrupt("journal", "bad checksum").to_string(),
+            "corrupt store (journal): bad checksum"
+        );
+        let io = RdfError::io(
+            "read manifest",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(io.to_string().contains("read manifest"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(RdfError::io("x", std::io::Error::other("boom")).is_transient());
+        assert!(RdfError::Injected { failpoint: "journal::append".into() }.is_transient());
+        assert!(!RdfError::corrupt("journal", "torn").is_transient());
+        assert!(!RdfError::UnknownModel("m".into()).is_transient());
     }
 }

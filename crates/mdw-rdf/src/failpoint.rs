@@ -1,0 +1,270 @@
+//! Deterministic fault-injection failpoints.
+//!
+//! A *failpoint* is a named hook compiled into the persistence and ingest
+//! paths. In production nothing is armed and every check is a cheap
+//! thread-local map probe. Tests (and the `mdwh` CLI via `--inject`) arm
+//! failpoints to make the next pass through that code path fail — once, N
+//! times, always, or with a seeded probability — so crash-recovery and
+//! retry behavior can be exercised without real disk faults.
+//!
+//! The registry is **thread-local**: arming a failpoint affects only the
+//! current thread, so parallel test binaries cannot interfere with each
+//! other and a test's arsenal is dropped when the test ends (or via
+//! [`reset`]).
+//!
+//! Naming convention: `layer::operation[::detail]`, e.g.
+//! `journal::append`, `snapshot::manifest`, `ingest::extract::app1`.
+//! [`check`] consults the exact name only; callers that want per-source
+//! targeting probe the specific name first, then the generic one.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use crate::error::RdfError;
+
+/// How an armed failpoint fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailSpec {
+    /// Fail the next check, then disarm.
+    Once,
+    /// Fail the next `n` checks, then disarm.
+    Times(u32),
+    /// Fail every check until disarmed.
+    Always,
+    /// Fail each check with probability `pct`/100, using a deterministic
+    /// per-failpoint stream seeded with `seed`.
+    Probability {
+        /// Percentage (0–100).
+        pct: u8,
+        /// Stream seed — the decision sequence is a pure function of it.
+        seed: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Armed {
+    spec: FailSpec,
+    remaining: u32,
+    rng_state: u64,
+    hits: u64,
+}
+
+thread_local! {
+    static REGISTRY: RefCell<BTreeMap<String, Armed>> = const { RefCell::new(BTreeMap::new()) };
+}
+
+/// Arms a failpoint with the given behavior (replacing any previous arming).
+pub fn arm(name: &str, spec: FailSpec) {
+    let remaining = match &spec {
+        FailSpec::Once => 1,
+        FailSpec::Times(n) => *n,
+        _ => 0,
+    };
+    let rng_state = match &spec {
+        FailSpec::Probability { seed, .. } => seed | 1,
+        _ => 0,
+    };
+    REGISTRY.with(|r| {
+        r.borrow_mut().insert(
+            name.to_string(),
+            Armed { spec, remaining, rng_state, hits: 0 },
+        );
+    });
+}
+
+/// Disarms one failpoint; `true` if it was armed.
+pub fn disarm(name: &str) -> bool {
+    REGISTRY.with(|r| r.borrow_mut().remove(name).is_some())
+}
+
+/// Disarms every failpoint on this thread.
+pub fn reset() {
+    REGISTRY.with(|r| r.borrow_mut().clear());
+}
+
+/// Names of currently armed failpoints on this thread.
+pub fn armed() -> Vec<String> {
+    REGISTRY.with(|r| r.borrow().keys().cloned().collect())
+}
+
+/// How often a failpoint has been *checked* since arming (fired or not);
+/// 0 if not armed.
+pub fn hit_count(name: &str) -> u64 {
+    REGISTRY.with(|r| r.borrow().get(name).map_or(0, |a| a.hits))
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Consults a failpoint: `Err(RdfError::Injected)` if it fires, `Ok(())`
+/// otherwise (including when it is not armed).
+pub fn check(name: &str) -> Result<(), RdfError> {
+    let fire = REGISTRY.with(|r| {
+        let mut map = r.borrow_mut();
+        let Some(armed) = map.get_mut(name) else {
+            return false;
+        };
+        armed.hits += 1;
+        match armed.spec {
+            FailSpec::Always => true,
+            FailSpec::Once | FailSpec::Times(_) => {
+                if armed.remaining > 0 {
+                    armed.remaining -= 1;
+                    if armed.remaining == 0 {
+                        map.remove(name);
+                    }
+                    true
+                } else {
+                    map.remove(name);
+                    false
+                }
+            }
+            FailSpec::Probability { pct, .. } => {
+                let roll = splitmix64(&mut armed.rng_state) % 100;
+                roll < u64::from(pct)
+            }
+        }
+    });
+    if fire {
+        Err(RdfError::Injected { failpoint: name.to_string() })
+    } else {
+        Ok(())
+    }
+}
+
+/// Parses a CLI/ENV failpoint spec: `once`, `times:N`, `always`, or
+/// `pct:P` / `pct:P:SEED`.
+pub fn parse_spec(text: &str) -> Result<FailSpec, String> {
+    let parts: Vec<&str> = text.split(':').collect();
+    match parts.as_slice() {
+        ["once"] => Ok(FailSpec::Once),
+        ["always"] => Ok(FailSpec::Always),
+        ["times", n] => n
+            .parse()
+            .map(FailSpec::Times)
+            .map_err(|_| format!("bad times count: {n}")),
+        ["pct", p] => parse_pct(p).map(|pct| FailSpec::Probability { pct, seed: 0xFA17 }),
+        ["pct", p, s] => {
+            let pct = parse_pct(p)?;
+            let seed = s.parse().map_err(|_| format!("bad seed: {s}"))?;
+            Ok(FailSpec::Probability { pct, seed })
+        }
+        _ => Err(format!(
+            "bad failpoint spec {text:?} (want once | times:N | always | pct:P[:SEED])"
+        )),
+    }
+}
+
+fn parse_pct(p: &str) -> Result<u8, String> {
+    let pct: u8 = p.parse().map_err(|_| format!("bad percentage: {p}"))?;
+    if pct > 100 {
+        return Err(format!("percentage out of range: {pct}"));
+    }
+    Ok(pct)
+}
+
+/// Arms failpoints from a comma-separated list of `name=spec` pairs (the
+/// `mdwh --inject` / `MDWH_FAILPOINTS` format).
+pub fn arm_from_list(list: &str) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for entry in list.split(',').filter(|e| !e.trim().is_empty()) {
+        let (name, spec_text) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("bad failpoint entry {entry:?} (want name=spec)"))?;
+        arm(name.trim(), parse_spec(spec_text.trim())?);
+        names.push(name.trim().to_string());
+    }
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_is_free() {
+        reset();
+        assert!(check("nothing::armed").is_ok());
+    }
+
+    #[test]
+    fn once_fires_once() {
+        reset();
+        arm("t::once", FailSpec::Once);
+        assert!(check("t::once").is_err());
+        assert!(check("t::once").is_ok());
+        assert!(armed().is_empty());
+    }
+
+    #[test]
+    fn times_fires_n_times() {
+        reset();
+        arm("t::times", FailSpec::Times(3));
+        for _ in 0..3 {
+            assert!(check("t::times").is_err());
+        }
+        assert!(check("t::times").is_ok());
+    }
+
+    #[test]
+    fn always_fires_until_disarmed() {
+        reset();
+        arm("t::always", FailSpec::Always);
+        for _ in 0..5 {
+            assert!(check("t::always").is_err());
+        }
+        assert!(disarm("t::always"));
+        assert!(check("t::always").is_ok());
+    }
+
+    #[test]
+    fn probability_is_deterministic() {
+        reset();
+        let run = |seed| {
+            arm("t::prob", FailSpec::Probability { pct: 40, seed });
+            let fires: Vec<bool> = (0..50).map(|_| check("t::prob").is_err()).collect();
+            disarm("t::prob");
+            fires
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+        let count = run(7).iter().filter(|&&b| b).count();
+        assert!(count > 5 && count < 40, "40% of 50 ≈ 20, got {count}");
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(parse_spec("once"), Ok(FailSpec::Once));
+        assert_eq!(parse_spec("times:4"), Ok(FailSpec::Times(4)));
+        assert_eq!(parse_spec("always"), Ok(FailSpec::Always));
+        assert_eq!(
+            parse_spec("pct:10:99"),
+            Ok(FailSpec::Probability { pct: 10, seed: 99 })
+        );
+        assert!(parse_spec("pct:200").is_err());
+        assert!(parse_spec("sometimes").is_err());
+    }
+
+    #[test]
+    fn arm_from_list_arms_each() {
+        reset();
+        let names = arm_from_list("a::b=once, c::d=times:2").unwrap();
+        assert_eq!(names, vec!["a::b", "c::d"]);
+        assert_eq!(armed().len(), 2);
+        reset();
+    }
+
+    #[test]
+    fn injected_error_is_transient() {
+        reset();
+        arm("t::err", FailSpec::Once);
+        let err = check("t::err").unwrap_err();
+        assert!(err.is_transient());
+        assert!(err.to_string().contains("t::err"));
+    }
+}

@@ -18,14 +18,21 @@
 //! * [`turtle`] — a Turtle/N-Triples subset parser and serializer used as the
 //!   ontology and fact exchange format (the Protégé-export substitute),
 //! * [`vocab`] — the RDF/RDFS/OWL/XSD vocabulary plus the Credit Suisse
-//!   namespaces (`dm:`, `dt:`) that appear in the paper's SPARQL listings.
+//!   namespaces (`dm:`, `dt:`) that appear in the paper's SPARQL listings,
+//! * [`persist`] + [`journal`] — crash-safe durability: atomic
+//!   generation-switching snapshots, a checksummed redo journal, and
+//!   [`persist::recover`]/[`persist::fsck`] over both,
+//! * [`failpoint`] — a deterministic fault-injection registry used by the
+//!   crash-recovery drills and the CLI's `--inject` flag.
 //!
 //! Everything above the substrate (inference, SPARQL, the warehouse services)
 //! lives in the sibling crates `mdw-reason`, `mdw-sparql`, and `mdw-core`.
 
 pub mod dict;
 pub mod error;
+pub mod failpoint;
 pub mod index;
+pub mod journal;
 pub mod persist;
 pub mod staging;
 pub mod store;
@@ -36,8 +43,13 @@ pub mod vocab;
 
 pub use dict::{Dictionary, TermId};
 pub use error::RdfError;
+pub use failpoint::FailSpec;
 pub use index::TripleIndex;
-pub use persist::{load_store, save_store, SaveReport};
+pub use journal::{Journal, JournalBatch, JournalOp};
+pub use persist::{
+    fsck, load_store, recover, save_snapshot, save_store, FsckReport, RecoveryReport,
+    SaveReport, SnapshotInfo,
+};
 pub use staging::{LoadReport, StagingArea};
 pub use store::{Graph, Store, TripleSource};
 pub use term::{Literal, LiteralKind, Term};

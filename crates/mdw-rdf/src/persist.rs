@@ -1,33 +1,60 @@
-//! Store persistence: saving and loading a whole [`Store`] as N-Triples
-//! files on disk.
+//! Store persistence: crash-safe snapshots of a whole [`Store`] plus
+//! journal-based recovery.
 //!
-//! The paper's warehouse lives in Oracle tables; the pure-Rust equivalent of
-//! "the database survives the process" is a directory layout:
+//! The paper's warehouse lives in Oracle tables and inherits Oracle's
+//! durability; the pure-Rust equivalent is a directory layout written with
+//! the classic temp-file/fsync/rename discipline:
 //!
 //! ```text
-//! <dir>/manifest.tsv     one line per model:  <file-stem> \t <model name>
-//! <dir>/model_0.nt       the model's triples as N-Triples
-//! <dir>/model_1.nt       …
+//! <dir>/manifest.tsv       snapshot manifest (the single commit point)
+//! <dir>/model_<G>_0.nt     a model's triples as N-Triples, generation G
+//! <dir>/model_<G>_1.nt     …
+//! <dir>/journal.log        write-ahead journal (see [`crate::journal`])
 //! ```
 //!
-//! N-Triples is self-contained (no shared dictionary on disk); loading
-//! re-interns every term, so a save/load round trip preserves graph
-//! contents but not term-id assignments — exactly the guarantee the
-//! warehouse needs (nothing persists raw ids).
+//! A v2 manifest starts with `#mdw-snapshot v2 gen=<G> journal_seq=<S>`
+//! and lists `stem \t triples \t crc32 \t model-name` per model. Model
+//! files carry the generation in their name, so a new snapshot never
+//! overwrites the files the current manifest points at: every model file
+//! is written to a temp name, fsynced, renamed, and only then is the new
+//! manifest renamed over the old one. A crash at any byte leaves either
+//! the old snapshot or the new one — never a mixture. Files from older
+//! generations are deleted only after the manifest commit.
+//!
+//! [`recover`] rebuilds the last acknowledged state: load the snapshot,
+//! replay every committed journal batch past the snapshot's
+//! `journal_seq`, and truncate a torn journal tail. [`fsck`] performs the
+//! same checks read-only and reports what it finds.
+//!
+//! Legacy v1 manifests (no header, `stem \t name` lines, un-checksummed
+//! `model_<i>.nt` files) are still loadable.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::error::RdfError;
+use crate::failpoint;
+use crate::journal::{self, Journal, JournalOp};
 use crate::store::Store;
+use crate::triple::Triple;
 use crate::turtle;
+
+/// File name of the snapshot manifest inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.tsv";
+
+const MANIFEST_MAGIC: &str = "#mdw-snapshot v2";
 
 /// What a save wrote.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SaveReport {
     /// `(model name, triples written)` per model.
     pub models: Vec<(String, usize)>,
+    /// The snapshot generation this save committed.
+    pub generation: u64,
+    /// The journal sequence number folded into this snapshot.
+    pub journal_seq: u64,
 }
 
 impl SaveReport {
@@ -37,58 +64,489 @@ impl SaveReport {
     }
 }
 
-fn io_err(context: &str, e: std::io::Error) -> RdfError {
-    RdfError::InvalidTriple { reason: format!("persistence I/O ({context}): {e}") }
+/// Header data of an on-disk snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Manifest format version (1 or 2).
+    pub version: u8,
+    /// Snapshot generation (0 for v1).
+    pub generation: u64,
+    /// Last journal sequence folded into the snapshot (0 for v1).
+    pub journal_seq: u64,
 }
 
-/// Saves every model of the store into `dir` (created if missing).
-/// Any previous manifest in the directory is overwritten.
-pub fn save_store(store: &Store, dir: &Path) -> Result<SaveReport, RdfError> {
-    fs::create_dir_all(dir).map_err(|e| io_err("create dir", e))?;
-    let mut manifest = String::new();
-    let mut models = Vec::new();
-    for (i, name) in store.model_names().into_iter().enumerate() {
-        let stem = format!("model_{i}");
-        let graph = store.model(name)?;
-        let text = turtle::graph_to_ntriples(graph, store.dict());
-        let path = dir.join(format!("{stem}.nt"));
-        let mut file = fs::File::create(&path).map_err(|e| io_err("create model file", e))?;
-        file.write_all(text.as_bytes())
-            .map_err(|e| io_err("write model file", e))?;
-        manifest.push_str(&format!("{stem}\t{name}\n"));
-        models.push((name.to_string(), graph.len()));
-    }
-    fs::write(dir.join("manifest.tsv"), manifest).map_err(|e| io_err("write manifest", e))?;
-    Ok(SaveReport { models })
+#[derive(Debug)]
+struct ManifestEntry {
+    stem: String,
+    name: String,
+    /// v2 only: expected triple count.
+    count: Option<usize>,
+    /// v2 only: expected CRC-32 of the file bytes.
+    crc: Option<u32>,
 }
 
-/// Loads a store previously written by [`save_store`].
-pub fn load_store(dir: &Path) -> Result<Store, RdfError> {
-    let manifest = fs::read_to_string(dir.join("manifest.tsv"))
-        .map_err(|e| io_err("read manifest", e))?;
-    let mut store = Store::new();
-    for (lineno, line) in manifest.lines().enumerate() {
+fn parse_manifest(text: &str) -> Result<(SnapshotInfo, Vec<ManifestEntry>), RdfError> {
+    let mut lines = text.lines().enumerate().peekable();
+    let info = match lines.peek() {
+        Some((_, first)) if first.starts_with("#mdw-snapshot") => {
+            let first = lines.next().expect("peeked").1;
+            let parsed = (|| {
+                let rest = first.strip_prefix(MANIFEST_MAGIC)?;
+                let mut generation = None;
+                let mut journal_seq = None;
+                for field in rest.split_whitespace() {
+                    if let Some(g) = field.strip_prefix("gen=") {
+                        generation = g.parse::<u64>().ok();
+                    } else if let Some(s) = field.strip_prefix("journal_seq=") {
+                        journal_seq = s.parse::<u64>().ok();
+                    }
+                }
+                Some(SnapshotInfo {
+                    version: 2,
+                    generation: generation?,
+                    journal_seq: journal_seq?,
+                })
+            })();
+            parsed.ok_or_else(|| {
+                RdfError::corrupt(MANIFEST_FILE, format!("bad snapshot header: {first:?}"))
+            })?
+        }
+        _ => SnapshotInfo { version: 1, generation: 0, journal_seq: 0 },
+    };
+
+    let mut entries = Vec::new();
+    for (lineno, line) in lines {
         if line.trim().is_empty() {
             continue;
         }
-        let (stem, name) = line.split_once('\t').ok_or_else(|| RdfError::Parse {
-            line: lineno + 1,
-            message: format!("malformed manifest line: {line:?}"),
-        })?;
-        let text = fs::read_to_string(dir.join(format!("{stem}.nt")))
-            .map_err(|e| io_err("read model file", e))?;
-        let doc = turtle::parse(&text)?;
-        store.create_model(name)?;
-        for (s, p, o) in doc.triples {
-            store.insert(name, &s, &p, &o)?;
+        if info.version == 1 {
+            let (stem, name) = line.split_once('\t').ok_or_else(|| RdfError::Parse {
+                line: lineno + 1,
+                message: format!("malformed manifest line: {line:?}"),
+            })?;
+            entries.push(ManifestEntry {
+                stem: stem.to_string(),
+                name: name.to_string(),
+                count: None,
+                crc: None,
+            });
+        } else {
+            let parts: Vec<&str> = line.splitn(4, '\t').collect();
+            let entry = match parts.as_slice() {
+                [stem, count, crc, name] => {
+                    match (count.parse::<usize>(), u32::from_str_radix(crc, 16)) {
+                        (Ok(c), Ok(x)) => Some(ManifestEntry {
+                            stem: stem.to_string(),
+                            name: name.to_string(),
+                            count: Some(c),
+                            crc: Some(x),
+                        }),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            entries.push(entry.ok_or_else(|| RdfError::Parse {
+                line: lineno + 1,
+                message: format!("malformed manifest line: {line:?}"),
+            })?);
         }
     }
-    Ok(store)
+    Ok((info, entries))
+}
+
+/// Reads just the snapshot header from `dir`, or `None` if no manifest
+/// exists yet.
+pub fn snapshot_info(dir: &Path) -> Result<Option<SnapshotInfo>, RdfError> {
+    let path = dir.join(MANIFEST_FILE);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let text = fs::read_to_string(&path).map_err(|e| RdfError::io("read manifest", e))?;
+    parse_manifest(&text).map(|(info, _)| Some(info))
+}
+
+/// Writes `bytes` to `final_path` atomically: temp file in the same
+/// directory, fsync, rename.
+fn write_atomic(final_path: &Path, bytes: &[u8], what: &str) -> Result<(), RdfError> {
+    let tmp = final_path.with_extension("tmp");
+    let mut file =
+        fs::File::create(&tmp).map_err(|e| RdfError::io(format!("create {what}"), e))?;
+    file.write_all(bytes)
+        .map_err(|e| RdfError::io(format!("write {what}"), e))?;
+    file.sync_data()
+        .map_err(|e| RdfError::io(format!("sync {what}"), e))?;
+    drop(file);
+    fs::rename(&tmp, final_path).map_err(|e| RdfError::io(format!("commit {what}"), e))?;
+    Ok(())
+}
+
+/// Best-effort directory fsync so the renames above are durable.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Saves every model of the store into `dir` (created if missing),
+/// recording `journal_seq` as the last journal sequence the snapshot
+/// contains. The write is atomic: a crash leaves the previous snapshot
+/// intact. Failpoints: `snapshot::model`, `snapshot::manifest`.
+pub fn save_snapshot(
+    store: &Store,
+    dir: &Path,
+    journal_seq: u64,
+) -> Result<SaveReport, RdfError> {
+    fs::create_dir_all(dir).map_err(|e| RdfError::io("create store dir", e))?;
+    let generation = match snapshot_info(dir) {
+        Ok(Some(info)) => info.generation + 1,
+        // A fresh directory — or one whose manifest is damaged beyond
+        // reading a generation; pick one past any file on disk.
+        _ => next_free_generation(dir),
+    };
+
+    let mut manifest = format!("{MANIFEST_MAGIC} gen={generation} journal_seq={journal_seq}\n");
+    let mut models = Vec::new();
+    let mut live: BTreeSet<String> = BTreeSet::new();
+    for (i, name) in store.model_names().into_iter().enumerate() {
+        failpoint::check("snapshot::model")?;
+        let stem = format!("model_{generation}_{i}");
+        let graph = store.model(name)?;
+        let text = turtle::graph_to_ntriples(graph, store.dict());
+        write_atomic(&dir.join(format!("{stem}.nt")), text.as_bytes(), "model file")?;
+        manifest.push_str(&format!(
+            "{stem}\t{}\t{:08x}\t{name}\n",
+            graph.len(),
+            journal::crc32(text.as_bytes()),
+        ));
+        live.insert(format!("{stem}.nt"));
+        models.push((name.to_string(), graph.len()));
+    }
+    failpoint::check("snapshot::manifest")?;
+    write_atomic(&dir.join(MANIFEST_FILE), manifest.as_bytes(), "manifest")?;
+    sync_dir(dir);
+    remove_stale_model_files(dir, &live);
+    Ok(SaveReport { models, generation, journal_seq })
+}
+
+/// Saves every model of the store into `dir` (created if missing).
+/// Equivalent to [`save_snapshot`] with no journal attached.
+pub fn save_store(store: &Store, dir: &Path) -> Result<SaveReport, RdfError> {
+    save_snapshot(store, dir, 0)
+}
+
+fn next_free_generation(dir: &Path) -> u64 {
+    let mut max = 0u64;
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name.strip_prefix("model_") {
+                if let Some(gen) = rest.split('_').next().and_then(|g| g.parse::<u64>().ok()) {
+                    max = max.max(gen);
+                }
+            }
+        }
+    }
+    max + 1
+}
+
+/// Deletes model files (and leftover temp files) that the committed
+/// manifest no longer references. Best-effort: failures leave garbage,
+/// never damage.
+fn remove_stale_model_files(dir: &Path, live: &BTreeSet<String>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        let is_model = name.starts_with("model_") && name.ends_with(".nt");
+        let is_tmp = name.ends_with(".tmp");
+        if (is_model && !live.contains(&name)) || is_tmp {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+fn load_model_file(
+    dir: &Path,
+    entry: &ManifestEntry,
+    store: &mut Store,
+) -> Result<(), RdfError> {
+    let file = format!("{}.nt", entry.stem);
+    let text = fs::read_to_string(dir.join(&file))
+        .map_err(|e| RdfError::io(format!("read model file {file}"), e))?;
+    if let Some(expected) = entry.crc {
+        let actual = journal::crc32(text.as_bytes());
+        if actual != expected {
+            return Err(RdfError::corrupt(
+                &file,
+                format!("checksum mismatch: manifest {expected:08x}, file {actual:08x}"),
+            ));
+        }
+    }
+    let doc = turtle::parse(&text)?;
+    if let Some(expected) = entry.count {
+        if doc.triples.len() != expected {
+            return Err(RdfError::corrupt(
+                &file,
+                format!("triple count mismatch: manifest {expected}, file {}", doc.triples.len()),
+            ));
+        }
+    }
+    store.create_model(&entry.name)?;
+    for (s, p, o) in doc.triples {
+        store.insert(&entry.name, &s, &p, &o)?;
+    }
+    Ok(())
+}
+
+/// Loads the snapshot previously written by [`save_store`] /
+/// [`save_snapshot`] — without journal replay. Checksums are verified
+/// for v2 snapshots; a mismatch is [`RdfError::Corrupt`].
+pub fn load_store(dir: &Path) -> Result<Store, RdfError> {
+    load_snapshot(dir).map(|(store, _)| store)
+}
+
+/// Loads the snapshot and returns its header alongside the store.
+pub fn load_snapshot(dir: &Path) -> Result<(Store, SnapshotInfo), RdfError> {
+    let manifest = fs::read_to_string(dir.join(MANIFEST_FILE))
+        .map_err(|e| RdfError::io("read manifest", e))?;
+    let (info, entries) = parse_manifest(&manifest)?;
+    let mut store = Store::new();
+    for entry in &entries {
+        load_model_file(dir, entry, &mut store)?;
+    }
+    Ok((store, info))
+}
+
+/// What [`recover`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Generation of the snapshot that was loaded (`None` if the
+    /// directory held no snapshot yet).
+    pub snapshot_generation: Option<u64>,
+    /// Journal sequence the snapshot already contained.
+    pub snapshot_seq: u64,
+    /// Committed journal batches replayed over the snapshot.
+    pub replayed_batches: usize,
+    /// Individual insert/remove operations replayed.
+    pub replayed_ops: usize,
+    /// Bytes of torn journal tail that were truncated.
+    pub truncated_bytes: u64,
+    /// Highest journal sequence now reflected in the store.
+    pub last_seq: u64,
+}
+
+fn apply_batch(store: &mut Store, batch: &journal::JournalBatch) -> Result<usize, RdfError> {
+    let mut applied = 0;
+    for op in &batch.ops {
+        match op {
+            JournalOp::Insert(s, p, o) => {
+                if !store.has_model(&batch.model) {
+                    store.create_model(&batch.model)?;
+                }
+                if store.insert(&batch.model, s, p, o)? {
+                    applied += 1;
+                }
+            }
+            JournalOp::Remove(s, p, o) => {
+                // A term missing from the dictionary means the triple is
+                // already absent — removal is idempotent.
+                let ids = (store.encode(s), store.encode(p), store.encode(o));
+                if let (Some(s), Some(p), Some(o)) = ids {
+                    if store.has_model(&batch.model)
+                        && store.model_mut(&batch.model)?.remove(Triple::new(s, p, o))
+                    {
+                        applied += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(applied)
+}
+
+/// Rebuilds the last committed state from `dir`: loads the newest
+/// snapshot, replays every committed journal batch past it, and truncates
+/// a torn journal tail. A directory with neither snapshot nor journal
+/// yields an empty store (the fresh-start case). Corruption *within* the
+/// committed region — a bad snapshot checksum, a damaged mid-journal
+/// record — is an error, not silently dropped data.
+pub fn recover(dir: &Path) -> Result<(Store, RecoveryReport), RdfError> {
+    let mut report = RecoveryReport::default();
+    let mut store = if dir.join(MANIFEST_FILE).exists() {
+        let (store, info) = load_snapshot(dir)?;
+        report.snapshot_generation = Some(info.generation);
+        report.snapshot_seq = info.journal_seq;
+        store
+    } else {
+        Store::new()
+    };
+    report.last_seq = report.snapshot_seq;
+
+    let journal_path = Journal::path_in(dir);
+    if journal_path.exists() {
+        let scan = journal::scan_file(&journal_path)?;
+        for batch in &scan.batches {
+            if batch.seq <= report.snapshot_seq {
+                continue; // already folded into the snapshot
+            }
+            report.replayed_ops += apply_batch(&mut store, batch)?;
+            report.replayed_batches += 1;
+            report.last_seq = batch.seq;
+        }
+        if scan.torn_bytes > 0 {
+            let keep = scan.file_bytes - scan.torn_bytes;
+            let file = fs::OpenOptions::new()
+                .write(true)
+                .open(&journal_path)
+                .map_err(|e| RdfError::io("open journal for truncation", e))?;
+            file.set_len(keep)
+                .map_err(|e| RdfError::io("truncate torn journal tail", e))?;
+            file.sync_data().map_err(|e| RdfError::io("sync journal", e))?;
+            report.truncated_bytes = scan.torn_bytes;
+        }
+    }
+    Ok((store, report))
+}
+
+/// One model's verdict in an [`FsckReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckModel {
+    /// Model name.
+    pub name: String,
+    /// On-disk file name.
+    pub file: String,
+    /// Triples in the file (if readable).
+    pub triples: Option<usize>,
+    /// `None` if healthy, otherwise what is wrong.
+    pub problem: Option<String>,
+}
+
+/// Read-only integrity report over a store directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Snapshot header, if a manifest was readable.
+    pub snapshot: Option<SnapshotInfo>,
+    /// Per-model verdicts.
+    pub models: Vec<FsckModel>,
+    /// Committed journal batches found.
+    pub committed_batches: usize,
+    /// Bytes of torn (recoverable) journal tail.
+    pub torn_bytes: u64,
+    /// Problems found; empty means the directory is consistent. A torn
+    /// journal tail is listed here too (recovery fixes it).
+    pub issues: Vec<String>,
+}
+
+impl FsckReport {
+    /// True when nothing is wrong.
+    pub fn clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Checks a store directory without modifying it: manifest shape, model
+/// file checksums, journal record checksums and tail state. Returns
+/// `Err` only for environment-level I/O failures; integrity findings are
+/// reported in the [`FsckReport`].
+pub fn fsck(dir: &Path) -> Result<FsckReport, RdfError> {
+    let mut report = FsckReport::default();
+    let manifest_path = dir.join(MANIFEST_FILE);
+    if manifest_path.exists() {
+        let text = fs::read_to_string(&manifest_path)
+            .map_err(|e| RdfError::io("read manifest", e))?;
+        match parse_manifest(&text) {
+            Ok((info, entries)) => {
+                report.snapshot = Some(info);
+                for entry in &entries {
+                    report.models.push(fsck_model(dir, entry));
+                }
+            }
+            Err(e) => report.issues.push(format!("manifest: {e}")),
+        }
+    }
+    for m in &report.models {
+        if let Some(problem) = &m.problem {
+            report.issues.push(format!("{}: {problem}", m.file));
+        }
+    }
+
+    let journal_path = Journal::path_in(dir);
+    if journal_path.exists() {
+        match journal::scan_file(&journal_path) {
+            Ok(scan) => {
+                report.committed_batches = scan.batches.len();
+                report.torn_bytes = scan.torn_bytes;
+                if scan.torn_bytes > 0 {
+                    report.issues.push(format!(
+                        "journal: {} bytes of uncommitted tail (run recover to truncate)",
+                        scan.torn_bytes
+                    ));
+                }
+            }
+            Err(e) => report.issues.push(format!("journal: {e}")),
+        }
+    }
+    if report.snapshot.is_none() && !journal_path.exists() && !dir.exists() {
+        report.issues.push("store directory does not exist".to_string());
+    }
+    Ok(report)
+}
+
+fn fsck_model(dir: &Path, entry: &ManifestEntry) -> FsckModel {
+    let file = format!("{}.nt", entry.stem);
+    let mut model = FsckModel {
+        name: entry.name.clone(),
+        file: file.clone(),
+        triples: None,
+        problem: None,
+    };
+    let text = match fs::read_to_string(dir.join(&file)) {
+        Ok(t) => t,
+        Err(e) => {
+            model.problem = Some(format!("unreadable: {e}"));
+            return model;
+        }
+    };
+    if let Some(expected) = entry.crc {
+        let actual = journal::crc32(text.as_bytes());
+        if actual != expected {
+            model.problem =
+                Some(format!("checksum mismatch: manifest {expected:08x}, file {actual:08x}"));
+            return model;
+        }
+    }
+    match turtle::parse(&text) {
+        Ok(doc) => {
+            model.triples = Some(doc.triples.len());
+            if let Some(expected) = entry.count {
+                if doc.triples.len() != expected {
+                    model.problem = Some(format!(
+                        "triple count mismatch: manifest {expected}, file {}",
+                        doc.triples.len()
+                    ));
+                }
+            }
+        }
+        Err(e) => model.problem = Some(format!("unparsable: {e}")),
+    }
+    model
+}
+
+/// Lists the model file paths the current manifest references (used by
+/// torture tests to find the bytes that must be protected).
+pub fn model_files(dir: &Path) -> Result<Vec<PathBuf>, RdfError> {
+    let manifest = fs::read_to_string(dir.join(MANIFEST_FILE))
+        .map_err(|e| RdfError::io("read manifest", e))?;
+    let (_, entries) = parse_manifest(&manifest)?;
+    Ok(entries.iter().map(|e| dir.join(format!("{}.nt", e.stem))).collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::failpoint::FailSpec;
     use crate::term::Term;
     use crate::vocab;
 
@@ -131,6 +589,19 @@ mod tests {
         store
     }
 
+    fn model_lines(store: &Store, name: &str) -> Vec<String> {
+        let g = store.model(name).unwrap();
+        let mut lines: Vec<String> = g
+            .iter()
+            .map(|t| {
+                let (s, p, o) = store.decode(t).unwrap();
+                format!("{s} {p} {o}")
+            })
+            .collect();
+        lines.sort();
+        lines
+    }
+
     #[test]
     fn save_load_round_trip() {
         let dir = temp_dir("roundtrip");
@@ -142,29 +613,7 @@ mod tests {
         let loaded = load_store(&dir).unwrap();
         assert_eq!(loaded.model_names(), store.model_names());
         for name in store.model_names() {
-            let original: Vec<String> = {
-                let g = store.model(name).unwrap();
-                g.iter()
-                    .map(|t| {
-                        let (s, p, o) = store.decode(t).unwrap();
-                        format!("{s} {p} {o}")
-                    })
-                    .collect()
-            };
-            let reloaded: Vec<String> = {
-                let g = loaded.model(name).unwrap();
-                g.iter()
-                    .map(|t| {
-                        let (s, p, o) = loaded.decode(t).unwrap();
-                        format!("{s} {p} {o}")
-                    })
-                    .collect()
-            };
-            let mut a = original.clone();
-            let mut b = reloaded.clone();
-            a.sort();
-            b.sort();
-            assert_eq!(a, b, "model {name}");
+            assert_eq!(model_lines(&store, name), model_lines(&loaded, name), "model {name}");
         }
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -209,6 +658,183 @@ mod tests {
         save_store(&store, &dir).unwrap();
         let loaded = load_store(&dir).unwrap();
         assert!(loaded.model_names().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generations_advance_and_old_files_are_reaped() {
+        let dir = temp_dir("gens");
+        let store = sample_store();
+        let r1 = save_store(&store, &dir).unwrap();
+        let r2 = save_store(&store, &dir).unwrap();
+        assert!(r2.generation > r1.generation);
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("model_"))
+            .collect();
+        // Only the latest generation's files remain.
+        for n in &names {
+            assert!(
+                n.starts_with(&format!("model_{}_", r2.generation)),
+                "stale file {n} survived"
+            );
+        }
+        assert_eq!(names.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_manifest_still_loads() {
+        let dir = temp_dir("v1compat");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("model_0.nt"),
+            "<http://ex.org/a> <http://ex.org/p> <http://ex.org/b> .\n",
+        )
+        .unwrap();
+        fs::write(dir.join("manifest.tsv"), "model_0\tLEGACY\n").unwrap();
+        let loaded = load_store(&dir).unwrap();
+        assert_eq!(loaded.model_names(), vec!["LEGACY"]);
+        assert_eq!(loaded.model("LEGACY").unwrap().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_mismatch_is_corrupt() {
+        let dir = temp_dir("crc");
+        let store = sample_store();
+        save_store(&store, &dir).unwrap();
+        let files = model_files(&dir).unwrap();
+        // Damage one byte of the first model file.
+        let mut bytes = fs::read(&files[0]).unwrap();
+        let target = bytes.iter().position(|&b| b == b'a').unwrap();
+        bytes[target] = b'b';
+        fs::write(&files[0], &bytes).unwrap();
+        let err = load_store(&dir).unwrap_err();
+        assert!(matches!(err, RdfError::Corrupt { .. }), "{err}");
+        let report = fsck(&dir).unwrap();
+        assert!(!report.clean());
+        assert!(report.issues[0].contains("checksum mismatch"), "{:?}", report.issues);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_during_snapshot_preserves_previous_state() {
+        let dir = temp_dir("crash-snap");
+        let store = sample_store();
+        save_store(&store, &dir).unwrap();
+        let mut bigger = sample_store();
+        bigger
+            .insert(
+                "DWH_CURR",
+                &Term::iri("http://ex.org/new"),
+                &Term::iri("http://ex.org/p"),
+                &Term::iri("http://ex.org/v"),
+            )
+            .unwrap();
+
+        for fp in ["snapshot::model", "snapshot::manifest"] {
+            failpoint::arm(fp, FailSpec::Once);
+            let err = save_snapshot(&bigger, &dir, 7).unwrap_err();
+            assert!(matches!(err, RdfError::Injected { .. }), "{fp}");
+            // The old snapshot is untouched and fully loadable.
+            let loaded = load_store(&dir).unwrap();
+            assert_eq!(model_lines(&loaded, "DWH_CURR"), model_lines(&store, "DWH_CURR"));
+        }
+        // And the next save succeeds and commits the new state.
+        save_snapshot(&bigger, &dir, 7).unwrap();
+        let loaded = load_store(&dir).unwrap();
+        assert_eq!(model_lines(&loaded, "DWH_CURR"), model_lines(&bigger, "DWH_CURR"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_replays_journal_past_snapshot() {
+        let dir = temp_dir("recover");
+        let store = sample_store();
+        // Snapshot at journal seq 0, then journal two batches.
+        save_snapshot(&store, &dir, 0).unwrap();
+        let mut j = Journal::open(&dir).unwrap();
+        let s = Term::iri("http://ex.org/j1");
+        let p = Term::iri("http://ex.org/p");
+        j.append(
+            "DWH_CURR",
+            &[JournalOp::Insert(s.clone(), p.clone(), Term::integer(1))],
+        )
+        .unwrap();
+        j.append(
+            "DWH_CURR",
+            &[
+                JournalOp::Remove(s.clone(), p.clone(), Term::integer(1)),
+                JournalOp::Insert(s.clone(), p.clone(), Term::integer(2)),
+            ],
+        )
+        .unwrap();
+        drop(j);
+
+        let (recovered, report) = recover(&dir).unwrap();
+        assert_eq!(report.snapshot_seq, 0);
+        assert_eq!(report.replayed_batches, 2);
+        assert_eq!(report.last_seq, 2);
+        let lines = model_lines(&recovered, "DWH_CURR");
+        assert!(lines.iter().any(|l| l.contains("/j1") && l.contains("\"2\"")), "{lines:?}");
+        assert!(!lines.iter().any(|l| l.contains("\"1\"")), "{lines:?}");
+
+        // A later snapshot folds the journal in; replay then skips it.
+        save_snapshot(&recovered, &dir, report.last_seq).unwrap();
+        let (again, report2) = recover(&dir).unwrap();
+        assert_eq!(report2.replayed_batches, 0);
+        assert_eq!(model_lines(&again, "DWH_CURR"), lines);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_fresh_directory_is_empty() {
+        let dir = temp_dir("fresh");
+        fs::create_dir_all(&dir).unwrap();
+        let (store, report) = recover(&dir).unwrap();
+        assert!(store.model_names().is_empty());
+        assert_eq!(report.snapshot_generation, None);
+        assert_eq!(report.last_seq, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_truncates_torn_tail() {
+        let dir = temp_dir("torntail");
+        let store = sample_store();
+        save_snapshot(&store, &dir, 0).unwrap();
+        let mut j = Journal::open(&dir).unwrap();
+        j.append(
+            "DWH_CURR",
+            &[JournalOp::Insert(
+                Term::iri("http://ex.org/x"),
+                Term::iri("http://ex.org/p"),
+                Term::iri("http://ex.org/y"),
+            )],
+        )
+        .unwrap();
+        drop(j);
+        // Append half a record by hand.
+        let path = Journal::path_in(&dir);
+        let mut bytes = fs::read(&path).unwrap();
+        let clean_len = bytes.len() as u64;
+        bytes.extend_from_slice(b"B 2 1 DWH_CURR\n+ <http://ex");
+        fs::write(&path, &bytes).unwrap();
+
+        let report = fsck(&dir).unwrap();
+        assert!(report.torn_bytes > 0);
+        let (recovered, rec) = recover(&dir).unwrap();
+        assert_eq!(rec.replayed_batches, 1);
+        assert!(rec.truncated_bytes > 0);
+        assert_eq!(fs::metadata(&path).unwrap().len(), clean_len);
+        assert!(model_lines(&recovered, "DWH_CURR")
+            .iter()
+            .any(|l| l.contains("/x")));
+        // After truncation the directory is clean.
+        assert!(fsck(&dir).unwrap().clean());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -141,7 +141,10 @@ impl StagingArea {
     /// staging area. Valid triples are interned and inserted; invalid ones
     /// are collected in the report. The model must exist.
     pub fn bulk_load(&mut self, store: &mut Store, model: &str) -> Result<LoadReport, RdfError> {
-        // Fail before draining if the model is missing.
+        // Fail before draining if the model is missing, or if a fault drill
+        // has armed the bulk-load failpoint (staged triples stay staged, so
+        // a retry sees the same batch).
+        crate::failpoint::check("staging::bulk_load")?;
         store.model(model)?;
         let mut report = LoadReport::default();
         for staged in self.staged.drain(..) {

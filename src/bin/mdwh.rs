@@ -25,7 +25,9 @@ use metadata_warehouse::core::report;
 use metadata_warehouse::core::search::SearchRequest;
 use metadata_warehouse::core::warehouse::MetadataWarehouse;
 use metadata_warehouse::corpus::{generate, CorpusConfig, Scale};
-use metadata_warehouse::rdf::persist::{load_store, save_store};
+use metadata_warehouse::rdf::failpoint;
+use metadata_warehouse::rdf::journal::Journal;
+use metadata_warehouse::rdf::persist::{self, load_store, save_store};
 use metadata_warehouse::rdf::vocab;
 use metadata_warehouse::rdf::Term;
 use metadata_warehouse::sparql::SemMatch;
@@ -50,7 +52,12 @@ const USAGE: &str = "usage:
   mdwh audit    --store DIR ITEM
   mdwh gaps     --store DIR
   mdwh sources  --store DIR CONCEPT
-  mdwh sparql   --store DIR QUERY [--no-rulebase]";
+  mdwh sparql   --store DIR QUERY [--no-rulebase]
+  mdwh fsck     --store DIR
+  mdwh recover  --store DIR
+
+Fault drills: --inject 'name=spec,…' (or MDWH_FAILPOINTS env) arms
+failpoints; spec is once | times:N | always | pct:P[:SEED].";
 
 /// Minimal flag parser: collects `--key value` pairs, `--flag` booleans,
 /// and bare positionals.
@@ -62,6 +69,7 @@ struct Args {
 
 const VALUE_FLAGS: &[&str] = &[
     "--scale", "--out", "--seed", "--store", "--area", "--class", "--depth", "--rule-filter",
+    "--inject",
 ];
 
 fn parse_args(args: &[String]) -> Args {
@@ -101,8 +109,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
         return Err(USAGE.to_string());
     };
     let parsed = parse_args(rest);
+    arm_failpoints(&parsed)?;
     match command.as_str() {
         "generate" => cmd_generate(&parsed),
+        "fsck" => cmd_fsck(&parsed),
+        "recover" => cmd_recover(&parsed),
         "info" => cmd_info(&parsed),
         "census" => cmd_census(&parsed),
         "search" => cmd_search(&parsed),
@@ -117,6 +128,85 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         other => Err(format!("unknown command: {other}\n{USAGE}")),
     }
+}
+
+/// Arms fault-injection failpoints from `--inject` and the
+/// `MDWH_FAILPOINTS` environment variable (fault drills: run a real
+/// command while the persistence layer misbehaves on purpose).
+fn arm_failpoints(args: &Args) -> Result<(), String> {
+    if let Ok(list) = std::env::var("MDWH_FAILPOINTS") {
+        let names = failpoint::arm_from_list(&list)?;
+        if !names.is_empty() {
+            eprintln!("mdwh: armed failpoints from env: {}", names.join(", "));
+        }
+    }
+    if let Some(list) = args.option("inject") {
+        let names = failpoint::arm_from_list(list)?;
+        if !names.is_empty() {
+            eprintln!("mdwh: armed failpoints: {}", names.join(", "));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_fsck(args: &Args) -> Result<(), String> {
+    let dir = PathBuf::from(args.option("store").ok_or("missing --store DIR")?);
+    let report = persist::fsck(&dir).map_err(|e| e.to_string())?;
+    match &report.snapshot {
+        Some(info) => println!(
+            "snapshot: v{} generation {} (journal seq {})",
+            info.version, info.generation, info.journal_seq
+        ),
+        None => println!("snapshot: none"),
+    }
+    for model in &report.models {
+        match (&model.problem, model.triples) {
+            (Some(problem), _) => println!("  model {} [{}]: {problem}", model.name, model.file),
+            (None, Some(n)) => println!("  model {} [{}]: ok, {n} triples", model.name, model.file),
+            (None, None) => println!("  model {} [{}]: ok", model.name, model.file),
+        }
+    }
+    println!(
+        "journal:  {} committed batch(es), {} torn byte(s)",
+        report.committed_batches, report.torn_bytes
+    );
+    if report.clean() {
+        println!("clean");
+        Ok(())
+    } else {
+        for issue in &report.issues {
+            println!("issue: {issue}");
+        }
+        Err(format!("{} issue(s) found", report.issues.len()))
+    }
+}
+
+fn cmd_recover(args: &Args) -> Result<(), String> {
+    let dir = PathBuf::from(args.option("store").ok_or("missing --store DIR")?);
+    let (store, report) = persist::recover(&dir).map_err(|e| e.to_string())?;
+    let gen = report
+        .snapshot_generation
+        .map_or_else(|| "none".to_string(), |g| g.to_string());
+    println!(
+        "recovered: snapshot gen {} (seq {}), replayed {} batch(es) / {} op(s), truncated {} torn byte(s)",
+        gen,
+        report.snapshot_seq,
+        report.replayed_batches,
+        report.replayed_ops,
+        report.truncated_bytes,
+    );
+    // Make the repair durable: fold the replayed state into a fresh
+    // snapshot and rebase the journal.
+    let save = persist::save_snapshot(&store, &dir, report.last_seq).map_err(|e| e.to_string())?;
+    let mut journal = Journal::open(&dir).map_err(|e| e.to_string())?;
+    journal.reset(report.last_seq).map_err(|e| e.to_string())?;
+    println!(
+        "checkpointed {} triples across {} model(s) as generation {}",
+        save.total(),
+        save.models.len(),
+        save.generation
+    );
+    Ok(())
 }
 
 fn cmd_generate(args: &Args) -> Result<(), String> {

@@ -1,0 +1,300 @@
+//! Random string generation from a regex-literal subset.
+//!
+//! Supports what the workspace's tests use: literal characters, `\t` / `\n`
+//! / `\r` / `\\` escapes, character classes with ranges (`[a-z0-9_ .]`,
+//! including escaped metacharacters like `[\[\]\\]`), groups, `|`
+//! alternation, and the `{n}`, `{n,m}`, `?`, `*`, `+` quantifiers.
+
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// A compiled generator pattern.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    alternatives: Vec<Vec<Quantified>>,
+}
+
+#[derive(Debug, Clone)]
+struct Quantified {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Pattern),
+}
+
+/// Upper repetition bound substituted for unbounded quantifiers (`*`, `+`).
+const UNBOUNDED_CAP: u32 = 8;
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl Pattern {
+    /// Compiles a pattern, or explains why it is outside the subset.
+    pub fn compile(pattern: &str) -> Result<Pattern, String> {
+        let mut parser = Parser { chars: pattern.chars().peekable() };
+        let compiled = parser.alternation()?;
+        if parser.chars.peek().is_some() {
+            return Err(format!("unexpected trailing input in {pattern:?}"));
+        }
+        Ok(compiled)
+    }
+
+    /// Generates one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        self.generate_into(rng, &mut out);
+        out
+    }
+
+    fn generate_into(&self, rng: &mut TestRng, out: &mut String) {
+        let arm = if self.alternatives.len() == 1 {
+            &self.alternatives[0]
+        } else {
+            &self.alternatives[rng.rng.gen_range(0..self.alternatives.len())]
+        };
+        for q in arm {
+            let reps = if q.min == q.max {
+                q.min
+            } else {
+                rng.rng.gen_range(q.min..=q.max)
+            };
+            for _ in 0..reps {
+                match &q.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u32 = ranges
+                            .iter()
+                            .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                            .sum();
+                        let mut roll = rng.rng.gen_range(0..total);
+                        for (lo, hi) in ranges {
+                            let span = *hi as u32 - *lo as u32 + 1;
+                            if roll < span {
+                                out.push(
+                                    char::from_u32(*lo as u32 + roll)
+                                        .expect("class range stays in valid chars"),
+                                );
+                                break;
+                            }
+                            roll -= span;
+                        }
+                    }
+                    Atom::Group(p) => p.generate_into(rng, out),
+                }
+            }
+        }
+    }
+}
+
+impl Parser<'_> {
+    fn alternation(&mut self) -> Result<Pattern, String> {
+        let mut alternatives = vec![self.sequence()?];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            alternatives.push(self.sequence()?);
+        }
+        Ok(Pattern { alternatives })
+    }
+
+    fn sequence(&mut self) -> Result<Vec<Quantified>, String> {
+        let mut seq = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            let atom = self.atom()?;
+            let (min, max) = self.quantifier()?;
+            seq.push(Quantified { atom, min, max });
+        }
+        Ok(seq)
+    }
+
+    fn atom(&mut self) -> Result<Atom, String> {
+        match self.chars.next() {
+            Some('[') => self.class(),
+            Some('(') => {
+                let inner = self.alternation()?;
+                match self.chars.next() {
+                    Some(')') => Ok(Atom::Group(inner)),
+                    _ => Err("unclosed group".to_string()),
+                }
+            }
+            Some('\\') => Ok(Atom::Literal(self.escape()?)),
+            Some('.') => Ok(Atom::Class(vec![(' ', '~')])),
+            Some(c) => Ok(Atom::Literal(c)),
+            None => Err("unexpected end of pattern".to_string()),
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, String> {
+        match self.chars.next() {
+            Some('t') => Ok('\t'),
+            Some('n') => Ok('\n'),
+            Some('r') => Ok('\r'),
+            Some(c) => Ok(c),
+            None => Err("dangling escape".to_string()),
+        }
+    }
+
+    fn class(&mut self) -> Result<Atom, String> {
+        let mut ranges = Vec::new();
+        loop {
+            let lo = match self.chars.next() {
+                Some(']') => {
+                    if ranges.is_empty() {
+                        return Err("empty character class".to_string());
+                    }
+                    return Ok(Atom::Class(ranges));
+                }
+                Some('\\') => self.escape()?,
+                Some(c) => c,
+                None => return Err("unclosed character class".to_string()),
+            };
+            // A `-` forms a range unless it is the last char before `]`.
+            if self.chars.peek() == Some(&'-') {
+                let mut lookahead = self.chars.clone();
+                lookahead.next();
+                if lookahead.peek() == Some(&']') {
+                    ranges.push((lo, lo));
+                } else {
+                    self.chars.next();
+                    let hi = match self.chars.next() {
+                        Some('\\') => self.escape()?,
+                        Some(c) => c,
+                        None => return Err("unclosed range".to_string()),
+                    };
+                    if hi < lo {
+                        return Err(format!("inverted range {lo:?}-{hi:?}"));
+                    }
+                    ranges.push((lo, hi));
+                }
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+    }
+
+    fn quantifier(&mut self) -> Result<(u32, u32), String> {
+        match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let mut min_text = String::new();
+                while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                    min_text.push(self.chars.next().expect("peeked digit"));
+                }
+                let min: u32 = min_text.parse().map_err(|_| "bad quantifier".to_string())?;
+                let max = match self.chars.next() {
+                    Some('}') => min,
+                    Some(',') => {
+                        let mut max_text = String::new();
+                        while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                            max_text.push(self.chars.next().expect("peeked digit"));
+                        }
+                        match self.chars.next() {
+                            Some('}') if max_text.is_empty() => min + UNBOUNDED_CAP,
+                            Some('}') => {
+                                max_text.parse().map_err(|_| "bad quantifier".to_string())?
+                            }
+                            _ => return Err("unclosed quantifier".to_string()),
+                        }
+                    }
+                    _ => return Err("unclosed quantifier".to_string()),
+                };
+                Ok((min, max))
+            }
+            Some('?') => {
+                self.chars.next();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                self.chars.next();
+                Ok((0, UNBOUNDED_CAP))
+            }
+            Some('+') => {
+                self.chars.next();
+                Ok((1, UNBOUNDED_CAP))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("string_gen")
+    }
+
+    #[test]
+    fn simple_class_and_quantifier() {
+        let p = Pattern::compile("[a-z]{2,4}").unwrap();
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = p.generate(&mut r);
+            assert!((2..=4).contains(&s.len()), "{s:?}");
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn group_with_repetition() {
+        let p = Pattern::compile("[a-z]{1,6}(/[a-z0-9]{1,4}){0,2}").unwrap();
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = p.generate(&mut r);
+            assert!(s.split('/').count() <= 3, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_metachars_in_class() {
+        let p = Pattern::compile("[a-zA-Z0-9_ .*+?()\\[\\]|^$\\\\]{0,8}").unwrap();
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = p.generate(&mut r);
+            assert!(s.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn whitespace_escapes() {
+        let p = Pattern::compile("[ -~\\t\\n\\r]{0,24}").unwrap();
+        let mut r = rng();
+        let mut saw_ws = false;
+        for _ in 0..500 {
+            let s = p.generate(&mut r);
+            assert!(s.len() <= 24);
+            saw_ws |= s.contains(['\t', '\n', '\r']);
+        }
+        assert!(saw_ws, "whitespace range never sampled");
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let p = Pattern::compile("[ -~]{0,12}").unwrap();
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = p.generate(&mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alternation() {
+        let p = Pattern::compile("ab|cd").unwrap();
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = p.generate(&mut r);
+            assert!(s == "ab" || s == "cd");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Test-runner configuration and the deterministic case RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+use std::fmt;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed test case (kept for API compatibility; the vendored macros
+/// panic instead of returning this).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The RNG driving case generation. Seeded from the test name so runs are
+/// reproducible; set `PROPTEST_SEED` to explore a different sequence.
+pub struct TestRng {
+    /// The underlying generator (public within the crate's strategy impls).
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for a named test.
+    pub fn for_test(name: &str) -> Self {
+        let base: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x4D44_5748); // "MDWH"
+        let mut h: u64 = 0xcbf29ce484222325 ^ base;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(h) }
+    }
+}

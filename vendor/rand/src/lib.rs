@@ -1,0 +1,250 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the handful of external crates it uses as minimal API-compatible
+//! re-implementations. This one provides `StdRng`, `SeedableRng`, and the
+//! `Rng::gen`/`gen_range` surface the corpus generator uses, backed by
+//! `xoshiro256**` seeded through SplitMix64 — deterministic for a given
+//! seed, which is all the reproduction needs (no cryptographic claims).
+
+/// The core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A random generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (fixed-width byte array for `StdRng`).
+    type Seed;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a 64-bit seed (via SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range (subset of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[low, high)`. `high > low` must hold.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as i128 - low as i128) as u128;
+                debug_assert!(span > 0, "gen_range called with an empty range");
+                // Multiply-shift rejection-free mapping; bias is negligible
+                // for the corpus generator's small spans.
+                let r = rng.next_u64() as u128;
+                let v = (r * span) >> 64;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range a value can be drawn from (subset of `rand`'s `SampleRange`).
+pub trait SampleRange<T> {
+    /// Samples a value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_sample_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                if low == high {
+                    return low;
+                }
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let r = rng.next_u64() as u128;
+                let v = (r * span) >> 64;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_inclusive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Values `Rng::gen` can produce.
+pub trait Standard {
+    /// Draws one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for i64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Convenience methods over any [`RngCore`] (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples uniformly from a range.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Draws a value of a `Standard`-samplable type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::draw(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators (mirrors `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s == [0; 4] {
+                s = [0xDEADBEEF, 0xCAFEBABE, 0xF00DF00D, 0x12345678];
+            }
+            StdRng { s }
+        }
+
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(3u8..=5);
+            assert!((3..=5).contains(&w));
+            let neg = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn full_range_hit_eventually() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

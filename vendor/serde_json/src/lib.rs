@@ -1,0 +1,315 @@
+//! Offline drop-in subset of the `serde_json` API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the handful of external crates it uses as minimal API-compatible
+//! re-implementations. This one provides [`Value`], the [`json!`] macro for
+//! literal construction, and [`to_string_pretty`] — the surface the
+//! experiment runner uses to emit machine-readable records.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (stored as either integer or float).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A float.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(v) => write!(f, "{v}"),
+            Number::UInt(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+/// Conversion into a [`Value`] (stands in for `serde::Serialize` for the
+/// types the workspace actually serializes).
+pub trait ToJson {
+    /// Converts `self` into a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+macro_rules! impl_to_json_signed {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::Int(*self as i64))
+            }
+        }
+    )*};
+}
+
+impl_to_json_signed!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+macro_rules! impl_to_json_wide_unsigned {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(v) => Value::Number(Number::Int(v)),
+                    Err(_) => Value::Number(Number::UInt(*self as u64)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_to_json_wide_unsigned!(u64, usize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (*self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Converts any supported value into a [`Value`] (used by [`json!`]).
+pub fn to_value<T: ToJson>(value: T) -> Value {
+    value.to_json()
+}
+
+/// Serialization error (the vendored serializer is infallible; the type
+/// exists for API compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_pretty(value: &Value, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_inner = "  ".repeat(indent + 1);
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_inner);
+                write_pretty(item, out, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, item)) in entries.iter().enumerate() {
+                out.push_str(&pad_inner);
+                escape_into(out, key);
+                out.push_str(": ");
+                write_pretty(item, out, indent + 1);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-prints a value as JSON text.
+pub fn to_string_pretty<T: ToJson>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_json(), &mut out, 0);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from a JSON-like literal. Object values may be any
+/// expression convertible via [`ToJson`], a nested `{ … }` / `[ … ]`
+/// literal, or `null`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(vec![]) };
+    ([ $($item:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({}) => { $crate::Value::Object(vec![]) };
+    ({ $($rest:tt)+ }) => {{
+        let mut entries: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::__json_entries!(entries, $($rest)+);
+        $crate::Value::Object(entries)
+    }};
+    ($other:expr) => { $crate::to_value($other) };
+}
+
+/// Internal key/value muncher for [`json!`] objects; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_entries {
+    ($entries:ident,) => {};
+    ($entries:ident) => {};
+    ($entries:ident, $key:literal : null $(, $($rest:tt)*)?) => {
+        $entries.push(($key.to_string(), $crate::Value::Null));
+        $crate::__json_entries!($entries, $($($rest)*)?);
+    };
+    ($entries:ident, $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $entries.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::__json_entries!($entries, $($($rest)*)?);
+    };
+    ($entries:ident, $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $entries.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::__json_entries!($entries, $($($rest)*)?);
+    };
+    ($entries:ident, $key:literal : $value:expr) => {
+        $entries.push(($key.to_string(), $crate::to_value($value)));
+    };
+    ($entries:ident, $key:literal : $value:expr, $($rest:tt)*) => {
+        $entries.push(($key.to_string(), $crate::to_value($value)));
+        $crate::__json_entries!($entries, $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_and_pretty() {
+        let records: Vec<Value> = vec![json!({"a": 1u64, "b": "x"})];
+        let doc = json!({
+            "name": format!("n{}", 1),
+            "count": 3usize,
+            "nested": records,
+            "flag": true,
+            "nothing": null,
+        });
+        let text = to_string_pretty(&doc).unwrap();
+        assert!(text.contains("\"name\": \"n1\""));
+        assert!(text.contains("\"count\": 3"));
+        assert!(text.contains("\"a\": 1"));
+        assert!(text.contains("\"nothing\": null"));
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let v = json!("line\nbreak \"quoted\"");
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(text, "\"line\\nbreak \\\"quoted\\\"\"");
+    }
+}

@@ -1,0 +1,669 @@
+//! Admission control: the warehouse's front door under load.
+//!
+//! Budgets ([`crate::budget`]) bound what one query may consume; admission
+//! control bounds how many queries run at once. The paper's services sit in
+//! front of a shared graph that "heavy traffic from millions of users"
+//! (ROADMAP north star) can easily melt, so the gate:
+//!
+//! * caps concurrent queries overall and per class (search / lineage /
+//!   SPARQL), so one chatty client class cannot starve the others,
+//! * keeps a **bounded** wait queue — a full queue sheds the request with a
+//!   typed [`Overloaded`] rejection carrying a `retry_after` hint, never an
+//!   unbounded hang,
+//! * wraps the entailment path in a [`CircuitBreaker`]: when the reasoner
+//!   repeatedly blows its budget the breaker opens and queries fall back to
+//!   base-graph (non-inferred) answers, flagged degraded, until a cool-down
+//!   probe succeeds again.
+//!
+//! Everything is deterministic under test: the breaker takes a
+//! [`TimeSource`], waiting uses a condvar with a bounded timeout, and the
+//! non-blocking [`AdmissionController::try_admit`] path needs no threads at
+//! all.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::budget::TimeSource;
+
+/// The workload classes the gate distinguishes, mirroring the paper's two
+/// production services plus the raw SPARQL endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// Keyword search (Section IV.A).
+    Search,
+    /// Lineage / impact traversal (Section IV.B).
+    Lineage,
+    /// Direct SPARQL / SEM_MATCH queries.
+    Sparql,
+}
+
+/// Number of [`QueryClass`] variants (array-table size).
+pub const CLASS_COUNT: usize = 3;
+
+impl QueryClass {
+    /// All classes, in index order.
+    pub const ALL: [QueryClass; CLASS_COUNT] =
+        [QueryClass::Search, QueryClass::Lineage, QueryClass::Sparql];
+
+    fn index(self) -> usize {
+        match self {
+            QueryClass::Search => 0,
+            QueryClass::Lineage => 1,
+            QueryClass::Sparql => 2,
+        }
+    }
+
+    /// A stable lower-case name for flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryClass::Search => "search",
+            QueryClass::Lineage => "lineage",
+            QueryClass::Sparql => "sparql",
+        }
+    }
+}
+
+impl fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why the gate refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Every concurrency slot was busy and the wait queue was full.
+    QueueFull,
+    /// The request waited its full grace period without getting a slot.
+    WaitTimeout,
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedReason::QueueFull => f.write_str("queue full"),
+            ShedReason::WaitTimeout => f.write_str("wait timeout"),
+        }
+    }
+}
+
+/// The typed load-shedding rejection: the caller should back off for
+/// `retry_after` and try again. This is the *only* way the gate says no —
+/// shed requests never panic and never hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Which workload class was shed.
+    pub class: QueryClass,
+    /// Why it was shed.
+    pub reason: ShedReason,
+    /// How long the client should wait before retrying.
+    pub retry_after: Duration,
+}
+
+impl fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "overloaded: {} request shed ({}), retry after {:?}",
+            self.class, self.reason, self.retry_after
+        )
+    }
+}
+
+/// Gate sizing. Defaults are generous; the overload drill forces them low.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Concurrent queries across all classes.
+    pub max_concurrent: usize,
+    /// Concurrent queries per class, indexed by [`QueryClass::index`]
+    /// order (search, lineage, sparql).
+    pub per_class: [usize; CLASS_COUNT],
+    /// Requests allowed to wait for a slot; beyond this the gate sheds.
+    pub max_queued: usize,
+    /// Longest a queued request waits before being shed.
+    pub max_wait: Duration,
+    /// The back-off hint handed to shed clients.
+    pub retry_after: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_concurrent: 64,
+            per_class: [32, 32, 32],
+            max_queued: 128,
+            max_wait: Duration::from_millis(500),
+            retry_after: Duration::from_millis(250),
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Uniform quota `n` for every class with total `total`.
+    pub fn with_quotas(total: usize, per_class: usize) -> Self {
+        AdmissionConfig {
+            max_concurrent: total,
+            per_class: [per_class; CLASS_COUNT],
+            ..Default::default()
+        }
+    }
+}
+
+/// A point-in-time view of the gate's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests admitted, per class.
+    pub admitted: [u64; CLASS_COUNT],
+    /// Requests shed, per class.
+    pub shed: [u64; CLASS_COUNT],
+}
+
+impl AdmissionStats {
+    /// Total admitted across classes.
+    pub fn total_admitted(&self) -> u64 {
+        self.admitted.iter().sum()
+    }
+
+    /// Total shed across classes.
+    pub fn total_shed(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    active_total: usize,
+    active: [usize; CLASS_COUNT],
+    waiting: usize,
+}
+
+impl GateState {
+    fn has_slot(&self, config: &AdmissionConfig, class: QueryClass) -> bool {
+        self.active_total < config.max_concurrent
+            && self.active[class.index()] < config.per_class[class.index()]
+    }
+}
+
+struct Gate {
+    config: AdmissionConfig,
+    state: Mutex<GateState>,
+    freed: Condvar,
+    admitted: [AtomicU64; CLASS_COUNT],
+    shed: [AtomicU64; CLASS_COUNT],
+}
+
+/// The bounded-concurrency admission gate. Cheap to clone ([`Arc`] inside);
+/// clones share the slots and counters.
+#[derive(Clone)]
+pub struct AdmissionController {
+    gate: Arc<Gate>,
+}
+
+impl fmt::Debug for AdmissionController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.gate.state.lock().unwrap();
+        f.debug_struct("AdmissionController")
+            .field("config", &self.gate.config)
+            .field("active_total", &state.active_total)
+            .field("waiting", &state.waiting)
+            .finish()
+    }
+}
+
+impl AdmissionController {
+    /// A gate sized by `config`.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionController {
+            gate: Arc::new(Gate {
+                config,
+                state: Mutex::new(GateState::default()),
+                freed: Condvar::new(),
+                admitted: Default::default(),
+                shed: Default::default(),
+            }),
+        }
+    }
+
+    /// The configured sizing.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.gate.config
+    }
+
+    /// Non-blocking admission: a free slot admits immediately, otherwise
+    /// the request is shed. Deterministic — used by unit tests and by
+    /// callers that would rather shed than wait.
+    pub fn try_admit(&self, class: QueryClass) -> Result<Permit, Overloaded> {
+        let mut state = self.gate.state.lock().unwrap();
+        if state.has_slot(&self.gate.config, class) {
+            return Ok(self.grant(&mut state, class));
+        }
+        drop(state);
+        Err(self.reject(class, ShedReason::QueueFull))
+    }
+
+    /// Blocking admission: waits (bounded by `max_wait`) in the bounded
+    /// queue for a slot. A full queue or an expired wait sheds the request
+    /// with a typed [`Overloaded`] — never an unbounded hang.
+    pub fn admit(&self, class: QueryClass) -> Result<Permit, Overloaded> {
+        let mut state = self.gate.state.lock().unwrap();
+        if state.has_slot(&self.gate.config, class) {
+            return Ok(self.grant(&mut state, class));
+        }
+        if state.waiting >= self.gate.config.max_queued {
+            drop(state);
+            return Err(self.reject(class, ShedReason::QueueFull));
+        }
+        state.waiting += 1;
+        let deadline = self.gate.config.max_wait;
+        let mut waited = Duration::ZERO;
+        loop {
+            let remaining = deadline.saturating_sub(waited);
+            if remaining.is_zero() {
+                state.waiting -= 1;
+                drop(state);
+                return Err(self.reject(class, ShedReason::WaitTimeout));
+            }
+            let started = std::time::Instant::now();
+            let (next, timeout) = self.gate.freed.wait_timeout(state, remaining).unwrap();
+            state = next;
+            waited += started.elapsed();
+            if state.has_slot(&self.gate.config, class) {
+                state.waiting -= 1;
+                return Ok(self.grant(&mut state, class));
+            }
+            if timeout.timed_out() {
+                state.waiting -= 1;
+                drop(state);
+                return Err(self.reject(class, ShedReason::WaitTimeout));
+            }
+        }
+    }
+
+    fn grant(&self, state: &mut GateState, class: QueryClass) -> Permit {
+        state.active_total += 1;
+        state.active[class.index()] += 1;
+        self.gate.admitted[class.index()].fetch_add(1, Ordering::Relaxed);
+        Permit { gate: Arc::clone(&self.gate), class }
+    }
+
+    fn reject(&self, class: QueryClass, reason: ShedReason) -> Overloaded {
+        self.gate.shed[class.index()].fetch_add(1, Ordering::Relaxed);
+        Overloaded { class, reason, retry_after: self.gate.config.retry_after }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> AdmissionStats {
+        let mut stats = AdmissionStats::default();
+        for i in 0..CLASS_COUNT {
+            stats.admitted[i] = self.gate.admitted[i].load(Ordering::Relaxed);
+            stats.shed[i] = self.gate.shed[i].load(Ordering::Relaxed);
+        }
+        stats
+    }
+
+    /// Queries currently holding a slot.
+    pub fn active(&self) -> usize {
+        self.gate.state.lock().unwrap().active_total
+    }
+}
+
+/// An admitted query's slot, released on drop (RAII — a panicking query
+/// still frees its slot during unwind).
+pub struct Permit {
+    gate: Arc<Gate>,
+    class: QueryClass,
+}
+
+impl Permit {
+    /// The class this permit was granted for.
+    pub fn class(&self) -> QueryClass {
+        self.class
+    }
+}
+
+impl fmt::Debug for Permit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Permit").field("class", &self.class).finish()
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().unwrap();
+        state.active_total -= 1;
+        state.active[self.class.index()] -= 1;
+        drop(state);
+        self.gate.freed.notify_all();
+    }
+}
+
+/// Circuit-breaker states, the classic three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, failures are counted.
+    Closed,
+    /// Tripped: requests are refused (callers degrade) until the cool-down
+    /// elapses.
+    Open,
+    /// Probing: a limited number of requests pass; success closes the
+    /// breaker, failure re-opens it.
+    HalfOpen,
+}
+
+/// Breaker tuning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before probing.
+    pub cooldown: Duration,
+    /// Consecutive half-open successes that close it again.
+    pub success_threshold: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(5),
+            success_threshold: 2,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    half_open_successes: u32,
+    opened_at: Duration,
+}
+
+/// A circuit breaker over a fallible dependency — here, the entailment
+/// path: when budget-blown reasoner queries pile up, the warehouse stops
+/// consulting the inference index and serves base-graph answers (flagged
+/// degraded) until the breaker half-opens and a probe succeeds.
+///
+/// Time is injected ([`TimeSource`]), so state-transition tests advance a
+/// manual clock instead of sleeping.
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    time: Arc<dyn TimeSource>,
+    inner: Mutex<BreakerInner>,
+}
+
+impl fmt::Debug for CircuitBreaker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CircuitBreaker")
+            .field("config", &self.config)
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker measuring cool-downs on `time`.
+    pub fn new(config: BreakerConfig, time: Arc<dyn TimeSource>) -> Self {
+        CircuitBreaker {
+            config,
+            time,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                half_open_successes: 0,
+                opened_at: Duration::ZERO,
+            }),
+        }
+    }
+
+    /// The current state; an open breaker whose cool-down has elapsed
+    /// reports (and becomes) `HalfOpen`.
+    pub fn state(&self) -> BreakerState {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.state == BreakerState::Open
+            && self.time.now() >= inner.opened_at + self.config.cooldown
+        {
+            inner.state = BreakerState::HalfOpen;
+            inner.half_open_successes = 0;
+        }
+        inner.state
+    }
+
+    /// Whether a request may use the protected path right now.
+    pub fn allow(&self) -> bool {
+        self.state() != BreakerState::Open
+    }
+
+    /// Records a healthy response from the protected path.
+    pub fn record_success(&self) {
+        let _ = self.state(); // resolve a due Open→HalfOpen transition
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::Closed => inner.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                inner.half_open_successes += 1;
+                if inner.half_open_successes >= self.config.success_threshold {
+                    inner.state = BreakerState::Closed;
+                    inner.consecutive_failures = 0;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failure (e.g. a reasoner query that blew its budget).
+    pub fn record_failure(&self) {
+        let _ = self.state();
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = self.time.now();
+                }
+            }
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = self.time.now();
+            }
+            BreakerState::Open => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::ManualTime;
+    use crate::resilience::TestClock;
+
+    fn gate(total: usize, per_class: usize, queued: usize) -> AdmissionController {
+        AdmissionController::new(AdmissionConfig {
+            max_queued: queued,
+            max_wait: Duration::from_millis(10),
+            ..AdmissionConfig::with_quotas(total, per_class)
+        })
+    }
+
+    #[test]
+    fn admits_up_to_quota_then_sheds() {
+        let gate = gate(2, 2, 0);
+        let p1 = gate.try_admit(QueryClass::Search).unwrap();
+        let _p2 = gate.try_admit(QueryClass::Lineage).unwrap();
+        let err = gate.try_admit(QueryClass::Sparql).unwrap_err();
+        assert_eq!(err.reason, ShedReason::QueueFull);
+        assert_eq!(err.class, QueryClass::Sparql);
+        assert!(err.retry_after > Duration::ZERO);
+        // Releasing a slot re-opens the gate.
+        drop(p1);
+        assert!(gate.try_admit(QueryClass::Sparql).is_ok());
+    }
+
+    #[test]
+    fn per_class_quota_protects_other_classes() {
+        let gate = gate(10, 1, 0);
+        let _search = gate.try_admit(QueryClass::Search).unwrap();
+        // Search is at quota…
+        assert!(gate.try_admit(QueryClass::Search).is_err());
+        // …but lineage still gets in.
+        assert!(gate.try_admit(QueryClass::Lineage).is_ok());
+    }
+
+    #[test]
+    fn blocking_admit_sheds_when_queue_is_full() {
+        let gate = gate(1, 1, 0);
+        let _held = gate.try_admit(QueryClass::Search).unwrap();
+        let err = gate.admit(QueryClass::Search).unwrap_err();
+        assert_eq!(err.reason, ShedReason::QueueFull);
+    }
+
+    #[test]
+    fn blocking_admit_times_out_with_typed_rejection() {
+        let gate = gate(1, 1, 4);
+        let _held = gate.try_admit(QueryClass::Search).unwrap();
+        // The slot is never released: the queued request must come back
+        // with WaitTimeout after max_wait, not hang.
+        let err = gate.admit(QueryClass::Search).unwrap_err();
+        assert_eq!(err.reason, ShedReason::WaitTimeout);
+    }
+
+    #[test]
+    fn queued_request_gets_freed_slot() {
+        let gate = AdmissionController::new(AdmissionConfig {
+            max_queued: 4,
+            max_wait: Duration::from_secs(5),
+            ..AdmissionConfig::with_quotas(1, 1)
+        });
+        let held = gate.try_admit(QueryClass::Search).unwrap();
+        let gate2 = gate.clone();
+        let waiter = std::thread::spawn(move || gate2.admit(QueryClass::Search).is_ok());
+        std::thread::sleep(Duration::from_millis(20));
+        drop(held);
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn stats_count_admissions_and_sheds_per_class() {
+        let gate = gate(1, 1, 0);
+        let _p = gate.try_admit(QueryClass::Search).unwrap();
+        let _ = gate.try_admit(QueryClass::Search);
+        let _ = gate.try_admit(QueryClass::Lineage);
+        let stats = gate.stats();
+        assert_eq!(stats.admitted[QueryClass::Search.index()], 1);
+        assert_eq!(stats.shed[QueryClass::Search.index()], 1);
+        assert_eq!(stats.total_admitted(), 1);
+        assert_eq!(stats.total_shed(), 2);
+    }
+
+    #[test]
+    fn permit_released_on_panic_unwind() {
+        let gate = gate(1, 1, 0);
+        let gate2 = gate.clone();
+        let _ = std::panic::catch_unwind(move || {
+            let _permit = gate2.try_admit(QueryClass::Search).unwrap();
+            panic!("query blew up");
+        });
+        assert_eq!(gate.active(), 0);
+        assert!(gate.try_admit(QueryClass::Search).is_ok());
+    }
+
+    fn breaker(time: Arc<dyn TimeSource>) -> CircuitBreaker {
+        CircuitBreaker::new(
+            BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_secs(5),
+                success_threshold: 2,
+            },
+            time,
+        )
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures() {
+        let time = Arc::new(ManualTime::new());
+        let b = breaker(time.clone());
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        b.record_failure();
+        assert!(b.allow()); // two failures: still closed
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let time = Arc::new(ManualTime::new());
+        let b = breaker(time.clone());
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        // Never three in a row.
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_half_opens_after_cooldown_and_closes_on_probes() {
+        let time = Arc::new(ManualTime::new());
+        let b = breaker(time.clone());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        time.advance(Duration::from_secs(5));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen); // one probe is not enough
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_and_restarts_cooldown() {
+        let time = Arc::new(ManualTime::new());
+        let b = breaker(time.clone());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        time.advance(Duration::from_secs(5));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        // The cool-down restarted: 4 more seconds is not enough…
+        time.advance(Duration::from_secs(4));
+        assert_eq!(b.state(), BreakerState::Open);
+        // …but one more is.
+        time.advance(Duration::from_secs(1));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn breaker_runs_on_test_clock_too() {
+        let clock = Arc::new(TestClock::new());
+        let b = CircuitBreaker::new(BreakerConfig::default(), clock.clone());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert!(!b.allow());
+        clock.advance(BreakerConfig::default().cooldown);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn overloaded_displays_usefully() {
+        let e = Overloaded {
+            class: QueryClass::Lineage,
+            reason: ShedReason::QueueFull,
+            retry_after: Duration::from_millis(250),
+        };
+        let s = e.to_string();
+        assert!(s.contains("lineage"));
+        assert!(s.contains("queue full"));
+    }
+}

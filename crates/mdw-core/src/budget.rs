@@ -1,0 +1,39 @@
+//! Query budgets, deadlines, and cancellation — re-exported from the
+//! substrate (see [`mdw_rdf::budget`]) so warehouse callers, the SPARQL
+//! executor, and the traversal loops all charge the same budget object.
+//!
+//! The one piece that lives here is the glue to the injectable
+//! [`Clock`](crate::resilience::Clock): [`deadline_budget`] builds a budget
+//! whose wall-clock deadline is measured on a clock the caller controls,
+//! so deadline tests advance a [`TestClock`](crate::resilience::TestClock)
+//! instead of sleeping.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use mdw_rdf::budget::{
+    CancellationToken, Completeness, ManualTime, MonotonicTime, QueryBudget, TimeSource,
+    TruncationReason, CHECK_INTERVAL,
+};
+
+/// A budget with a wall-clock deadline `timeout` from now, measured on
+/// `time` (pass a [`SystemClock`](crate::resilience::SystemClock) in
+/// production, a [`TestClock`](crate::resilience::TestClock) in tests).
+pub fn deadline_budget(timeout: Duration, time: Arc<dyn TimeSource>) -> QueryBudget {
+    QueryBudget::unlimited().with_deadline(timeout, time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::TestClock;
+
+    #[test]
+    fn deadline_budget_runs_on_the_injected_clock() {
+        let clock = Arc::new(TestClock::new());
+        let b = deadline_budget(Duration::from_millis(10), clock.clone());
+        assert!(b.check().is_ok());
+        clock.advance(Duration::from_millis(11));
+        assert_eq!(b.check(), Err(TruncationReason::DeadlineExceeded));
+    }
+}

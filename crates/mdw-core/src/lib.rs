@@ -31,7 +31,9 @@
 //! * [`report`] — plain-text renderings of the paper's figures,
 //! * [`warehouse`] — the facade tying everything together.
 
+pub mod admission;
 pub mod assist;
+pub mod budget;
 pub mod error;
 pub mod governance;
 pub mod history;
@@ -47,7 +49,14 @@ pub mod sync;
 pub mod synonyms;
 pub mod warehouse;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionStats, BreakerConfig, BreakerState,
+    CircuitBreaker, Overloaded, Permit, QueryClass, ShedReason,
+};
 pub use assist::{find_sources, SourceCandidates};
+pub use budget::{
+    deadline_budget, CancellationToken, Completeness, QueryBudget, TimeSource, TruncationReason,
+};
 pub use error::MdwError;
 pub use governance::{who_can_access, AccessReport};
 pub use history::{History, VersionDiff, VersionRecord};

@@ -38,6 +38,8 @@ use mdw_rdf::triple::TriplePattern;
 use mdw_rdf::vocab;
 use mdw_reason::EntailedGraph;
 
+use crate::budget::{Completeness, QueryBudget, TruncationReason};
+
 /// Traversal direction along `isMappedTo` edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
@@ -65,6 +67,9 @@ pub struct LineageRequest {
     /// If set, only mapping edges whose rule condition contains this string
     /// are traversed.
     pub rule_condition_filter: Option<String>,
+    /// Resource budget (steps, deadline, cancellation) charged per traversed
+    /// hop; unlimited by default.
+    pub budget: QueryBudget,
 }
 
 impl LineageRequest {
@@ -77,7 +82,14 @@ impl LineageRequest {
             max_depth: 16,
             max_paths: 100_000,
             rule_condition_filter: None,
+            budget: QueryBudget::unlimited(),
         }
+    }
+
+    /// Attaches a resource budget.
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Upstream (provenance) request with default limits.
@@ -165,8 +177,15 @@ pub struct LineageResult {
     /// Total paths enumerated before endpoint filtering — the Section V
     /// explosion metric.
     pub paths_explored: usize,
-    /// True if enumeration hit [`LineageRequest::max_paths`].
+    /// True if enumeration was cut short — [`LineageRequest::max_paths`] or
+    /// the budget. Kept in sync with [`LineageResult::completeness`].
     pub truncated: bool,
+    /// Whether the traversal covered everything or stopped early (and why).
+    pub completeness: Completeness,
+    /// True when the answer was computed without the inference index (the
+    /// entailment circuit breaker was open) and may miss inherited target
+    /// classes.
+    pub degraded: bool,
 }
 
 impl LineageResult {
@@ -189,6 +208,8 @@ pub fn trace(
         paths: Vec::new(),
         paths_explored: 0,
         truncated: false,
+        completeness: Completeness::Complete,
+        degraded: false,
     };
     let (Some(mapped), Some(start)) = (lookup(vocab::cs::IS_MAPPED_TO), dict.lookup(&request.start))
     else {
@@ -233,6 +254,8 @@ pub fn trace(
         max_paths: request.max_paths,
         condition_filter: request.rule_condition_filter.as_deref(),
         conditions: &conditions,
+        budget: &request.budget,
+        tripped: request.budget.check().err(),
         paths: Vec::new(),
         paths_explored: 0,
         truncated: false,
@@ -281,7 +304,11 @@ pub fn trace(
     // Keep only paths ending at qualifying endpoints.
     let endpoint_nodes: BTreeSet<&Term> = endpoints.iter().map(|e| &e.node).collect();
     let paths_explored = walker.paths_explored;
-    let truncated = walker.truncated;
+    // A budget trip takes precedence as the verdict; a pure max_paths cut
+    // is the structural PathLimit the walker always enforced.
+    let reason = walker
+        .tripped
+        .or(if walker.truncated { Some(TruncationReason::PathLimit) } else { None });
     let paths: Vec<LineagePath> = walker
         .paths
         .into_iter()
@@ -293,7 +320,12 @@ pub fn trace(
         endpoints,
         paths,
         paths_explored,
-        truncated,
+        truncated: reason.is_some(),
+        completeness: match reason {
+            Some(reason) => Completeness::Truncated { reason },
+            None => Completeness::Complete,
+        },
+        degraded: false,
     }
 }
 
@@ -306,6 +338,9 @@ struct Walker<'a, 'g> {
     max_paths: usize,
     condition_filter: Option<&'a str>,
     conditions: &'a HashMap<(TermId, TermId), String>,
+    budget: &'a QueryBudget,
+    /// First budget violation, if any; the walk unwinds once set.
+    tripped: Option<TruncationReason>,
     /// All enumerated paths (every prefix that reaches a new node extends
     /// here when it terminates).
     paths: Vec<LineagePath>,
@@ -319,7 +354,7 @@ struct Walker<'a, 'g> {
 
 impl Walker<'_, '_> {
     fn dfs(&mut self, node: TermId, depth: usize) {
-        if depth >= self.max_depth || self.truncated {
+        if depth >= self.max_depth || self.truncated || self.tripped.is_some() {
             return;
         }
         // Outgoing edges in traversal direction.
@@ -336,6 +371,15 @@ impl Walker<'_, '_> {
                 .collect(),
         };
         for (from, to) in next {
+            if self.truncated || self.tripped.is_some() {
+                return; // a deeper frame tripped mid-loop
+            }
+            // One hop = one budget step; a tripped budget stops the walk
+            // with every path found so far intact.
+            if let Err(reason) = self.budget.charge_step() {
+                self.tripped = Some(reason);
+                return;
+            }
             let step_to = if self.direction == Direction::Downstream { to } else { from };
             if self.on_path.contains(&step_to) {
                 continue; // simple paths only
@@ -705,6 +749,49 @@ mod tests {
         // Terminates, and never revisits the start.
         assert!(result.paths_explored < 10);
         assert!(result.endpoint(&dwh("customer_id")).is_some());
+    }
+
+    #[test]
+    fn budget_step_cap_truncates_walk_with_reason() {
+        let (store, m) = setup();
+        let req = LineageRequest::downstream(dwh("client_information_id"))
+            .with_budget(QueryBudget::unlimited().with_max_steps(1));
+        let result = run(&store, &m, req);
+        assert!(result.truncated);
+        assert_eq!(result.completeness.reason(), Some(TruncationReason::StepLimit));
+        // Whatever was found is still a valid partial: at most the first hop.
+        assert!(result.paths_explored <= 1);
+    }
+
+    #[test]
+    fn max_paths_reports_path_limit_verdict() {
+        let (store, m) = setup();
+        let mut req = LineageRequest::downstream(dwh("client_information_id"));
+        req.max_paths = 1;
+        let result = run(&store, &m, req);
+        assert!(result.truncated);
+        assert_eq!(result.completeness.reason(), Some(TruncationReason::PathLimit));
+    }
+
+    #[test]
+    fn cancelled_lineage_is_empty_truncated() {
+        let (store, m) = setup();
+        let token = crate::budget::CancellationToken::new();
+        token.cancel();
+        let req = LineageRequest::downstream(dwh("client_information_id"))
+            .with_budget(QueryBudget::unlimited().with_cancellation(&token));
+        let result = run(&store, &m, req);
+        assert!(result.paths.is_empty());
+        assert_eq!(result.completeness.reason(), Some(TruncationReason::Cancelled));
+    }
+
+    #[test]
+    fn unbudgeted_walk_is_complete_and_flags_agree() {
+        let (store, m) = setup();
+        let result = run(&store, &m, LineageRequest::downstream(dwh("client_information_id")));
+        assert!(!result.truncated);
+        assert!(result.completeness.is_complete());
+        assert!(!result.degraded);
     }
 
     #[test]

@@ -14,9 +14,8 @@
 //! injects faults from seeded streams — no wall-clock time, no real I/O
 //! errors needed.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use crate::error::MdwError;
 
@@ -28,15 +27,20 @@ pub use mdw_rdf::failpoint;
 /// How an armed failpoint fires (re-exported for convenience).
 pub use mdw_rdf::failpoint::FailSpec;
 
-/// A source of delay, so retry backoff is injectable: production uses
-/// [`SystemClock`], tests use [`TestClock`] and assert on the recorded
-/// delays instead of actually waiting.
-pub trait Clock {
+/// Monotonic time, re-exported from the substrate so query budgets and
+/// clocks share one notion of "now".
+pub use mdw_rdf::budget::TimeSource;
+
+/// A source of delay and time, so retry backoff, deadlines, and circuit
+/// breakers are injectable: production uses [`SystemClock`], tests use
+/// [`TestClock`] and assert on the recorded delays (or advance time by
+/// hand) instead of actually waiting.
+pub trait Clock: TimeSource {
     /// Waits for `duration` (or pretends to).
     fn sleep(&self, duration: Duration);
 }
 
-/// The real clock: [`std::thread::sleep`].
+/// The real clock: [`std::thread::sleep`], [`Instant`] for now.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SystemClock;
 
@@ -46,33 +50,63 @@ impl Clock for SystemClock {
     }
 }
 
-/// A recording clock for tests: `sleep` returns immediately and the
-/// requested delays are observable. Clones share the same recording.
+impl TimeSource for SystemClock {
+    fn now(&self) -> Duration {
+        // A process-wide origin keeps SystemClock a zero-sized Copy type;
+        // TimeSource only promises meaningful *differences* anyway.
+        static ORIGIN: OnceLock<Instant> = OnceLock::new();
+        ORIGIN.get_or_init(Instant::now).elapsed()
+    }
+}
+
+/// A deterministic clock for tests: `sleep` returns immediately (recording
+/// the requested delay), and [`TestClock::now`] reports the virtual time —
+/// everything slept so far plus whatever [`TestClock::advance`] added.
+/// Clones share the same state.
 #[derive(Debug, Clone, Default)]
 pub struct TestClock {
-    sleeps: Rc<RefCell<Vec<Duration>>>,
+    inner: Arc<Mutex<TestClockState>>,
+}
+
+#[derive(Debug, Default)]
+struct TestClockState {
+    sleeps: Vec<Duration>,
+    advanced: Duration,
 }
 
 impl TestClock {
-    /// A fresh recording clock.
+    /// A fresh recording clock at virtual time zero.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Every delay requested so far, in order.
     pub fn sleeps(&self) -> Vec<Duration> {
-        self.sleeps.borrow().clone()
+        self.inner.lock().unwrap().sleeps.clone()
     }
 
     /// Sum of all requested delays.
     pub fn total_slept(&self) -> Duration {
-        self.sleeps.borrow().iter().sum()
+        self.inner.lock().unwrap().sleeps.iter().sum()
+    }
+
+    /// Moves virtual time forward without a sleep (e.g. to expire a
+    /// deadline or a circuit breaker's cool-down).
+    pub fn advance(&self, d: Duration) {
+        self.inner.lock().unwrap().advanced += d;
     }
 }
 
 impl Clock for TestClock {
     fn sleep(&self, duration: Duration) {
-        self.sleeps.borrow_mut().push(duration);
+        self.inner.lock().unwrap().sleeps.push(duration);
+    }
+}
+
+impl TimeSource for TestClock {
+    fn now(&self) -> Duration {
+        let state = self.inner.lock().unwrap();
+        state.advanced + state.sleeps.iter().sum::<Duration>()
     }
 }
 
@@ -171,6 +205,27 @@ mod tests {
 
     fn permanent() -> MdwError {
         MdwError::Rdf(RdfError::corrupt("x", "y"))
+    }
+
+    #[test]
+    fn test_clock_virtual_time_counts_sleeps_and_advances() {
+        let clock = TestClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.sleep(Duration::from_millis(40));
+        clock.advance(Duration::from_millis(2));
+        assert_eq!(clock.now(), Duration::from_millis(42));
+        // Clones share the virtual time.
+        let other = clock.clone();
+        other.advance(Duration::from_millis(1));
+        assert_eq!(clock.now(), Duration::from_millis(43));
+    }
+
+    #[test]
+    fn system_clock_now_is_monotonic() {
+        let clock = SystemClock;
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
     }
 
     #[test]

@@ -31,8 +31,14 @@ use mdw_rdf::triple::TriplePattern;
 use mdw_rdf::vocab;
 use mdw_reason::EntailedGraph;
 
+use crate::budget::{Completeness, QueryBudget, TruncationReason};
 use crate::model::{AbstractionLevel, Area};
 use crate::synonyms::SynonymTable;
+
+/// Distinct matching instances a search returns unless the caller raises
+/// the cap — the frontend never renders an unbounded result page, and a
+/// one-letter search over the full graph must not build one.
+pub const DEFAULT_MAX_RESULTS: usize = 10_000;
 
 /// A search request — the paper's Figure 6 frontend form.
 #[derive(Debug, Clone)]
@@ -51,6 +57,12 @@ pub struct SearchRequest {
     /// Match case-sensitively (the paper's `regexp_like(…, 'i')` default is
     /// insensitive).
     pub case_sensitive: bool,
+    /// Cap on distinct matching instances ([`DEFAULT_MAX_RESULTS`] unless
+    /// overridden); exceeding it truncates the result, it never errors.
+    pub max_results: usize,
+    /// Resource budget (steps, rows, deadline, cancellation) charged by the
+    /// scan; unlimited by default.
+    pub budget: QueryBudget,
 }
 
 impl SearchRequest {
@@ -63,7 +75,21 @@ impl SearchRequest {
             level: None,
             expand_synonyms: false,
             case_sensitive: false,
+            max_results: DEFAULT_MAX_RESULTS,
+            budget: QueryBudget::unlimited(),
         }
+    }
+
+    /// Overrides the result cap.
+    pub fn with_max_results(mut self, n: usize) -> Self {
+        self.max_results = n;
+        self
+    }
+
+    /// Attaches a resource budget.
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Adds a hierarchy-class filter.
@@ -144,6 +170,13 @@ pub struct SearchResults {
     pub expanded_terms: Vec<String>,
     /// Algorithm trace.
     pub trace: SearchTrace,
+    /// Whether every qualifying instance is present or the result-cap /
+    /// budget stopped the scan early.
+    pub completeness: Completeness,
+    /// True when the answer was computed without the inference index (the
+    /// entailment circuit breaker was open) and may miss inherited class
+    /// memberships.
+    pub degraded: bool,
 }
 
 impl SearchResults {
@@ -223,14 +256,25 @@ pub fn search(
     };
 
     // ---- Step 3: matching instances of the valid classes ----------------
+    // The scan streams (no up-front materialization): every name triple
+    // charges the budget, and a tripped budget or a full result cap stops
+    // the loop with whatever matched so far — tagged truncated.
+    let budget = &request.budget;
+    let mut truncated: Option<TruncationReason> = budget.check().err();
     let mut matched_instances: BTreeSet<TermId> = BTreeSet::new();
     let mut groups: BTreeMap<TermId, Vec<SearchHit>> = BTreeMap::new();
 
-    let name_triples: Vec<_> = match has_name {
-        Some(p) => graph.scan(TriplePattern::with_p(p)).collect(),
-        None => Vec::new(),
-    };
+    let name_triples = has_name
+        .into_iter()
+        .flat_map(|p| graph.scan(TriplePattern::with_p(p)));
     for t in name_triples {
+        if truncated.is_some() {
+            break;
+        }
+        if let Err(reason) = budget.charge_step() {
+            truncated = Some(reason);
+            break;
+        }
         let Some(Term::Literal(lit)) = dict.term(t.o) else {
             continue;
         };
@@ -264,7 +308,20 @@ pub fn search(
         if classes.is_empty() {
             continue;
         }
-        matched_instances.insert(t.s);
+        if !matched_instances.contains(&t.s) {
+            // A *new* instance that would exceed the cap proves more
+            // results existed, so the RowLimit verdict is never a false
+            // positive; an exact fit stays Complete.
+            if matched_instances.len() >= request.max_results {
+                truncated = Some(TruncationReason::RowLimit);
+                break;
+            }
+            if budget.charge_row().is_err() {
+                truncated = Some(TruncationReason::RowLimit);
+                break;
+            }
+            matched_instances.insert(t.s);
+        }
         let hit = SearchHit {
             instance: dict.term_unchecked(t.s).clone(),
             name: lit.lexical.to_string(),
@@ -313,6 +370,11 @@ pub fn search(
             step2_valid_classes: decode_set(&step2),
             step3_instances: matched_instances.len(),
         },
+        completeness: match truncated {
+            Some(reason) => Completeness::Truncated { reason },
+            None => Completeness::Complete,
+        },
+        degraded: false,
     }
 }
 
@@ -326,6 +388,8 @@ fn empty_results(request: &SearchRequest, synonyms: &SynonymTable) -> SearchResu
         groups: Vec::new(),
         expanded_terms,
         trace: SearchTrace::default(),
+        completeness: Completeness::Complete,
+        degraded: false,
     }
 }
 
@@ -537,6 +601,49 @@ mod tests {
         for l in ["L0", "L1", "L2", "L3"] {
             assert!(labels.contains(&l), "missing group {l} in {labels:?}");
         }
+    }
+
+    #[test]
+    fn result_cap_truncates_with_row_limit() {
+        let (store, m) = setup();
+        // Two instances match "customer"; a cap of 1 must truncate.
+        let results = run(&store, &m, SearchRequest::new("customer").with_max_results(1));
+        assert_eq!(results.instance_count(), 1);
+        assert_eq!(results.completeness.reason(), Some(TruncationReason::RowLimit));
+        // An exact fit stays complete.
+        let results = run(&store, &m, SearchRequest::new("customer").with_max_results(2));
+        assert_eq!(results.instance_count(), 2);
+        assert!(results.completeness.is_complete());
+    }
+
+    #[test]
+    fn budget_row_cap_truncates_search() {
+        let (store, m) = setup();
+        let req = SearchRequest::new("customer")
+            .with_budget(QueryBudget::unlimited().with_max_rows(1));
+        let results = run(&store, &m, req);
+        assert_eq!(results.instance_count(), 1);
+        assert_eq!(results.completeness.reason(), Some(TruncationReason::RowLimit));
+    }
+
+    #[test]
+    fn cancelled_search_returns_truncated_empty() {
+        let (store, m) = setup();
+        let token = crate::budget::CancellationToken::new();
+        token.cancel();
+        let req = SearchRequest::new("customer")
+            .with_budget(QueryBudget::unlimited().with_cancellation(&token));
+        let results = run(&store, &m, req);
+        assert_eq!(results.instance_count(), 0);
+        assert_eq!(results.completeness.reason(), Some(TruncationReason::Cancelled));
+    }
+
+    #[test]
+    fn unconstrained_search_is_complete_and_not_degraded() {
+        let (store, m) = setup();
+        let results = run(&store, &m, SearchRequest::new("customer"));
+        assert!(results.completeness.is_complete());
+        assert!(!results.degraded);
     }
 
     #[test]

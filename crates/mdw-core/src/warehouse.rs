@@ -17,7 +17,9 @@
 //!    release.
 
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 
+use mdw_rdf::index::TripleIndex;
 use mdw_rdf::journal::{Journal, JournalOp};
 use mdw_rdf::persist::{self, RecoveryReport, SaveReport};
 use mdw_rdf::store::{GraphStats, Store};
@@ -26,7 +28,12 @@ use mdw_rdf::triple::Triple;
 use mdw_reason::{EntailedGraph, Materialization, MaterializeStats, Rulebase};
 use mdw_sparql::{QueryOutput, SemMatch};
 
+use crate::admission::{
+    AdmissionConfig, AdmissionController, AdmissionStats, BreakerConfig, BreakerState,
+    CircuitBreaker, Permit, QueryClass,
+};
 use crate::assist::{self, SourceCandidates};
+use crate::budget::{Completeness, QueryBudget, TimeSource, TruncationReason};
 use crate::error::MdwError;
 use crate::governance::{self, AccessReport, GovernanceGaps};
 use crate::history::{History, VersionDiff, VersionRecord};
@@ -61,6 +68,8 @@ pub struct MetadataWarehouse {
     history: History,
     sources: SourceRegistry,
     durability: Option<Durability>,
+    admission: Option<AdmissionController>,
+    breaker: Option<CircuitBreaker>,
 }
 
 impl Default for MetadataWarehouse {
@@ -90,6 +99,8 @@ impl MetadataWarehouse {
             history: History::new(),
             sources: SourceRegistry::new(),
             durability: None,
+            admission: None,
+            breaker: None,
         }
     }
 
@@ -108,6 +119,8 @@ impl MetadataWarehouse {
             history: History::new(),
             sources: SourceRegistry::new(),
             durability: None,
+            admission: None,
+            breaker: None,
         })
     }
 
@@ -422,16 +435,103 @@ impl MetadataWarehouse {
         Ok(EntailedGraph::new(self.store.model(&self.model)?, m.derived()))
     }
 
-    /// Runs the Section IV.A search.
-    pub fn search(&self, request: &SearchRequest) -> Result<SearchResults, MdwError> {
-        let view = self.entailed()?;
-        Ok(search::search(&view, self.store.dict(), &self.synonyms, request))
+    /// Puts an admission gate in front of the query entry points: beyond
+    /// the configured concurrency and queue bounds, queries are shed with
+    /// a typed [`MdwError::Overloaded`] instead of piling up.
+    pub fn enable_admission(&mut self, config: AdmissionConfig) {
+        self.admission = Some(AdmissionController::new(config));
     }
 
-    /// Runs the Section IV.B lineage traversal.
+    /// The admission gate, when enabled.
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_ref()
+    }
+
+    /// Admission counters (admitted/shed per class), when the gate is on.
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        self.admission.as_ref().map(|a| a.stats())
+    }
+
+    /// Puts a circuit breaker over the entailment path: when reasoner-backed
+    /// queries repeatedly blow their budgets the breaker opens and queries
+    /// are served from the base graph alone — flagged degraded — until a
+    /// half-open probe succeeds.
+    pub fn enable_breaker(&mut self, config: BreakerConfig, time: Arc<dyn TimeSource>) {
+        self.breaker = Some(CircuitBreaker::new(config, time));
+    }
+
+    /// The breaker's current state, when one is installed.
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(|b| b.state())
+    }
+
+    /// Acquires a slot from the admission gate (a no-op `None` permit when
+    /// admission is off). Shed requests surface as [`MdwError::Overloaded`].
+    fn admit(&self, class: QueryClass) -> Result<Option<Permit>, MdwError> {
+        match &self.admission {
+            Some(gate) => Ok(Some(gate.admit(class)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn empty_index() -> &'static TripleIndex {
+        static EMPTY: OnceLock<TripleIndex> = OnceLock::new();
+        EMPTY.get_or_init(TripleIndex::new)
+    }
+
+    /// The view a query runs against, plus whether it is degraded: the
+    /// entailed graph normally, the base graph alone (no inference) while
+    /// the breaker is open.
+    fn query_view(&self) -> Result<(EntailedGraph<'_>, bool), MdwError> {
+        if let Some(b) = &self.breaker {
+            if !b.allow() {
+                let graph = self.store.model(&self.model)?;
+                return Ok((EntailedGraph::new(graph, Self::empty_index()), true));
+            }
+        }
+        Ok((self.entailed()?, false))
+    }
+
+    /// Feeds a completed query's verdict to the breaker: a budget blow-up
+    /// on the entailed path (deadline or step cap) counts as a failure,
+    /// anything else as a success. Degraded (fallback) answers never probe
+    /// the entailed path, so they are not recorded.
+    fn record_entailment_outcome(&self, degraded: bool, completeness: &Completeness) {
+        if degraded {
+            return;
+        }
+        if let Some(b) = &self.breaker {
+            match completeness {
+                Completeness::Truncated {
+                    reason: TruncationReason::DeadlineExceeded | TruncationReason::StepLimit,
+                } => b.record_failure(),
+                _ => b.record_success(),
+            }
+        }
+    }
+
+    /// Runs the Section IV.A search. Honors the request's
+    /// [`QueryBudget`](crate::budget::QueryBudget), the admission gate, and
+    /// the entailment breaker.
+    pub fn search(&self, request: &SearchRequest) -> Result<SearchResults, MdwError> {
+        let _permit = self.admit(QueryClass::Search)?;
+        let (view, degraded) = self.query_view()?;
+        let mut results = search::search(&view, self.store.dict(), &self.synonyms, request);
+        results.degraded = degraded;
+        self.record_entailment_outcome(degraded, &results.completeness);
+        Ok(results)
+    }
+
+    /// Runs the Section IV.B lineage traversal. Honors the request's
+    /// [`QueryBudget`](crate::budget::QueryBudget), the admission gate, and
+    /// the entailment breaker.
     pub fn lineage(&self, request: &LineageRequest) -> Result<LineageResult, MdwError> {
-        let view = self.entailed()?;
-        Ok(lineage::trace(&view, self.store.dict(), request))
+        let _permit = self.admit(QueryClass::Lineage)?;
+        let (view, degraded) = self.query_view()?;
+        let mut result = lineage::trace(&view, self.store.dict(), request);
+        result.degraded = degraded;
+        self.record_entailment_outcome(degraded, &result.completeness);
+        Ok(result)
     }
 
     /// Schema-level flow aggregation (Figure 7, coarse granularity).
@@ -477,8 +577,33 @@ impl MetadataWarehouse {
     /// query names a rulebase, the built semantic index is supplied
     /// automatically.
     pub fn sem_match(&self, query: &SemMatch) -> Result<QueryOutput, MdwError> {
-        let query = query.clone().model(&self.model);
-        Ok(query.execute(&self.store, self.materialization.as_ref())?)
+        self.sem_match_with_budget(query, &QueryBudget::unlimited())
+    }
+
+    /// [`Self::sem_match`] under a [`QueryBudget`]: the executor checks the
+    /// budget at bounded intervals and returns a partial result tagged
+    /// `Truncated` instead of running away. Honors the admission gate and
+    /// the entailment breaker — while the breaker is open the query runs
+    /// without the semantic index and the output is flagged degraded.
+    pub fn sem_match_with_budget(
+        &self,
+        query: &SemMatch,
+        budget: &QueryBudget,
+    ) -> Result<QueryOutput, MdwError> {
+        let _permit = self.admit(QueryClass::Sparql)?;
+        let degraded = self.breaker.as_ref().is_some_and(|b| !b.allow());
+        let entailments = if degraded { None } else { self.materialization.as_ref() };
+        let mut query = query.clone().model(&self.model);
+        if degraded {
+            // Base-graph answers: the rulebase is unavailable, not an error.
+            query = query.without_rulebase();
+        }
+        let mut out = query.execute_with_budget(&self.store, entailments, budget)?;
+        out.degraded = degraded;
+        if entailments.is_some() {
+            self.record_entailment_outcome(degraded, &out.completeness);
+        }
+        Ok(out)
     }
 
     /// The Table I census of the current model.
@@ -859,6 +984,97 @@ mod tests {
         assert!(n > 0);
         // Idempotent: re-loading adds nothing.
         assert_eq!(w.load_synonym_edges().unwrap(), 0);
+    }
+
+    #[test]
+    fn overloaded_search_is_shed_with_typed_error() {
+        use std::time::Duration;
+        let mut w = loaded_warehouse();
+        w.enable_admission(AdmissionConfig {
+            max_concurrent: 0,
+            per_class: [0; 3],
+            max_queued: 0,
+            max_wait: Duration::from_millis(10),
+            retry_after: Duration::from_millis(250),
+        });
+        match w.search(&SearchRequest::new("customer")) {
+            Err(MdwError::Overloaded(o)) => assert_eq!(o.class, QueryClass::Search),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let stats = w.admission_stats().unwrap();
+        assert_eq!(stats.total_shed(), 1);
+        assert_eq!(stats.total_admitted(), 0);
+    }
+
+    #[test]
+    fn admission_permits_release_after_each_query() {
+        let mut w = loaded_warehouse();
+        w.enable_admission(AdmissionConfig::with_quotas(1, 1));
+        for _ in 0..3 {
+            w.search(&SearchRequest::new("customer")).unwrap();
+        }
+        let stats = w.admission_stats().unwrap();
+        assert_eq!(stats.total_admitted(), 3);
+        assert_eq!(stats.total_shed(), 0);
+        assert_eq!(w.admission().unwrap().active(), 0);
+    }
+
+    #[test]
+    fn breaker_fallback_serves_degraded_base_graph_answers() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        use crate::budget::{Completeness, ManualTime, QueryBudget, TruncationReason};
+
+        let mut w = loaded_warehouse();
+        let time = Arc::new(ManualTime::new());
+        w.enable_breaker(
+            BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_secs(60),
+                success_threshold: 1,
+            },
+            time.clone(),
+        );
+        assert_eq!(w.breaker_state(), Some(BreakerState::Closed));
+
+        // A query that blows its step budget counts as an entailment failure.
+        let starved = SearchRequest::new("customer")
+            .with_budget(QueryBudget::unlimited().with_max_steps(0));
+        let r = w.search(&starved).unwrap();
+        assert_eq!(r.completeness.reason(), Some(TruncationReason::StepLimit));
+        assert_eq!(w.breaker_state(), Some(BreakerState::Open));
+
+        // Open breaker: answers come from the base graph, flagged degraded —
+        // the asserted class is still found, the inferred superclass is not.
+        let r = w.search(&SearchRequest::new("customer")).unwrap();
+        assert!(r.degraded);
+        assert!(matches!(r.completeness, Completeness::Complete));
+        assert!(r.group("Column").is_some());
+        assert!(r.group("Attribute").is_none());
+
+        let lin = w
+            .lineage(&LineageRequest::downstream(dwh("client_information_id")))
+            .unwrap();
+        assert!(lin.degraded);
+        assert!(lin.endpoint(&dwh("customer_id")).is_some());
+
+        let out = w
+            .sem_match(
+                &SemMatch::new("{ ?x rdf:type dm:Attribute }")
+                    .rulebase("OWLPRIME")
+                    .alias("dm", vocab::cs::DM)
+                    .select(&["?x"]),
+            )
+            .unwrap();
+        assert!(out.degraded);
+        assert!(out.rows.is_empty());
+
+        // Cool-down elapses → half-open probe succeeds → healthy again.
+        time.advance(Duration::from_secs(61));
+        let r = w.search(&SearchRequest::new("customer")).unwrap();
+        assert!(!r.degraded);
+        assert!(r.group("Attribute").is_some());
+        assert_eq!(w.breaker_state(), Some(BreakerState::Closed));
     }
 
     #[test]

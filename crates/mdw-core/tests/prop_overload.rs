@@ -1,0 +1,196 @@
+//! Property-based tests for query-side overload protection: a budgeted
+//! query must return a prefix-consistent subset of the unbudgeted answer,
+//! and its `Completeness` verdict must be accurate — `Complete` exactly
+//! when nothing was cut off, `Truncated{reason}` naming the cap that
+//! actually tripped.
+
+use proptest::prelude::*;
+
+use mdw_core::budget::{Completeness, QueryBudget, TruncationReason};
+use mdw_core::ingest::Extract;
+use mdw_core::lineage::LineageRequest;
+use mdw_core::search::SearchRequest;
+use mdw_core::warehouse::MetadataWarehouse;
+use mdw_rdf::term::Term;
+use mdw_rdf::vocab;
+use mdw_sparql::SemMatch;
+
+fn item(i: u8) -> Term {
+    Term::iri(format!("http://ex.org/item{i}"))
+}
+
+/// A random mapping graph: items with names, random classes, and random
+/// `isMappedTo` edges (cycles allowed).
+#[derive(Debug, Clone)]
+struct RandomLandscape {
+    names: Vec<String>,
+    classes: Vec<u8>,
+    mappings: Vec<(u8, u8)>,
+}
+
+fn landscape() -> impl Strategy<Value = RandomLandscape> {
+    let n = 8usize;
+    (
+        proptest::collection::vec("[a-z]{2,8}", n..=n),
+        proptest::collection::vec(0u8..4, n..=n),
+        proptest::collection::vec((0u8..8, 0u8..8), 0..20),
+    )
+        .prop_map(|(names, classes, mappings)| RandomLandscape { names, classes, mappings })
+}
+
+fn build(l: &RandomLandscape) -> MetadataWarehouse {
+    let mut triples = Vec::new();
+    let ty = Term::iri(vocab::rdf::TYPE);
+    let has_name = Term::iri(vocab::cs::HAS_NAME);
+    let mapped = Term::iri(vocab::cs::IS_MAPPED_TO);
+    for (i, name) in l.names.iter().enumerate() {
+        let it = item(i as u8);
+        triples.push((
+            it.clone(),
+            ty.clone(),
+            Term::iri(format!("http://ex.org/Class{}", l.classes[i])),
+        ));
+        triples.push((it.clone(), has_name.clone(), Term::plain(name.clone())));
+    }
+    for &(a, b) in &l.mappings {
+        if a != b {
+            triples.push((item(a), mapped.clone(), item(b)));
+        }
+    }
+    let mut w = MetadataWarehouse::new();
+    w.ingest(vec![Extract::new("prop", triples)]).unwrap();
+    w.build_semantic_index().unwrap();
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A step-budgeted lineage walk enumerates a prefix of the unbudgeted
+    /// walk's paths, and its verdict tells the truth: `Complete` means the
+    /// full answer, `Truncated{StepLimit}` means the step cap tripped.
+    #[test]
+    fn budgeted_lineage_is_a_truthful_prefix(
+        l in landscape(),
+        start in 0u8..8,
+        max_steps in 0u64..60,
+    ) {
+        let w = build(&l);
+        let full = w.lineage(&LineageRequest::downstream(item(start))).unwrap();
+        let budgeted = w
+            .lineage(
+                &LineageRequest::downstream(item(start))
+                    .with_budget(QueryBudget::unlimited().with_max_steps(max_steps)),
+            )
+            .unwrap();
+
+        // Prefix consistency: the walk is deterministic and aborts cleanly,
+        // so the budgeted paths are exactly the first paths of the full walk.
+        prop_assert!(budgeted.paths.len() <= full.paths.len());
+        prop_assert_eq!(&budgeted.paths[..], &full.paths[..budgeted.paths.len()]);
+
+        match budgeted.completeness {
+            Completeness::Complete => {
+                prop_assert_eq!(budgeted.paths.len(), full.paths.len());
+                prop_assert_eq!(budgeted.endpoints.len(), full.endpoints.len());
+                prop_assert!(!budgeted.truncated);
+            }
+            Completeness::Truncated { reason } => {
+                prop_assert_eq!(reason, TruncationReason::StepLimit);
+                prop_assert!(budgeted.truncated);
+            }
+        }
+    }
+
+    /// A row-budgeted SPARQL query returns a prefix of the unbudgeted rows;
+    /// `Truncated{RowLimit}` appears exactly when rows really were cut off
+    /// (an exact fit stays `Complete`).
+    #[test]
+    fn budgeted_sparql_rows_are_a_truthful_prefix(
+        l in landscape(),
+        max_rows in 0u64..20,
+    ) {
+        let w = build(&l);
+        let query = SemMatch::new("{ ?x rdf:type ?c }").select(&["?x", "?c"]);
+        let full = w.sem_match(&query).unwrap();
+        let budgeted = w
+            .sem_match_with_budget(&query, &QueryBudget::unlimited().with_max_rows(max_rows))
+            .unwrap();
+
+        prop_assert!(budgeted.rows.len() <= full.rows.len());
+        prop_assert_eq!(&budgeted.rows[..], &full.rows[..budgeted.rows.len()]);
+
+        match budgeted.completeness {
+            Completeness::Complete => {
+                prop_assert_eq!(budgeted.rows.len(), full.rows.len());
+            }
+            Completeness::Truncated { reason } => {
+                prop_assert_eq!(reason, TruncationReason::RowLimit);
+                prop_assert_eq!(budgeted.rows.len() as u64, max_rows);
+                prop_assert!(full.rows.len() as u64 > max_rows, "reason must not be a false positive");
+            }
+        }
+    }
+
+    /// A step-budgeted SPARQL query is also a truthful prefix.
+    #[test]
+    fn step_budgeted_sparql_is_a_truthful_prefix(
+        l in landscape(),
+        max_steps in 0u64..40,
+    ) {
+        let w = build(&l);
+        let query = SemMatch::new("{ ?x rdf:type ?c }").select(&["?x", "?c"]);
+        let full = w.sem_match(&query).unwrap();
+        let budget = QueryBudget::unlimited().with_max_steps(max_steps);
+        let budgeted = w.sem_match_with_budget(&query, &budget).unwrap();
+
+        prop_assert!(budgeted.rows.len() <= full.rows.len());
+        prop_assert_eq!(&budgeted.rows[..], &full.rows[..budgeted.rows.len()]);
+
+        if let Completeness::Truncated { reason } = budgeted.completeness {
+            prop_assert_eq!(reason, TruncationReason::StepLimit);
+            prop_assert!(budget.steps_charged() > max_steps);
+        } else {
+            prop_assert_eq!(budgeted.rows.len(), full.rows.len());
+        }
+    }
+
+    /// A capped search finds a subset of the uncapped instances and reports
+    /// `RowLimit` exactly when instances were actually dropped.
+    #[test]
+    fn capped_search_is_a_truthful_subset(
+        l in landscape(),
+        needle in "[a-z]{1,2}",
+        cap in 0usize..12,
+    ) {
+        let w = build(&l);
+        let full = w.search(&SearchRequest::new(needle.clone())).unwrap();
+        let capped = w
+            .search(&SearchRequest::new(needle).with_max_results(cap))
+            .unwrap();
+
+        prop_assert!(capped.instance_count() <= full.instance_count());
+        prop_assert!(capped.instance_count() <= cap);
+        // Subset: every capped hit appears in the full result.
+        for group in &capped.groups {
+            for hit in &group.hits {
+                let found = full
+                    .groups
+                    .iter()
+                    .flat_map(|g| &g.hits)
+                    .any(|h| h.instance == hit.instance);
+                prop_assert!(found, "capped hit {:?} missing from full result", hit.name);
+            }
+        }
+
+        match capped.completeness {
+            Completeness::Complete => {
+                prop_assert_eq!(capped.instance_count(), full.instance_count());
+            }
+            Completeness::Truncated { reason } => {
+                prop_assert_eq!(reason, TruncationReason::RowLimit);
+                prop_assert!(full.instance_count() > capped.instance_count());
+            }
+        }
+    }
+}

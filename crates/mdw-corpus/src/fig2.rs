@@ -264,6 +264,7 @@ mod tests {
                 max_depth: 8,
                 max_paths: 1000,
                 rule_condition_filter: None,
+                budget: Default::default(),
             })
             .unwrap();
         // Provenance ends at the inbound source-file column.

@@ -28,6 +28,7 @@
 //! Everything above the substrate (inference, SPARQL, the warehouse services)
 //! lives in the sibling crates `mdw-reason`, `mdw-sparql`, and `mdw-core`.
 
+pub mod budget;
 pub mod dict;
 pub mod error;
 pub mod failpoint;
@@ -41,6 +42,10 @@ pub mod triple;
 pub mod turtle;
 pub mod vocab;
 
+pub use budget::{
+    CancellationToken, Completeness, ManualTime, MonotonicTime, QueryBudget, TimeSource,
+    TruncationReason,
+};
 pub use dict::{Dictionary, TermId};
 pub use error::RdfError;
 pub use failpoint::FailSpec;

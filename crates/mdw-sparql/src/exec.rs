@@ -7,10 +7,11 @@
 //! estimate from the source. This mirrors what any triple store's BGP
 //! optimizer does and keeps the paper's Listing 1/2 queries index-driven.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, HashMap};
 
+use mdw_rdf::budget::{Completeness, QueryBudget, TruncationReason};
 use mdw_rdf::dict::{Dictionary, TermId};
 use mdw_rdf::store::TripleSource;
 use mdw_rdf::term::Term;
@@ -19,6 +20,15 @@ use mdw_rdf::triple::TriplePattern;
 use crate::ast::*;
 use crate::error::SparqlError;
 use crate::regex_lite::Regex;
+
+/// Backtracking-step allowance per regex filter evaluation: generous for
+/// any sane pattern, small enough that catastrophic backtracking trips the
+/// query budget instead of hanging the executor.
+const REGEX_FUEL: u64 = 250_000;
+
+/// How many rows the result-materialization loops (projection,
+/// aggregation grouping) process between deadline/cancellation checks.
+const MATERIALIZE_CHECK: usize = 1024;
 
 /// One output row: values aligned with [`QueryOutput::columns`];
 /// `None` is an unbound (OPTIONAL) cell.
@@ -31,6 +41,13 @@ pub struct QueryOutput {
     pub columns: Vec<String>,
     /// The rows.
     pub rows: Vec<ResultRow>,
+    /// Whether the rows cover the full answer set or a budget cut the
+    /// evaluation short (the rows are then a valid partial answer).
+    pub completeness: Completeness,
+    /// True when the answer was computed without the semantic index (the
+    /// warehouse's degraded fallback while the entailment breaker is open):
+    /// inferred triples are absent.
+    pub degraded: bool,
 }
 
 impl QueryOutput {
@@ -93,7 +110,27 @@ pub fn execute(
     source: &dyn TripleSource,
     dict: &Dictionary,
 ) -> Result<QueryOutput, SparqlError> {
-    Executor { source, dict, regex_cache: RefCell::new(HashMap::new()) }.run(query)
+    execute_with_budget(query, source, dict, &QueryBudget::unlimited())
+}
+
+/// Executes a parsed query under a resource budget. When the budget trips
+/// (steps, rows, deadline, cancellation) evaluation stops at the next
+/// check point and the partial rows come back tagged
+/// [`Completeness::Truncated`] — never an error, never a panic.
+pub fn execute_with_budget(
+    query: &Query,
+    source: &dyn TripleSource,
+    dict: &Dictionary,
+    budget: &QueryBudget,
+) -> Result<QueryOutput, SparqlError> {
+    Executor {
+        source,
+        dict,
+        budget,
+        regex_cache: RefCell::new(HashMap::new()),
+        tripped: Cell::new(None),
+    }
+    .run(query)
 }
 
 /// A binding: var-index → term id (None = unbound).
@@ -102,7 +139,15 @@ type Binding = Vec<Option<TermId>>;
 struct Executor<'a> {
     source: &'a dyn TripleSource,
     dict: &'a Dictionary,
+    budget: &'a QueryBudget,
     regex_cache: RefCell<HashMap<(String, String), Regex>>,
+    /// First budget violation observed; once set, every loop unwinds.
+    tripped: Cell<Option<TruncationReason>>,
+}
+
+/// True when an execution-level row cap has been reached.
+fn cap_reached(len: usize, cap: Option<usize>) -> bool {
+    cap.is_some_and(|c| len >= c)
 }
 
 struct VarTable {
@@ -133,10 +178,88 @@ impl VarTable {
 }
 
 impl<'a> Executor<'a> {
+    /// Trips the budget: records the first violation; loops observe it via
+    /// [`Executor::is_tripped`] and unwind with whatever they have.
+    fn trip(&self, reason: TruncationReason) {
+        if self.tripped.get().is_none() {
+            self.tripped.set(Some(reason));
+        }
+    }
+
+    fn is_tripped(&self) -> bool {
+        self.tripped.get().is_some()
+    }
+
+    /// Periodic mid-materialization budget check: consults the clock and
+    /// the cancellation flag every [`MATERIALIZE_CHECK`] rows, so a query
+    /// cannot overrun its deadline while post-processing a large
+    /// intermediate result (the evaluation loops already stopped, but the
+    /// accumulated bindings still have to be projected or aggregated).
+    /// Returns `false` once the budget is tripped — stop materializing.
+    fn check_every(&self, i: usize) -> bool {
+        // A blown step or row cap is no reason to drop already-computed
+        // bindings — only time pressure (deadline, cancellation) is.
+        if matches!(
+            self.tripped.get(),
+            Some(TruncationReason::DeadlineExceeded | TruncationReason::Cancelled)
+        ) {
+            return false;
+        }
+        if i.is_multiple_of(MATERIALIZE_CHECK) {
+            if let Err(reason) = self.budget.check_time() {
+                self.trip(reason);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Charges one traversal step; `false` means "stop now".
+    fn charge(&self) -> bool {
+        if self.is_tripped() {
+            return false;
+        }
+        match self.budget.charge_step() {
+            Ok(()) => true,
+            Err(reason) => {
+                self.trip(reason);
+                false
+            }
+        }
+    }
+
     fn run(&self, query: &Query) -> Result<QueryOutput, SparqlError> {
         let vars = VarTable::new(query);
         let empty = vec![None; vars.len()];
-        let bindings = self.eval_pattern(&query.pattern, &vars, vec![empty])?;
+        let offset = query.offset.unwrap_or(0);
+
+        // A budget already exhausted on arrival (deadline passed while
+        // queued, caller cancelled) short-circuits to an empty partial.
+        if let Err(reason) = self.budget.check() {
+            self.trip(reason);
+        }
+
+        // LIMIT pushdown: when nothing downstream can drop or reorder rows
+        // (no ORDER BY / DISTINCT / aggregation), cap execution at
+        // OFFSET+LIMIT solutions instead of materializing the full set.
+        // The budget's row cap joins in with one probe row so a cut can be
+        // told apart from an exact fit. ASK only ever needs one solution.
+        let cap: Option<usize> = if query.ask {
+            Some(1)
+        } else if query.order_by.is_empty() && !query.distinct && !query.is_aggregate() {
+            let mut c = usize::MAX;
+            if let Some(limit) = query.limit {
+                c = c.min(offset.saturating_add(limit));
+            }
+            let probe = usize::try_from(self.budget.rows_remaining().saturating_add(1))
+                .unwrap_or(usize::MAX);
+            c = c.min(offset.saturating_add(probe));
+            (c != usize::MAX).then_some(c)
+        } else {
+            None
+        };
+
+        let bindings = self.eval_pattern(&query.pattern, &vars, vec![empty], cap)?;
 
         let columns = query.output_columns();
         if query.ask {
@@ -147,6 +270,8 @@ impl<'a> Executor<'a> {
                     answer.to_string(),
                     mdw_rdf::vocab::xsd::BOOLEAN,
                 ))]],
+                completeness: self.completeness(),
+                degraded: false,
             });
         }
         let mut rows: Vec<ResultRow> = if query.is_aggregate() {
@@ -162,17 +287,21 @@ impl<'a> Executor<'a> {
                     })
                     .collect::<Result<_, SparqlError>>()?,
             };
-            bindings
-                .into_iter()
-                .map(|b| {
+            let mut out: Vec<ResultRow> = Vec::new();
+            for (i, b) in bindings.into_iter().enumerate() {
+                if !self.check_every(i) {
+                    break;
+                }
+                out.push(
                     indices
                         .iter()
                         .map(|idx| {
                             idx.and_then(|i| b[i]).map(|id| self.dict.term_unchecked(id).clone())
                         })
-                        .collect()
-                })
-                .collect()
+                        .collect(),
+                );
+            }
+            out
         };
 
         if query.distinct {
@@ -202,7 +331,6 @@ impl<'a> Executor<'a> {
             });
         }
 
-        let offset = query.offset.unwrap_or(0);
         if offset > 0 {
             rows = rows.into_iter().skip(offset).collect();
         }
@@ -210,7 +338,28 @@ impl<'a> Executor<'a> {
             rows.truncate(limit);
         }
 
-        Ok(QueryOutput { columns, rows })
+        // The budget's row cap applies to what the caller actually
+        // receives, after LIMIT/OFFSET (a `LIMIT 10` that fits the cap is
+        // Complete — the query asked for 10 and got 10). The pushdown probe
+        // above guarantees an excess row is present exactly when more rows
+        // existed, so `Truncated{RowLimit}` is never a false positive.
+        let remaining = usize::try_from(self.budget.rows_remaining()).unwrap_or(usize::MAX);
+        if rows.len() > remaining {
+            rows.truncate(remaining);
+            self.trip(TruncationReason::RowLimit);
+        }
+        for _ in &rows {
+            let _ = self.budget.charge_row();
+        }
+
+        Ok(QueryOutput { columns, rows, completeness: self.completeness(), degraded: false })
+    }
+
+    fn completeness(&self) -> Completeness {
+        match self.tripped.get() {
+            Some(reason) => Completeness::Truncated { reason },
+            None => Completeness::Complete,
+        }
     }
 
     fn aggregate(
@@ -237,7 +386,10 @@ impl<'a> Executor<'a> {
         // Group key → (representative binding, group members).
         let mut groups: Vec<(Vec<Option<TermId>>, Vec<Binding>)> = Vec::new();
         let mut lookup: HashMap<Vec<Option<TermId>>, usize> = HashMap::new();
-        for b in bindings {
+        for (i, b) in bindings.into_iter().enumerate() {
+            if !self.check_every(i) {
+                break;
+            }
             let key: Vec<Option<TermId>> = group_indices.iter().map(|&i| b[i]).collect();
             match lookup.get(&key) {
                 Some(&g) => groups[g].1.push(b),
@@ -301,29 +453,46 @@ impl<'a> Executor<'a> {
         Ok(rows)
     }
 
+    /// Evaluates a graph pattern. `cap` is an execution-level bound on the
+    /// number of solutions to produce; it may only be passed down edges
+    /// where "first `cap` solutions of the sub-pattern" equals "first `cap`
+    /// solutions overall" — never into a Filter input or a Join's left arm.
     fn eval_pattern(
         &self,
         pattern: &GraphPattern,
         vars: &VarTable,
         input: Vec<Binding>,
+        cap: Option<usize>,
     ) -> Result<Vec<Binding>, SparqlError> {
         match pattern {
             GraphPattern::Bgp(triples) => {
                 let mut out = Vec::new();
                 for binding in input {
-                    self.eval_bgp(triples, vars, binding, &mut out)?;
+                    if self.is_tripped() || cap_reached(out.len(), cap) {
+                        break;
+                    }
+                    self.eval_bgp(triples, vars, binding, cap, &mut out)?;
                 }
                 Ok(out)
             }
             GraphPattern::Join(a, b) => {
-                let left = self.eval_pattern(a, vars, input)?;
-                self.eval_pattern(b, vars, left)
+                // The left arm must run uncapped: a left solution may find
+                // no partner on the right, so capping it could starve the
+                // join of rows that exist.
+                let left = self.eval_pattern(a, vars, input, None)?;
+                self.eval_pattern(b, vars, left, cap)
             }
             GraphPattern::Optional(a, b) => {
-                let left = self.eval_pattern(a, vars, input)?;
+                // Every left solution yields at least one output row, so
+                // the cap passes through the left arm unchanged.
+                let left = self.eval_pattern(a, vars, input, cap)?;
                 let mut out = Vec::new();
                 for binding in left {
-                    let extended = self.eval_pattern(b, vars, vec![binding.clone()])?;
+                    if self.is_tripped() || cap_reached(out.len(), cap) {
+                        break;
+                    }
+                    let sub_cap = cap.map(|c| c - out.len());
+                    let extended = self.eval_pattern(b, vars, vec![binding.clone()], sub_cap)?;
                     if extended.is_empty() {
                         out.push(binding);
                     } else {
@@ -333,15 +502,23 @@ impl<'a> Executor<'a> {
                 Ok(out)
             }
             GraphPattern::Union(a, b) => {
-                let mut left = self.eval_pattern(a, vars, input.clone())?;
-                let right = self.eval_pattern(b, vars, input)?;
-                left.extend(right);
+                let mut left = self.eval_pattern(a, vars, input.clone(), cap)?;
+                let right_cap = cap.map(|c| c.saturating_sub(left.len()));
+                if right_cap != Some(0) && !self.is_tripped() {
+                    let right = self.eval_pattern(b, vars, input, right_cap)?;
+                    left.extend(right);
+                }
                 Ok(left)
             }
             GraphPattern::Filter(expr, inner) => {
-                let rows = self.eval_pattern(inner, vars, input)?;
+                // The filter may drop any number of rows, so the inner
+                // pattern runs uncapped; only the surviving rows are capped.
+                let rows = self.eval_pattern(inner, vars, input, None)?;
                 let mut out = Vec::with_capacity(rows.len());
                 for b in rows {
+                    if cap_reached(out.len(), cap) {
+                        break;
+                    }
                     // SPARQL semantics: an erroring filter is falsy.
                     if self.eval_expr(expr, vars, &b)?.unwrap_or(false) {
                         out.push(b);
@@ -358,6 +535,7 @@ impl<'a> Executor<'a> {
         triples: &[PatternTriple],
         vars: &VarTable,
         binding: Binding,
+        cap: Option<usize>,
         out: &mut Vec<Binding>,
     ) -> Result<(), SparqlError> {
         // Pre-resolve constants; a constant absent from the dictionary can
@@ -371,11 +549,20 @@ impl<'a> Executor<'a> {
             resolved.push(rt);
         }
         let mut remaining: Vec<ResolvedUnit> = resolved;
-        self.bgp_step(&mut remaining, binding, out);
+        self.bgp_step(&mut remaining, binding, cap, out);
         Ok(())
     }
 
-    fn bgp_step(&self, remaining: &mut Vec<ResolvedUnit>, binding: Binding, out: &mut Vec<Binding>) {
+    fn bgp_step(
+        &self,
+        remaining: &mut Vec<ResolvedUnit>,
+        binding: Binding,
+        cap: Option<usize>,
+        out: &mut Vec<Binding>,
+    ) {
+        if self.is_tripped() || cap_reached(out.len(), cap) {
+            return;
+        }
         if remaining.is_empty() {
             out.push(binding);
             return;
@@ -413,9 +600,12 @@ impl<'a> Executor<'a> {
                 let pat = rt.to_pattern(&binding);
                 let matches: Vec<_> = self.source.scan_pattern(pat).collect();
                 for t in matches {
+                    if !self.charge() || cap_reached(out.len(), cap) {
+                        break;
+                    }
                     let mut next = binding.clone();
                     if rt.extend(&mut next, t) {
-                        self.bgp_step(remaining, next, out);
+                        self.bgp_step(remaining, next, cap, out);
                     }
                 }
             }
@@ -426,9 +616,12 @@ impl<'a> Executor<'a> {
                     o.resolve_pos(&binding),
                 );
                 for (from, to) in pairs {
+                    if !self.charge() || cap_reached(out.len(), cap) {
+                        break;
+                    }
                     let mut next = binding.clone();
                     if s.bind(&mut next, from) && o.bind(&mut next, to) {
-                        self.bgp_step(remaining, next, out);
+                        self.bgp_step(remaining, next, cap, out);
                     }
                 }
             }
@@ -510,6 +703,9 @@ impl<'a> Executor<'a> {
                 let mut out = std::collections::BTreeSet::new();
                 let starts = self.path_start_candidates(path);
                 for s in starts {
+                    if self.is_tripped() {
+                        break;
+                    }
                     for t in self.path_from(path, s) {
                         out.insert((s, t));
                     }
@@ -525,6 +721,9 @@ impl<'a> Executor<'a> {
         match path {
             CompiledPath::Pred(Some(p)) => {
                 for t in self.source.scan_pattern(TriplePattern::with_sp(from, *p)) {
+                    if !self.charge() {
+                        break;
+                    }
                     out.insert(t.o);
                 }
             }
@@ -534,6 +733,9 @@ impl<'a> Executor<'a> {
                 // object index (avoids re-wrapping into Inverse forever).
                 CompiledPath::Pred(Some(p)) => {
                     for t in self.source.scan_pattern(TriplePattern::with_po(*p, from)) {
+                        if !self.charge() {
+                            break;
+                        }
                         out.insert(t.s);
                     }
                 }
@@ -542,6 +744,9 @@ impl<'a> Executor<'a> {
             },
             CompiledPath::Seq(a, b) => {
                 for mid in self.path_from(a, from) {
+                    if self.is_tripped() {
+                        break;
+                    }
                     out.extend(self.path_from(b, mid));
                 }
             }
@@ -569,6 +774,12 @@ impl<'a> Executor<'a> {
         let mut seen = BTreeSet::new();
         let mut frontier = vec![from];
         while let Some(node) = frontier.pop() {
+            // The closure is where the lineage-shaped `(isMappedTo)*`
+            // queries spend their time: charge every node expansion so a
+            // runaway transitive walk stops at the budget, not at OOM.
+            if !self.charge() {
+                break;
+            }
             for next in self.path_from(step, node) {
                 if seen.insert(next) {
                     frontier.push(next);
@@ -595,6 +806,9 @@ impl<'a> Executor<'a> {
         match path {
             CompiledPath::Pred(Some(p)) => {
                 for t in self.source.scan_pattern(TriplePattern::with_p(*p)) {
+                    if !self.charge() {
+                        break;
+                    }
                     out.insert(if inverted { t.o } else { t.s });
                     // Nullable wrappers above may pair any incident node
                     // with itself; include both endpoints to be safe.
@@ -681,29 +895,45 @@ impl<'a> Executor<'a> {
             Expr::Gt(a, b) => self.compare(a, b, vars, binding)?.map(|o| Value::Bool(o == Ordering::Greater)),
             Expr::Ge(a, b) => self.compare(a, b, vars, binding)?.map(|o| Value::Bool(o != Ordering::Less)),
             Expr::Exists(pattern) => {
-                let rows = self.eval_pattern(pattern, vars, vec![binding.clone()])?;
+                // Existence needs exactly one witness.
+                let rows = self.eval_pattern(pattern, vars, vec![binding.clone()], Some(1))?;
                 Some(Value::Bool(!rows.is_empty()))
             }
             Expr::NotExists(pattern) => {
-                let rows = self.eval_pattern(pattern, vars, vec![binding.clone()])?;
+                let rows = self.eval_pattern(pattern, vars, vec![binding.clone()], Some(1))?;
                 Some(Value::Bool(rows.is_empty()))
             }
             Expr::Regex { target, pattern, flags } => {
                 let target = self.eval_value(target, vars, binding)?;
                 match target {
                     Some(Value::Term(t)) => {
+                        let text = term_string(&t);
                         let key = (pattern.clone(), flags.clone());
-                        {
-                            let cache = self.regex_cache.borrow();
-                            if let Some(re) = cache.get(&key) {
-                                return Ok(Some(Value::Bool(re.is_match(&term_string(&t)))));
+                        let cached = self
+                            .regex_cache
+                            .borrow()
+                            .get(&key)
+                            .map(|re| re.try_is_match(&text, REGEX_FUEL));
+                        let matched = match cached {
+                            Some(m) => m,
+                            None => {
+                                let re = Regex::with_flags(pattern, flags)
+                                    .map_err(|e| SparqlError::BadRegex(e.to_string()))?;
+                                let m = re.try_is_match(&text, REGEX_FUEL);
+                                self.regex_cache.borrow_mut().insert(key, re);
+                                m
+                            }
+                        };
+                        match matched {
+                            Some(m) => Some(Value::Bool(m)),
+                            // Catastrophic backtracking exhausted its fuel:
+                            // treat the filter as an error value (falsy) and
+                            // tag the result truncated.
+                            None => {
+                                self.trip(TruncationReason::StepLimit);
+                                None
                             }
                         }
-                        let re = Regex::with_flags(pattern, flags)
-                            .map_err(|e| SparqlError::BadRegex(e.to_string()))?;
-                        let matched = re.is_match(&term_string(&t));
-                        self.regex_cache.borrow_mut().insert(key, re);
-                        Some(Value::Bool(matched))
                     }
                     _ => None,
                 }
@@ -1193,6 +1423,146 @@ mod tests {
         .unwrap();
         let err = execute(&query, store.model("m").unwrap(), store.dict()).unwrap_err();
         assert!(matches!(err, SparqlError::Semantic(_)));
+    }
+
+    fn run_budgeted(store: &Store, q: &str, budget: &QueryBudget) -> QueryOutput {
+        let query = parse(q).unwrap();
+        execute_with_budget(&query, store.model("m").unwrap(), store.dict(), budget).unwrap()
+    }
+
+    #[test]
+    fn results_default_to_complete() {
+        let store = sample_store();
+        let out = run(&store, "SELECT ?x WHERE { ?x a <Customer> }");
+        assert!(out.completeness.is_complete());
+    }
+
+    #[test]
+    fn limit_pushdown_stops_early_and_stays_complete() {
+        let store = sample_store();
+        let budget = QueryBudget::unlimited();
+        let out = run_budgeted(&store, "SELECT ?x WHERE { ?x <hasName> ?n } LIMIT 2", &budget);
+        assert_eq!(out.rows.len(), 2);
+        // A satisfied LIMIT is a complete answer, not a truncation.
+        assert!(out.completeness.is_complete());
+        // The pushdown actually stopped the scan: 3 name triples exist but
+        // at most the capped prefix was expanded.
+        assert!(budget.steps_charged() <= 3);
+    }
+
+    #[test]
+    fn budget_row_cap_truncates_with_accurate_reason() {
+        let store = sample_store();
+        // 3 rows exist; a 2-row budget must report RowLimit.
+        let budget = QueryBudget::unlimited().with_max_rows(2);
+        let out = run_budgeted(&store, "SELECT ?x WHERE { ?x <hasName> ?n }", &budget);
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.completeness.reason(), Some(TruncationReason::RowLimit));
+
+        // A row cap the result fits under exactly is NOT a truncation.
+        let budget = QueryBudget::unlimited().with_max_rows(3);
+        let out = run_budgeted(&store, "SELECT ?x WHERE { ?x <hasName> ?n }", &budget);
+        assert_eq!(out.rows.len(), 3);
+        assert!(out.completeness.is_complete());
+    }
+
+    #[test]
+    fn budget_step_cap_yields_truncated_partial() {
+        let store = sample_store();
+        let budget = QueryBudget::unlimited().with_max_steps(1);
+        let out = run_budgeted(
+            &store,
+            "SELECT ?x ?n WHERE { ?x a <Customer> . ?x <hasName> ?n }",
+            &budget,
+        );
+        assert!(out.rows.len() < 2);
+        assert_eq!(out.completeness.reason(), Some(TruncationReason::StepLimit));
+    }
+
+    #[test]
+    fn budgeted_rows_are_prefix_of_unbudgeted() {
+        let store = sample_store();
+        let q = "SELECT ?x ?n WHERE { ?x <hasName> ?n }";
+        let full = run(&store, q);
+        for cap in 0..=full.rows.len() as u64 {
+            let budget = QueryBudget::unlimited().with_max_rows(cap);
+            let out = run_budgeted(&store, q, &budget);
+            assert_eq!(out.rows, full.rows[..cap as usize].to_vec());
+        }
+    }
+
+    #[test]
+    fn cancelled_before_start_returns_empty_truncated() {
+        let store = sample_store();
+        let token = mdw_rdf::budget::CancellationToken::new();
+        token.cancel();
+        let budget = QueryBudget::unlimited().with_cancellation(&token);
+        let out = run_budgeted(&store, "SELECT ?x WHERE { ?x <hasName> ?n }", &budget);
+        assert!(out.rows.is_empty());
+        assert_eq!(out.completeness.reason(), Some(TruncationReason::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_trips_immediately() {
+        use mdw_rdf::budget::{ManualTime, TimeSource};
+        use std::sync::Arc;
+        use std::time::Duration;
+        let store = sample_store();
+        let time = Arc::new(ManualTime::new());
+        let budget = QueryBudget::unlimited()
+            .with_deadline(Duration::from_millis(5), Arc::clone(&time) as Arc<dyn TimeSource>);
+        time.advance(Duration::from_millis(6));
+        let out = run_budgeted(&store, "SELECT ?x WHERE { ?x <hasName> ?n }", &budget);
+        assert!(out.rows.is_empty());
+        assert_eq!(out.completeness.reason(), Some(TruncationReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn ask_still_answers_under_pushdown() {
+        let store = sample_store();
+        let budget = QueryBudget::unlimited();
+        let out = run_budgeted(&store, "ASK { ?x a <Customer> }", &budget);
+        assert_eq!(out.rows[0][0].as_ref().unwrap().label(), "true");
+        assert!(out.completeness.is_complete());
+    }
+
+    #[test]
+    fn ordered_query_budget_cap_applies_after_sort() {
+        let store = sample_store();
+        let budget = QueryBudget::unlimited().with_max_rows(1);
+        let out = run_budgeted(
+            &store,
+            "SELECT ?x ?age WHERE { ?x <hasAge> ?age } ORDER BY DESC(?age)",
+            &budget,
+        );
+        // The kept row is the head of the sorted full result.
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][0].as_ref().unwrap().label(), "john");
+        assert_eq!(out.completeness.reason(), Some(TruncationReason::RowLimit));
+    }
+
+    #[test]
+    fn catastrophic_regex_trips_instead_of_hanging() {
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        store
+            .insert(
+                "m",
+                &Term::iri("x"),
+                &Term::iri("hasName"),
+                &Term::plain("a".repeat(64)),
+            )
+            .unwrap();
+        let budget = QueryBudget::unlimited();
+        let out = run_budgeted(
+            &store,
+            "SELECT ?x WHERE { ?x <hasName> ?n FILTER(regex(?n, \"(a*)*b\")) }",
+            &budget,
+        );
+        // The filter is treated as an error value (row dropped) and the
+        // result is flagged truncated rather than spinning forever.
+        assert!(out.rows.is_empty());
+        assert_eq!(out.completeness.reason(), Some(TruncationReason::StepLimit));
     }
 
     #[test]

@@ -120,19 +120,55 @@ impl Regex {
 
     /// Unanchored match: does the pattern match anywhere in `text`?
     pub fn is_match(&self, text: &str) -> bool {
+        self.try_is_match(text, u64::MAX)
+            .expect("unbounded match cannot run out of fuel")
+    }
+
+    /// [`Regex::is_match`] with a backtracking-step bound: returns `None`
+    /// when the matcher would need more than `max_steps` node visits —
+    /// the caller treats that as a tripped query budget instead of letting
+    /// a pathological pattern (catastrophic backtracking) hang the service.
+    pub fn try_is_match(&self, text: &str, max_steps: u64) -> Option<bool> {
         let chars: Vec<char> = if self.case_insensitive {
             text.chars().flat_map(|c| c.to_lowercase()).collect()
         } else {
             text.chars().collect()
         };
+        let fuel = Fuel { remaining: std::cell::Cell::new(max_steps) };
         // Try every start position (unanchored semantics). A leading ^ makes
         // non-zero starts fail immediately via the anchor check.
         for start in 0..=chars.len() {
-            if match_node(&self.root, &chars, start, self.case_insensitive, &mut |_| true) {
-                return true;
+            if match_node(&self.root, &chars, start, self.case_insensitive, &fuel, &mut |_| true) {
+                return Some(true);
+            }
+            if fuel.exhausted() {
+                return None;
             }
         }
-        false
+        Some(false)
+    }
+}
+
+/// A backtracking-step allowance. When it runs dry every in-flight match
+/// attempt fails fast and the search reports exhaustion instead of an
+/// answer.
+struct Fuel {
+    remaining: std::cell::Cell<u64>,
+}
+
+impl Fuel {
+    /// Burns one step; `false` once the allowance is gone.
+    fn tick(&self) -> bool {
+        let left = self.remaining.get();
+        if left == 0 {
+            return false;
+        }
+        self.remaining.set(left - 1);
+        true
+    }
+
+    fn exhausted(&self) -> bool {
+        self.remaining.get() == 0
     }
 }
 
@@ -144,8 +180,12 @@ fn match_node(
     text: &[char],
     pos: usize,
     ci: bool,
+    fuel: &Fuel,
     k: &mut dyn FnMut(usize) -> bool,
 ) -> bool {
+    if !fuel.tick() {
+        return false;
+    }
     match node {
         Node::Char(c) => {
             let want = if ci { fold(*c) } else { *c };
@@ -169,12 +209,12 @@ fn match_node(
         }
         Node::StartAnchor => pos == 0 && k(pos),
         Node::EndAnchor => pos == text.len() && k(pos),
-        Node::Concat(nodes) => match_seq(nodes, text, pos, ci, k),
+        Node::Concat(nodes) => match_seq(nodes, text, pos, ci, fuel, k),
         Node::Alt(branches) => branches
             .iter()
-            .any(|b| match_node(b, text, pos, ci, k)),
+            .any(|b| match_node(b, text, pos, ci, fuel, k)),
         Node::Repeat { node, min, max } => {
-            match_repeat(node, *min, *max, text, pos, ci, 0, k)
+            match_repeat(node, *min, *max, text, pos, ci, fuel, 0, k)
         }
     }
 }
@@ -184,12 +224,13 @@ fn match_seq(
     text: &[char],
     pos: usize,
     ci: bool,
+    fuel: &Fuel,
     k: &mut dyn FnMut(usize) -> bool,
 ) -> bool {
     match nodes.split_first() {
         None => k(pos),
-        Some((first, rest)) => match_node(first, text, pos, ci, &mut |next| {
-            match_seq(rest, text, next, ci, k)
+        Some((first, rest)) => match_node(first, text, pos, ci, fuel, &mut |next| {
+            match_seq(rest, text, next, ci, fuel, k)
         }),
     }
 }
@@ -202,19 +243,20 @@ fn match_repeat(
     text: &[char],
     pos: usize,
     ci: bool,
+    fuel: &Fuel,
     done: u32,
     k: &mut dyn FnMut(usize) -> bool,
 ) -> bool {
     // Greedy: try one more repetition first, then the continuation.
     let can_repeat = max.is_none_or(|m| done < m);
     if can_repeat {
-        let matched = match_node(node, text, pos, ci, &mut |next| {
+        let matched = match_node(node, text, pos, ci, fuel, &mut |next| {
             // Zero-width protection: a repetition that consumed nothing
             // cannot usefully repeat again.
             if next == pos {
                 done + 1 >= min && k(next)
             } else {
-                match_repeat(node, min, max, text, next, ci, done + 1, k)
+                match_repeat(node, min, max, text, next, ci, fuel, done + 1, k)
             }
         });
         if matched {

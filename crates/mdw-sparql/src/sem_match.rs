@@ -38,7 +38,8 @@ use mdw_rdf::vocab;
 use mdw_reason::{EntailedGraph, Materialization};
 
 use crate::error::SparqlError;
-use crate::exec::{execute, QueryOutput};
+use crate::exec::{execute_with_budget, QueryOutput};
+use mdw_rdf::budget::QueryBudget;
 use crate::parser::parse;
 
 /// Builder for a `SEM_MATCH`-flavoured query.
@@ -89,6 +90,14 @@ impl SemMatch {
     /// `SEM_RULEBASES('name')` — opt into an entailment index.
     pub fn rulebase(mut self, name: impl Into<String>) -> Self {
         self.rulebase = Some(name.into());
+        self
+    }
+
+    /// Drops any named rulebase, so the query runs over base facts alone —
+    /// the warehouse's degraded-fallback path while its entailment breaker
+    /// is open.
+    pub fn without_rulebase(mut self) -> Self {
+        self.rulebase = None;
         self
     }
 
@@ -183,6 +192,18 @@ impl SemMatch {
         store: &Store,
         entailments: Option<&Materialization>,
     ) -> Result<QueryOutput, SparqlError> {
+        self.execute_with_budget(store, entailments, &QueryBudget::unlimited())
+    }
+
+    /// [`SemMatch::execute`] under a resource budget: the traversal stops
+    /// at the budget and the partial rows come back tagged
+    /// [`Completeness::Truncated`](mdw_rdf::budget::Completeness).
+    pub fn execute_with_budget(
+        &self,
+        store: &Store,
+        entailments: Option<&Materialization>,
+        budget: &QueryBudget,
+    ) -> Result<QueryOutput, SparqlError> {
         let model_name = self
             .model
             .as_deref()
@@ -192,10 +213,10 @@ impl SemMatch {
             .map_err(|e| SparqlError::Semantic(e.to_string()))?;
         let query = parse(&self.to_sparql())?;
         match (&self.rulebase, entailments) {
-            (None, _) => execute(&query, graph, store.dict()),
+            (None, _) => execute_with_budget(&query, graph, store.dict(), budget),
             (Some(_), Some(m)) => {
                 let view = EntailedGraph::new(graph, m.derived());
-                execute(&query, &view, store.dict())
+                execute_with_budget(&query, &view, store.dict(), budget)
             }
             (Some(rb), None) => Err(SparqlError::Semantic(format!(
                 "rulebase {rb} requested but no entailment index supplied"

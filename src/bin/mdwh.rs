@@ -17,7 +17,12 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
+use metadata_warehouse::core::admission::AdmissionConfig;
+use metadata_warehouse::core::budget::{Completeness, MonotonicTime, QueryBudget};
+use metadata_warehouse::core::error::MdwError;
 use metadata_warehouse::core::governance::render_access;
 use metadata_warehouse::core::lineage::LineageRequest;
 use metadata_warehouse::core::model::Area;
@@ -55,6 +60,12 @@ const USAGE: &str = "usage:
   mdwh sparql   --store DIR QUERY [--no-rulebase]
   mdwh fsck     --store DIR
   mdwh recover  --store DIR
+  mdwh drill overload [--store DIR] [--threads N] [--requests N] [--quota N]
+                      [--expect-shed]
+
+Query budgets: search, lineage, and sparql accept --deadline-ms MS,
+--max-rows N, and --max-steps N; a blown budget returns the partial
+answer tagged `truncated` instead of an error.
 
 Fault drills: --inject 'name=spec,…' (or MDWH_FAILPOINTS env) arms
 failpoints; spec is once | times:N | always | pct:P[:SEED].";
@@ -69,7 +80,8 @@ struct Args {
 
 const VALUE_FLAGS: &[&str] = &[
     "--scale", "--out", "--seed", "--store", "--area", "--class", "--depth", "--rule-filter",
-    "--inject",
+    "--inject", "--deadline-ms", "--max-rows", "--max-steps", "--threads", "--requests",
+    "--quota",
 ];
 
 fn parse_args(args: &[String]) -> Args {
@@ -122,6 +134,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "gaps" => cmd_gaps(&parsed),
         "sources" => cmd_sources(&parsed),
         "sparql" => cmd_sparql(&parsed),
+        "drill" => cmd_drill(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -265,6 +278,33 @@ fn open_warehouse(args: &Args) -> Result<MetadataWarehouse, String> {
     Ok(warehouse)
 }
 
+/// Builds a query budget from `--deadline-ms`, `--max-rows`, and
+/// `--max-steps` (unlimited when none are given).
+fn budget_from_args(args: &Args) -> Result<QueryBudget, String> {
+    let mut budget = QueryBudget::unlimited();
+    if let Some(ms) = args.option("deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad --deadline-ms: {ms}"))?;
+        budget = budget.with_deadline(Duration::from_millis(ms), Arc::new(MonotonicTime::new()));
+    }
+    if let Some(n) = args.option("max-rows") {
+        budget = budget.with_max_rows(n.parse().map_err(|_| format!("bad --max-rows: {n}"))?);
+    }
+    if let Some(n) = args.option("max-steps") {
+        budget = budget.with_max_steps(n.parse().map_err(|_| format!("bad --max-steps: {n}"))?);
+    }
+    Ok(budget)
+}
+
+/// Prints the overload-protection verdicts after a query's regular output.
+fn note_verdicts(completeness: &Completeness, degraded: bool) {
+    if let Some(reason) = completeness.reason() {
+        println!("note: result truncated ({reason}) — a valid partial answer");
+    }
+    if degraded {
+        println!("note: degraded answer (semantic index bypassed; no inferred facts)");
+    }
+}
+
 /// Resolves a user-supplied item name: a full IRI, or a local name in the
 /// `dwh` instance namespace.
 fn resolve_item(name: &str) -> Term {
@@ -317,8 +357,10 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     if let Some(class) = args.option("class") {
         request = request.filter_class(Term::iri(vocab::cs::dm(class)));
     }
+    request = request.with_budget(budget_from_args(args)?);
     let results = warehouse.search(&request).map_err(|e| e.to_string())?;
     print!("{}", report::render_search(term, &results));
+    note_verdicts(&results.completeness, results.degraded);
     Ok(())
 }
 
@@ -340,8 +382,10 @@ fn cmd_lineage(args: &Args) -> Result<(), String> {
     if let Some(filter) = args.option("rule-filter") {
         request = request.with_rule_filter(filter);
     }
+    request = request.with_budget(budget_from_args(args)?);
     let result = warehouse.lineage(&request).map_err(|e| e.to_string())?;
     print!("{}", report::render_lineage(&result));
+    note_verdicts(&result.completeness, result.degraded);
     Ok(())
 }
 
@@ -408,6 +452,7 @@ fn cmd_sparql(args: &Args) -> Result<(), String> {
     let upper = pattern_or_query.trim_start().to_uppercase();
     let is_full_query =
         upper.starts_with("SELECT") || upper.starts_with("PREFIX") || upper.starts_with("ASK");
+    let budget = budget_from_args(args)?;
     let output = if is_full_query {
         let query = metadata_warehouse::sparql::parser::parse(&with_default_prefixes(
             pattern_or_query,
@@ -417,8 +462,13 @@ fn cmd_sparql(args: &Args) -> Result<(), String> {
             .store()
             .model(warehouse.model_name())
             .map_err(|e| e.to_string())?;
-        metadata_warehouse::sparql::exec::execute(&query, graph, warehouse.store().dict())
-            .map_err(|e| e.to_string())?
+        metadata_warehouse::sparql::exec::execute_with_budget(
+            &query,
+            graph,
+            warehouse.store().dict(),
+            &budget,
+        )
+        .map_err(|e| e.to_string())?
     } else {
         let mut sem = SemMatch::new(pattern_or_query.clone())
             .alias("dm", vocab::cs::DM)
@@ -427,11 +477,174 @@ fn cmd_sparql(args: &Args) -> Result<(), String> {
         if !args.flag("no-rulebase") {
             sem = sem.rulebase("OWLPRIME");
         }
-        warehouse.sem_match(&sem).map_err(|e| e.to_string())?
+        warehouse
+            .sem_match_with_budget(&sem, &budget)
+            .map_err(|e| e.to_string())?
     };
     print!("{}", output.to_table());
     println!("({} rows)", output.rows.len());
+    note_verdicts(&output.completeness, output.degraded);
     Ok(())
+}
+
+fn cmd_drill(args: &Args) -> Result<(), String> {
+    match args.positional.first().map(String::as_str) {
+        Some("overload") => drill_overload(args),
+        Some(other) => Err(format!("unknown drill: {other} (available: overload)")),
+        None => Err("drill needs a drill name: overload".to_string()),
+    }
+}
+
+/// The warehouse a drill runs against: the persisted store when `--store`
+/// is given, otherwise a freshly generated small synthetic corpus.
+fn drill_warehouse(args: &Args) -> Result<MetadataWarehouse, String> {
+    if args.option("store").is_some() {
+        return open_warehouse(args);
+    }
+    let mut config = CorpusConfig::preset(Scale::Small);
+    if let Some(seed) = args.option("seed") {
+        config.seed = seed.parse().map_err(|_| format!("bad seed: {seed}"))?;
+    }
+    eprintln!("mdwh: no --store given, generating a small synthetic corpus");
+    let corpus = generate(&config);
+    let mut warehouse = MetadataWarehouse::new();
+    warehouse
+        .ingest(corpus.into_extracts())
+        .map_err(|e| e.to_string())?;
+    warehouse.build_semantic_index().map_err(|e| e.to_string())?;
+    Ok(warehouse)
+}
+
+fn parse_or<T: std::str::FromStr>(args: &Args, key: &str, default: T) -> Result<T, String> {
+    match args.option(key) {
+        Some(v) => v.parse().map_err(|_| format!("bad --{key}: {v}")),
+        None => Ok(default),
+    }
+}
+
+/// The overload drill: hammer one warehouse from many threads with a mixed
+/// search/lineage/sparql load behind a deliberately small admission gate,
+/// then report latency percentiles and the shed rate. Every request either
+/// completes (possibly truncated by its deadline) or is shed with a typed
+/// `Overloaded` — the drill fails if anything panics or errors otherwise.
+fn drill_overload(args: &Args) -> Result<(), String> {
+    let threads: usize = parse_or(args, "threads", 8)?;
+    let requests: usize = parse_or(args, "requests", 32)?;
+    let quota: usize = parse_or(args, "quota", 2)?;
+    let deadline_ms: u64 = parse_or(args, "deadline-ms", 50)?;
+
+    let mut warehouse = drill_warehouse(args)?;
+    warehouse.enable_admission(AdmissionConfig {
+        max_queued: 0,
+        max_wait: Duration::ZERO,
+        ..AdmissionConfig::with_quotas(quota, quota)
+    });
+
+    eprintln!(
+        "overload drill: {threads} thread(s) × {requests} request(s), \
+         concurrency quota {quota}, per-request deadline {deadline_ms} ms"
+    );
+
+    let warehouse = &warehouse;
+    // All workers start together: the first wave alone oversubscribes the
+    // quota, so a forced-low gate sheds deterministically.
+    let start = &std::sync::Barrier::new(threads);
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(requests);
+                    let mut errs = Vec::new();
+                    start.wait();
+                    for i in 0..requests {
+                        let budget = QueryBudget::unlimited().with_deadline(
+                            Duration::from_millis(deadline_ms),
+                            Arc::new(MonotonicTime::new()),
+                        );
+                        let started = std::time::Instant::now();
+                        let outcome: Result<(), MdwError> = match (t + i) % 3 {
+                            0 => warehouse
+                                .search(&SearchRequest::new("client").with_budget(budget))
+                                .map(|_| ()),
+                            1 => warehouse
+                                .lineage(
+                                    &LineageRequest::downstream(resolve_item("dwh_stage0_item0"))
+                                        .with_budget(budget),
+                                )
+                                .map(|_| ()),
+                            // A deliberately heavy cross join: it runs to
+                            // its deadline and comes back truncated, so the
+                            // permit is held long enough to create real
+                            // contention at the gate.
+                            _ => warehouse
+                                .sem_match_with_budget(
+                                    &SemMatch::new("{ ?a ?p ?b . ?c ?q ?d }")
+                                        .rulebase("OWLPRIME")
+                                        .select(&["?a", "?d"]),
+                                    &budget,
+                                )
+                                .map(|_| ()),
+                        };
+                        match outcome {
+                            Ok(()) => lat.push(started.elapsed().as_micros() as u64),
+                            Err(MdwError::Overloaded(_)) => {} // counted by the gate
+                            Err(other) => errs.push(other.to_string()),
+                        }
+                    }
+                    (lat, errs)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (lat, errs) = handle.join().expect("drill worker panicked");
+            latencies_us.extend(lat);
+            errors.extend(errs);
+        }
+    });
+
+    let stats = warehouse.admission_stats().expect("admission enabled");
+    latencies_us.sort_unstable();
+    println!("completed: {} request(s)", latencies_us.len());
+    println!(
+        "latency:   p50 {:.1} ms, p99 {:.1} ms",
+        percentile_us(&latencies_us, 50.0) as f64 / 1000.0,
+        percentile_us(&latencies_us, 99.0) as f64 / 1000.0,
+    );
+    println!(
+        "admitted:  {} (search {}, lineage {}, sparql {})",
+        stats.total_admitted(),
+        stats.admitted[0],
+        stats.admitted[1],
+        stats.admitted[2],
+    );
+    println!(
+        "shed:      {} (search {}, lineage {}, sparql {})",
+        stats.total_shed(),
+        stats.shed[0],
+        stats.shed[1],
+        stats.shed[2],
+    );
+    if !errors.is_empty() {
+        return Err(format!(
+            "{} request(s) failed with unexpected errors, e.g.: {}",
+            errors.len(),
+            errors[0]
+        ));
+    }
+    if args.flag("expect-shed") && stats.total_shed() == 0 {
+        return Err("expected the gate to shed under forced-low quotas, but shed = 0".to_string());
+    }
+    Ok(())
+}
+
+fn percentile_us(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * pct / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// Prepends the warehouse's standard prefixes to a full query unless it

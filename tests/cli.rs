@@ -125,6 +125,64 @@ fn sources_ranks_candidates() {
 }
 
 #[test]
+fn search_with_step_budget_reports_truncation() {
+    let out = run_ok(&["search", "@STORE", "client", "--max-steps", "0"]);
+    assert!(out.contains("truncated"), "expected truncation note in: {out}");
+}
+
+#[test]
+fn lineage_with_generous_deadline_stays_complete() {
+    let out = run_ok(&[
+        "lineage",
+        "@STORE",
+        "dwh_stage0_item0",
+        "--deadline-ms",
+        "10000",
+    ]);
+    assert!(out.contains("Lineage from dwh_stage0_item0"));
+    assert!(!out.contains("truncated"), "unexpected truncation in: {out}");
+}
+
+#[test]
+fn sparql_with_row_budget_returns_tagged_partial() {
+    let out = run_ok(&["sparql", "@STORE", "{ ?x rdf:type ?c }", "--max-rows", "2"]);
+    assert!(out.contains("(2 rows)"));
+    assert!(out.contains("truncated (row limit)"), "missing verdict in: {out}");
+}
+
+#[test]
+fn drill_overload_sheds_without_panicking() {
+    let output = mdwh()
+        .args([
+            "drill",
+            "overload",
+            "--threads",
+            "8",
+            "--requests",
+            "32",
+            "--quota",
+            "1",
+            "--expect-shed",
+        ])
+        .output()
+        .expect("run mdwh drill overload");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "drill failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "worker panicked: {stderr}");
+    let shed: u64 = stdout
+        .lines()
+        .find(|l| l.starts_with("shed:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|n| n.parse().ok())
+        .expect("shed line present");
+    assert!(shed > 0, "forced-low quotas must shed: {stdout}");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let output = mdwh().arg("frobnicate").output().expect("run mdwh");
     assert!(!output.status.success());

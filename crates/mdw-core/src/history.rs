@@ -12,8 +12,11 @@
 //! snapshot of the current model into a dedicated historization model
 //! (`HIST_<tag>`), records its statistics, and can diff any two versions.
 //! The shared append-only dictionary keeps snapshots cheap in string storage
-//! (terms are interned once); the triple indexes are copied per version,
-//! exactly like the paper's dedicated historization tables.
+//! (terms are interned once), and since a version is by definition immutable
+//! it is stored as an `Arc`-shared [`FrozenGraph`](mdw_rdf::FrozenGraph):
+//! taking a snapshot freezes the current model (amortized O(1) — the frozen
+//! form is cached between writes) and registers the shared handle under the
+//! historization name, copying no triples at all.
 
 use mdw_rdf::store::{GraphStats, Store};
 use mdw_rdf::triple::Triple;
@@ -70,6 +73,10 @@ impl History {
 
     /// Takes a complete snapshot of `source_model` under `tag`.
     /// Fails if the tag was already used or the source model is missing.
+    ///
+    /// The snapshot shares the source model's frozen form by `Arc` —
+    /// amortized O(1) in the triple count, not a deep copy. Later writes to
+    /// the source thaw a private replacement and leave the version intact.
     pub fn snapshot(
         &mut self,
         store: &mut Store,
@@ -79,11 +86,10 @@ impl History {
         if self.get(tag).is_some() {
             return Err(MdwError::InvalidRequest(format!("version {tag} already exists")));
         }
-        let snapshot = store.model(source_model)?.clone();
-        let stats = snapshot.stats();
+        let frozen = store.model(source_model)?.freeze();
+        let stats = frozen.stats();
         let model = format!("{HIST_PREFIX}{tag}");
-        store.create_model(&model)?;
-        *store.model_mut(&model)? = snapshot;
+        store.insert_frozen_model(&model, frozen)?;
         self.versions.push(VersionRecord {
             tag: tag.to_string(),
             model,
@@ -195,6 +201,34 @@ mod tests {
             .unwrap();
         assert_eq!(store.model("DWH_CURR").unwrap().len(), 4);
         assert_eq!(store.model("HIST_v1").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn snapshot_shares_frozen_arc_and_stays_isolated() {
+        let mut store = store_with_facts(4);
+        let mut history = History::new();
+        // Pre-freeze so we can verify the version shares the same snapshot.
+        let before = store.model("DWH_CURR").unwrap().freeze();
+        history.snapshot(&mut store, "DWH_CURR", "v1").unwrap();
+        let hist = store.model("HIST_v1").unwrap();
+        assert!(hist.is_frozen(), "a version is an Arc'd frozen snapshot");
+        assert!(
+            std::sync::Arc::ptr_eq(&before, &hist.freeze()),
+            "snapshot must share the source's frozen form, not copy it"
+        );
+        // Mutating the source thaws a private replacement; the version and
+        // the held handle still read the old state.
+        store
+            .insert(
+                "DWH_CURR",
+                &Term::iri("http://ex.org/late"),
+                &Term::iri("http://ex.org/p"),
+                &Term::iri("http://ex.org/x"),
+            )
+            .unwrap();
+        assert_eq!(store.model("DWH_CURR").unwrap().len(), 5);
+        assert_eq!(store.model("HIST_v1").unwrap().len(), 4);
+        assert_eq!(before.len(), 4);
     }
 
     #[test]

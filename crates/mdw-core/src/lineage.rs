@@ -36,6 +36,7 @@ use mdw_rdf::dict::{Dictionary, TermId};
 use mdw_rdf::term::Term;
 use mdw_rdf::triple::TriplePattern;
 use mdw_rdf::vocab;
+use mdw_rdf::QueryContext;
 use mdw_reason::EntailedGraph;
 
 use crate::budget::{Completeness, QueryBudget, TruncationReason};
@@ -196,11 +197,16 @@ impl LineageResult {
 }
 
 /// Runs the Section IV.B lineage algorithm.
+///
+/// The [`QueryContext`] pins the snapshot generation the walk evaluates
+/// against, supplies its id-space dictionary, and carries the budget that
+/// every traversed hop charges.
 pub fn trace(
     graph: &EntailedGraph<'_>,
-    dict: &Dictionary,
+    ctx: &QueryContext,
     request: &LineageRequest,
 ) -> LineageResult {
+    let dict = ctx.dict();
     let lookup = |iri: &str| dict.lookup(&Term::iri(iri));
     let empty = LineageResult {
         start: request.start.clone(),
@@ -254,8 +260,8 @@ pub fn trace(
         max_paths: request.max_paths,
         condition_filter: request.rule_condition_filter.as_deref(),
         conditions: &conditions,
-        budget: &request.budget,
-        tripped: request.budget.check().err(),
+        budget: ctx.budget(),
+        tripped: ctx.budget().check().err(),
         paths: Vec::new(),
         paths_explored: 0,
         truncated: false,
@@ -470,9 +476,10 @@ pub struct ImpactSummary {
 /// Summarizes a lineage result by schema membership of its endpoints.
 pub fn impact_summary(
     graph: &EntailedGraph<'_>,
-    dict: &Dictionary,
+    ctx: &QueryContext,
     result: &LineageResult,
 ) -> ImpactSummary {
+    let dict = ctx.dict();
     let in_schema = dict.lookup(&Term::iri(vocab::cs::IN_SCHEMA));
     let mut counts: BTreeMap<TermId, usize> = BTreeMap::new();
     let mut unassigned = 0usize;
@@ -510,7 +517,8 @@ pub struct FlowRow {
 
 /// Aggregates all attribute-level `isMappedTo` edges into schema-level
 /// flows, using each item's `dm:inSchema` membership.
-pub fn schema_flow(graph: &EntailedGraph<'_>, dict: &Dictionary) -> Vec<FlowRow> {
+pub fn schema_flow(graph: &EntailedGraph<'_>, ctx: &QueryContext) -> Vec<FlowRow> {
+    let dict = ctx.dict();
     let lookup = |iri: &str| dict.lookup(&Term::iri(iri));
     let (Some(mapped), Some(in_schema)) = (lookup(vocab::cs::IS_MAPPED_TO), lookup(vocab::cs::IN_SCHEMA))
     else {
@@ -539,10 +547,11 @@ pub fn schema_flow(graph: &EntailedGraph<'_>, dict: &Dictionary) -> Vec<FlowRow>
 /// drill-down of the Figure 7 frontend.
 pub fn drill_down(
     graph: &EntailedGraph<'_>,
-    dict: &Dictionary,
+    ctx: &QueryContext,
     source_schema: &Term,
     target_schema: &Term,
 ) -> Vec<Hop> {
+    let dict = ctx.dict();
     let lookup = |iri: &str| dict.lookup(&Term::iri(iri));
     let (Some(mapped), Some(in_schema)) = (lookup(vocab::cs::IS_MAPPED_TO), lookup(vocab::cs::IN_SCHEMA))
     else {
@@ -625,8 +634,10 @@ mod tests {
     }
 
     fn run(store: &Store, m: &Materialization, req: LineageRequest) -> LineageResult {
-        let view = EntailedGraph::new(store.model("m").unwrap(), m.derived());
-        trace(&view, store.dict(), &req)
+        let ctx = QueryContext::new(std::sync::Arc::new(store.freeze()))
+            .with_budget(req.budget.clone());
+        let view = EntailedGraph::new(ctx.graph("m").unwrap(), m.frozen());
+        trace(&view, &ctx, &req)
     }
 
     fn dwh(l: &str) -> Term {
@@ -805,8 +816,9 @@ mod tests {
     #[test]
     fn schema_flow_aggregates() {
         let (store, m) = setup();
-        let view = EntailedGraph::new(store.model("m").unwrap(), m.derived());
-        let flows = schema_flow(&view, store.dict());
+        let ctx = QueryContext::new(std::sync::Arc::new(store.freeze()));
+        let view = EntailedGraph::new(ctx.graph("m").unwrap(), m.frozen());
+        let flows = schema_flow(&view, &ctx);
         assert_eq!(flows.len(), 2);
         assert!(flows.iter().any(|f| f.source_schema == dwh("schema_inbound")
             && f.target_schema == dwh("schema_integration")
@@ -816,13 +828,14 @@ mod tests {
     #[test]
     fn impact_summary_groups_by_schema() {
         let (store, m) = setup();
-        let view = EntailedGraph::new(store.model("m").unwrap(), m.derived());
+        let ctx = QueryContext::new(std::sync::Arc::new(store.freeze()));
+        let view = EntailedGraph::new(ctx.graph("m").unwrap(), m.frozen());
         let result = trace(
             &view,
-            store.dict(),
+            &ctx,
             &LineageRequest::downstream(dwh("client_information_id")),
         );
-        let summary = impact_summary(&view, store.dict(), &result);
+        let summary = impact_summary(&view, &ctx, &result);
         assert_eq!(summary.total, 2);
         assert_eq!(summary.unassigned, 0);
         // partner_id in schema_integration, customer_id in schema_app1.
@@ -833,10 +846,11 @@ mod tests {
     #[test]
     fn drill_down_expands_one_pair() {
         let (store, m) = setup();
-        let view = EntailedGraph::new(store.model("m").unwrap(), m.derived());
+        let ctx = QueryContext::new(std::sync::Arc::new(store.freeze()));
+        let view = EntailedGraph::new(ctx.graph("m").unwrap(), m.frozen());
         let hops = drill_down(
             &view,
-            store.dict(),
+            &ctx,
             &dwh("schema_integration"),
             &dwh("schema_app1"),
         );
@@ -845,7 +859,7 @@ mod tests {
         assert_eq!(hops[0].to, dwh("customer_id"));
         assert!(hops[0].condition.as_deref().unwrap().contains("active"));
         // Unknown pair → empty.
-        assert!(drill_down(&view, store.dict(), &dwh("schema_app1"), &dwh("schema_inbound"))
+        assert!(drill_down(&view, &ctx, &dwh("schema_app1"), &dwh("schema_inbound"))
             .is_empty());
     }
 }

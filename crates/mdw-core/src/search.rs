@@ -29,6 +29,7 @@ use mdw_rdf::dict::{Dictionary, TermId};
 use mdw_rdf::term::Term;
 use mdw_rdf::triple::TriplePattern;
 use mdw_rdf::vocab;
+use mdw_rdf::QueryContext;
 use mdw_reason::EntailedGraph;
 
 use crate::budget::{Completeness, QueryBudget, TruncationReason};
@@ -192,12 +193,17 @@ impl SearchResults {
 }
 
 /// Runs the Section IV.A search algorithm over the entailed view.
+///
+/// The [`QueryContext`] supplies the id-space dictionary of the pinned
+/// snapshot and the resource budget the scan charges; the whole search
+/// evaluates against that one generation.
 pub fn search(
     graph: &EntailedGraph<'_>,
-    dict: &Dictionary,
+    ctx: &QueryContext,
     synonyms: &SynonymTable,
     request: &SearchRequest,
 ) -> SearchResults {
+    let dict = ctx.dict();
     let lookup = |iri: &str| dict.lookup(&Term::iri(iri));
     let Some(ty) = lookup(vocab::rdf::TYPE) else {
         return empty_results(request, synonyms);
@@ -259,7 +265,7 @@ pub fn search(
     // The scan streams (no up-front materialization): every name triple
     // charges the budget, and a tripped budget or a full result cap stops
     // the loop with whatever matched so far — tagged truncated.
-    let budget = &request.budget;
+    let budget = ctx.budget();
     let mut truncated: Option<TruncationReason> = budget.check().err();
     let mut matched_instances: BTreeSet<TermId> = BTreeSet::new();
     let mut groups: BTreeMap<TermId, Vec<SearchHit>> = BTreeMap::new();
@@ -457,8 +463,10 @@ mod tests {
     }
 
     fn run(store: &Store, m: &Materialization, req: SearchRequest) -> SearchResults {
-        let view = EntailedGraph::new(store.model("m").unwrap(), m.derived());
-        search(&view, store.dict(), &SynonymTable::banking(), &req)
+        let ctx = QueryContext::new(std::sync::Arc::new(store.freeze()))
+            .with_budget(req.budget.clone());
+        let view = EntailedGraph::new(ctx.graph("m").unwrap(), m.frozen());
+        search(&view, &ctx, &SynonymTable::banking(), &req)
     }
 
     #[test]
@@ -588,10 +596,11 @@ mod tests {
             store.insert("m", &s, &p, &o).unwrap();
         }
         let m = Materialization::materialize(store.model("m").unwrap(), &rb, store.dict());
-        let view = EntailedGraph::new(store.model("m").unwrap(), m.derived());
+        let ctx = QueryContext::new(std::sync::Arc::new(store.freeze()));
+        let view = EntailedGraph::new(ctx.graph("m").unwrap(), m.frozen());
         let results = search(
             &view,
-            store.dict(),
+            &ctx,
             &SynonymTable::new(),
             &SearchRequest::new("customer").filter_class(dm("L0")),
         );
@@ -672,10 +681,11 @@ mod tests {
         store.create_model("m").unwrap();
         let rb = Rulebase::owlprime(store.dict_mut());
         let m = Materialization::materialize(store.model("m").unwrap(), &rb, store.dict());
-        let view = EntailedGraph::new(store.model("m").unwrap(), m.derived());
+        let ctx = QueryContext::new(std::sync::Arc::new(store.freeze()));
+        let view = EntailedGraph::new(ctx.graph("m").unwrap(), m.frozen());
         let results = search(
             &view,
-            store.dict(),
+            &ctx,
             &SynonymTable::new(),
             &SearchRequest::new("anything"),
         );

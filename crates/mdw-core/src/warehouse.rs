@@ -19,12 +19,13 @@
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
 
-use mdw_rdf::index::TripleIndex;
+use mdw_rdf::frozen::{FrozenIndex, FrozenStore};
 use mdw_rdf::journal::{Journal, JournalOp};
 use mdw_rdf::persist::{self, RecoveryReport, SaveReport};
 use mdw_rdf::store::{GraphStats, Store};
 use mdw_rdf::term::Term;
 use mdw_rdf::triple::Triple;
+use mdw_rdf::QueryContext;
 use mdw_reason::{EntailedGraph, Materialization, MaterializeStats, Rulebase};
 use mdw_sparql::{QueryOutput, SemMatch};
 
@@ -70,6 +71,13 @@ pub struct MetadataWarehouse {
     durability: Option<Durability>,
     admission: Option<AdmissionController>,
     breaker: Option<CircuitBreaker>,
+    /// Frozen snapshot of the store, built lazily per mutation epoch and
+    /// handed to every query as its pinned [`QueryContext`] generation.
+    frozen_store: OnceLock<Arc<FrozenStore>>,
+    /// The previously published snapshot: the next freeze reuses its
+    /// dictionary allocation when no new term was interned, and numbers
+    /// itself as the successor generation.
+    prev_snapshot: Option<Arc<FrozenStore>>,
 }
 
 impl Default for MetadataWarehouse {
@@ -101,6 +109,8 @@ impl MetadataWarehouse {
             durability: None,
             admission: None,
             breaker: None,
+            frozen_store: OnceLock::new(),
+            prev_snapshot: None,
         }
     }
 
@@ -121,6 +131,8 @@ impl MetadataWarehouse {
             durability: None,
             admission: None,
             breaker: None,
+            frozen_store: OnceLock::new(),
+            prev_snapshot: None,
         })
     }
 
@@ -193,6 +205,36 @@ impl MetadataWarehouse {
         Ok(())
     }
 
+    /// The frozen snapshot of the current mutation epoch, built on first
+    /// use and cached until the next mutation. Amortized O(1) per query:
+    /// per-model frozen caches make refreezing cheap, and the dictionary
+    /// allocation is shared across epochs that interned no new term.
+    fn snapshot_store(&self) -> &Arc<FrozenStore> {
+        self.frozen_store.get_or_init(|| {
+            Arc::new(match &self.prev_snapshot {
+                Some(prev) => self.store.freeze_with(prev),
+                None => self.store.freeze(),
+            })
+        })
+    }
+
+    /// Invalidates the cached snapshot after a mutation; the retired
+    /// generation seeds the next freeze (dictionary reuse + generation
+    /// numbering). Queries already holding a [`QueryContext`] keep reading
+    /// the generation they pinned.
+    fn invalidate_snapshots(&mut self) {
+        if let Some(prev) = self.frozen_store.take() {
+            self.prev_snapshot = Some(prev);
+        }
+    }
+
+    /// A [`QueryContext`] pinning the current snapshot generation with an
+    /// unlimited budget. The context (and any clone) keeps reading that
+    /// generation even while later ingests mutate the warehouse.
+    pub fn context(&self) -> QueryContext {
+        QueryContext::new(Arc::clone(self.snapshot_store()))
+    }
+
     /// The current-model name.
     pub fn model_name(&self) -> &str {
         &self.model
@@ -237,6 +279,7 @@ impl MetadataWarehouse {
         }
         self.journal_batch(self.loaded_triples_as_ops(&copies)?)?;
         self.materialization = None;
+        self.invalidate_snapshots();
         Ok(report)
     }
 
@@ -301,6 +344,7 @@ impl MetadataWarehouse {
         }
         self.journal_batch(self.loaded_triples_as_ops(&loaded)?)?;
         self.materialization = None;
+        self.invalidate_snapshots();
         Ok(report)
     }
 
@@ -353,6 +397,7 @@ impl MetadataWarehouse {
         } else {
             self.materialization = None;
         }
+        self.invalidate_snapshots();
         Ok(report)
     }
 
@@ -384,6 +429,9 @@ impl MetadataWarehouse {
                 );
             }
         }
+        if fresh {
+            self.invalidate_snapshots();
+        }
         Ok(fresh)
     }
 
@@ -407,6 +455,7 @@ impl MetadataWarehouse {
         }
         self.journal_batch(ops)?;
         self.materialization = None;
+        self.invalidate_snapshots();
         Ok(n)
     }
 
@@ -428,11 +477,12 @@ impl MetadataWarehouse {
         self.materialization.is_some()
     }
 
-    /// The entailed view (base ∪ semantic index). Errors if the index is
-    /// not built — derived triples "only exist through the indexes".
+    /// The entailed view (base ∪ semantic index) over the current frozen
+    /// snapshot. Errors if the index is not built — derived triples "only
+    /// exist through the indexes".
     pub fn entailed(&self) -> Result<EntailedGraph<'_>, MdwError> {
         let m = self.materialization.as_ref().ok_or(MdwError::IndexNotBuilt)?;
-        Ok(EntailedGraph::new(self.store.model(&self.model)?, m.derived()))
+        Ok(EntailedGraph::new(self.snapshot_store().model(&self.model)?, m.frozen()))
     }
 
     /// Puts an admission gate in front of the query entry points: beyond
@@ -474,18 +524,19 @@ impl MetadataWarehouse {
         }
     }
 
-    fn empty_index() -> &'static TripleIndex {
-        static EMPTY: OnceLock<TripleIndex> = OnceLock::new();
-        EMPTY.get_or_init(TripleIndex::new)
+    fn empty_index() -> &'static FrozenIndex {
+        static EMPTY: OnceLock<FrozenIndex> = OnceLock::new();
+        EMPTY.get_or_init(|| FrozenIndex::from_spo_rows(Vec::new()))
     }
 
     /// The view a query runs against, plus whether it is degraded: the
     /// entailed graph normally, the base graph alone (no inference) while
-    /// the breaker is open.
+    /// the breaker is open. Either way the base is the pinned frozen
+    /// snapshot, so a query never observes a half-applied mutation.
     fn query_view(&self) -> Result<(EntailedGraph<'_>, bool), MdwError> {
         if let Some(b) = &self.breaker {
             if !b.allow() {
-                let graph = self.store.model(&self.model)?;
+                let graph = self.snapshot_store().model(&self.model)?;
                 return Ok((EntailedGraph::new(graph, Self::empty_index()), true));
             }
         }
@@ -516,7 +567,8 @@ impl MetadataWarehouse {
     pub fn search(&self, request: &SearchRequest) -> Result<SearchResults, MdwError> {
         let _permit = self.admit(QueryClass::Search)?;
         let (view, degraded) = self.query_view()?;
-        let mut results = search::search(&view, self.store.dict(), &self.synonyms, request);
+        let ctx = self.context().with_budget(request.budget.clone());
+        let mut results = search::search(&view, &ctx, &self.synonyms, request);
         results.degraded = degraded;
         self.record_entailment_outcome(degraded, &results.completeness);
         Ok(results)
@@ -528,7 +580,8 @@ impl MetadataWarehouse {
     pub fn lineage(&self, request: &LineageRequest) -> Result<LineageResult, MdwError> {
         let _permit = self.admit(QueryClass::Lineage)?;
         let (view, degraded) = self.query_view()?;
-        let mut result = lineage::trace(&view, self.store.dict(), request);
+        let ctx = self.context().with_budget(request.budget.clone());
+        let mut result = lineage::trace(&view, &ctx, request);
         result.degraded = degraded;
         self.record_entailment_outcome(degraded, &result.completeness);
         Ok(result)
@@ -537,20 +590,20 @@ impl MetadataWarehouse {
     /// Schema-level flow aggregation (Figure 7, coarse granularity).
     pub fn schema_flow(&self) -> Result<Vec<FlowRow>, MdwError> {
         let view = self.entailed()?;
-        Ok(lineage::schema_flow(&view, self.store.dict()))
+        Ok(lineage::schema_flow(&view, &self.context()))
     }
 
     /// Attribute-level drill-down of one schema pair (Figure 7).
     pub fn drill_down(&self, source: &Term, target: &Term) -> Result<Vec<Hop>, MdwError> {
         let view = self.entailed()?;
-        Ok(lineage::drill_down(&view, self.store.dict(), source, target))
+        Ok(lineage::drill_down(&view, &self.context(), source, target))
     }
 
     /// Aggregates a lineage result by schema — the impact summary of
     /// Section IV.B's change-management motivation.
     pub fn impact_summary(&self, result: &LineageResult) -> Result<ImpactSummary, MdwError> {
         let view = self.entailed()?;
-        Ok(lineage::impact_summary(&view, self.store.dict(), result))
+        Ok(lineage::impact_summary(&view, &self.context(), result))
     }
 
     /// The audit question of Section IV.B: which applications, roles, and
@@ -628,9 +681,9 @@ impl MetadataWarehouse {
             .history
             .snapshot(&mut self.store, &model, tag)
             .cloned()?;
-        // Historization copies the current model into a new HIST model —
-        // too big for the journal; fold everything into a fresh disk
-        // snapshot instead.
+        self.invalidate_snapshots();
+        // Historization registers a new HIST model — too big for the
+        // journal; fold everything into a fresh disk snapshot instead.
         self.checkpoint()?;
         Ok(record)
     }

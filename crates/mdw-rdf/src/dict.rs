@@ -5,9 +5,15 @@
 //! dictionary is the only place that holds term strings. Ids are assigned
 //! densely in interning order, which keeps the id space compact and makes the
 //! reverse direction a simple `Vec` lookup.
+//!
+//! Terms are stored once behind an [`Arc`]: the forward vector and the
+//! reverse map share the same allocation, so interning does a single clone
+//! and cloning the whole dictionary (for a frozen snapshot) costs one
+//! refcount bump per term rather than a string copy.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::term::Term;
 
@@ -34,11 +40,13 @@ impl fmt::Display for TermId {
 ///
 /// Interning the same term twice returns the same id; ids are never reused
 /// or invalidated, so snapshots taken at different times (the historization
-/// mechanism of `mdw-core`) can share one dictionary.
+/// mechanism of `mdw-core`) can share one dictionary. Because ids are
+/// append-only, `len()` doubles as a cheap version number: two dictionaries
+/// derived from the same lineage with equal lengths have identical contents.
 #[derive(Debug, Default, Clone)]
 pub struct Dictionary {
-    terms: Vec<Term>,
-    ids: HashMap<Term, TermId>,
+    terms: Vec<Arc<Term>>,
+    ids: HashMap<Arc<Term>, TermId>,
 }
 
 impl Dictionary {
@@ -47,25 +55,28 @@ impl Dictionary {
         Self::default()
     }
 
-    /// Interns a term, returning its id. Idempotent.
+    /// Interns a term, returning its id. Idempotent. First insertion clones
+    /// the term exactly once; the vector and map share the allocation.
     pub fn intern(&mut self, term: &Term) -> TermId {
         if let Some(&id) = self.ids.get(term) {
             return id;
         }
         let id = TermId(self.terms.len() as u64);
-        self.terms.push(term.clone());
-        self.ids.insert(term.clone(), id);
+        let shared = Arc::new(term.clone());
+        self.terms.push(Arc::clone(&shared));
+        self.ids.insert(shared, id);
         id
     }
 
-    /// Interns a term by value, avoiding one clone on first insertion.
+    /// Interns a term by value; no clone at all on first insertion.
     pub fn intern_owned(&mut self, term: Term) -> TermId {
         if let Some(&id) = self.ids.get(&term) {
             return id;
         }
         let id = TermId(self.terms.len() as u64);
-        self.terms.push(term.clone());
-        self.ids.insert(term, id);
+        let shared = Arc::new(term);
+        self.terms.push(Arc::clone(&shared));
+        self.ids.insert(shared, id);
         id
     }
 
@@ -76,7 +87,7 @@ impl Dictionary {
 
     /// Resolves an id back to its term.
     pub fn term(&self, id: TermId) -> Option<&Term> {
-        self.terms.get(id.0 as usize)
+        self.terms.get(id.0 as usize).map(|t| t.as_ref())
     }
 
     /// Resolves an id, panicking on foreign ids. For internal use where the
@@ -100,18 +111,19 @@ impl Dictionary {
         self.terms
             .iter()
             .enumerate()
-            .map(|(i, t)| (TermId(i as u64), t))
+            .map(|(i, t)| (TermId(i as u64), t.as_ref()))
     }
 
     /// Approximate heap size of the dictionary in bytes, used by the
-    /// historization statistics.
+    /// historization statistics. Each term's payload is stored once (shared
+    /// between the vector and the map key through the `Arc`).
     pub fn approx_bytes(&self) -> usize {
-        let mut bytes = self.terms.capacity() * std::mem::size_of::<Term>();
+        let arc_slot = std::mem::size_of::<Arc<Term>>();
+        let mut bytes = self.terms.capacity() * arc_slot;
         for term in &self.terms {
-            bytes += 2 * term_heap_bytes(term); // stored once in vec, once in map key
+            bytes += std::mem::size_of::<Term>() + term_heap_bytes(term);
         }
-        bytes += self.ids.capacity()
-            * (std::mem::size_of::<Term>() + std::mem::size_of::<TermId>());
+        bytes += self.ids.capacity() * (arc_slot + std::mem::size_of::<TermId>());
         bytes
     }
 }
@@ -207,5 +219,14 @@ mod tests {
         let before = d.approx_bytes();
         d.intern(&Term::iri("http://example.org/some/very/long/iri#LocalName"));
         assert!(d.approx_bytes() > before);
+    }
+
+    #[test]
+    fn vector_and_map_share_one_allocation() {
+        let mut d = Dictionary::new();
+        let id = d.intern(&Term::iri("shared"));
+        let in_vec = Arc::clone(&d.terms[id.raw() as usize]);
+        // One in the vec, one in the map key, one held here.
+        assert_eq!(Arc::strong_count(&in_vec), 3);
     }
 }

@@ -1,0 +1,487 @@
+//! Immutable, columnar triple indexes and snapshot stores.
+//!
+//! A [`FrozenIndex`] holds the same three covering permutations as
+//! [`TripleIndex`](crate::index::TripleIndex) — SPO, POS, OSP — but as sorted
+//! `Vec<(u64, u64, u64)>` columns instead of `BTreeSet`s. That buys:
+//!
+//! * **binary-search range scans**: every bound-prefix pattern maps to a
+//!   contiguous slice of exactly one column, found with two
+//!   `partition_point` searches;
+//! * **exact O(log n) cardinalities**: the match count for a pattern is the
+//!   subtraction of those two search results — no iteration at all, which is
+//!   what the SPARQL join planner uses for selectivity ordering;
+//! * **zero-allocation iteration**: a scan is a `slice::Iter`, not a boxed
+//!   B-tree cursor;
+//! * **sharing**: the whole structure is immutable, so snapshots, history
+//!   versions, and concurrent readers share one allocation via `Arc`.
+//!
+//! This is the in-memory analogue of the immutable sorted index runs in
+//! RDF-3X/Hexastore-class stores that the paper's Oracle layout models.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+use crate::dict::{Dictionary, TermId};
+use crate::error::RdfError;
+use crate::index::{prefix_bounds, Permutation, TripleIndex};
+use crate::store::GraphStats;
+use crate::term::Term;
+use crate::triple::{Triple, TriplePattern};
+
+type Key = (u64, u64, u64);
+
+/// An immutable columnar triple index: three sorted permutation columns.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FrozenIndex {
+    spo: Vec<Key>,
+    pos: Vec<Key>,
+    osp: Vec<Key>,
+}
+
+impl FrozenIndex {
+    /// Freezes a mutable index. Each `BTreeSet` iterates in sorted order, so
+    /// this is a straight O(n) copy per column.
+    pub fn from_index(index: &TripleIndex) -> Self {
+        FrozenIndex {
+            spo: index.spo_keys().collect(),
+            pos: index.pos_keys().collect(),
+            osp: index.osp_keys().collect(),
+        }
+    }
+
+    /// Builds a frozen index from raw SPO rows (the persistence layer loads
+    /// snapshot files directly into columns, bypassing the B-trees). Sorts
+    /// and dedups, so the input order does not matter.
+    pub fn from_spo_rows(mut spo: Vec<Key>) -> Self {
+        spo.sort_unstable();
+        spo.dedup();
+        let mut pos: Vec<Key> = spo.iter().map(|&(s, p, o)| (p, o, s)).collect();
+        let mut osp: Vec<Key> = spo.iter().map(|&(s, p, o)| (o, s, p)).collect();
+        pos.sort_unstable();
+        osp.sort_unstable();
+        FrozenIndex { spo, pos, osp }
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True if the index holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Whether the exact triple is present (binary search on SPO).
+    pub fn contains(&self, t: Triple) -> bool {
+        self.spo.binary_search(&t.as_tuple()).is_ok()
+    }
+
+    /// The contiguous half-open row range `[lo, hi)` serving a pattern, and
+    /// the permutation it lives in.
+    fn bounds(&self, pattern: TriplePattern) -> (&[Key], usize, usize, Permutation) {
+        let perm = TripleIndex::route(&pattern);
+        let (column, lo_key, hi_key) = match perm {
+            Permutation::Spo => {
+                let (lo, hi) = prefix_bounds(
+                    pattern.s.map(|x| x.0),
+                    pattern.p.map(|x| x.0),
+                    pattern.o.map(|x| x.0),
+                );
+                (&self.spo, lo, hi)
+            }
+            Permutation::Pos => {
+                let (lo, hi) =
+                    prefix_bounds(pattern.p.map(|x| x.0), pattern.o.map(|x| x.0), None);
+                (&self.pos, lo, hi)
+            }
+            Permutation::Osp => {
+                let (lo, hi) =
+                    prefix_bounds(pattern.o.map(|x| x.0), pattern.s.map(|x| x.0), None);
+                (&self.osp, lo, hi)
+            }
+        };
+        let lo = column.partition_point(|&k| k < lo_key);
+        let hi = column.partition_point(|&k| k <= hi_key);
+        (column, lo, hi.max(lo), perm)
+    }
+
+    /// Pattern scan: a zero-allocation iterator over one contiguous slice of
+    /// the routed permutation. The routing table guarantees the pattern is a
+    /// pure prefix of that permutation, so no post-filtering happens.
+    pub fn run(&self, pattern: TriplePattern) -> FrozenRun<'_> {
+        let (column, lo, hi, perm) = self.bounds(pattern);
+        FrozenRun { rows: column[lo..hi].iter(), perm }
+    }
+
+    /// Exact match count for a pattern: the subtraction of two binary
+    /// searches, O(log n) and never iterates rows.
+    pub fn count_exact(&self, pattern: TriplePattern) -> usize {
+        let (_, lo, hi, _) = self.bounds(pattern);
+        hi - lo
+    }
+
+    /// All triples in SPO order.
+    pub fn iter(&self) -> FrozenRun<'_> {
+        FrozenRun { rows: self.spo.iter(), perm: Permutation::Spo }
+    }
+
+    /// The raw SPO rows (sorted), e.g. for thawing or bulk export.
+    pub fn spo_rows(&self) -> &[Key] {
+        &self.spo
+    }
+
+    /// Thaws back into a mutable index.
+    pub fn thaw(&self) -> TripleIndex {
+        TripleIndex::from_spo_rows(self.spo.iter().copied())
+    }
+
+    /// Approximate heap bytes: three columns of 24-byte rows.
+    pub fn approx_bytes(&self) -> usize {
+        (self.spo.capacity() + self.pos.capacity() + self.osp.capacity())
+            * std::mem::size_of::<Key>()
+    }
+
+    /// FNV-1a checksum over the SPO rows. Readers use this to prove a
+    /// snapshot was observed whole (no torn reads across a publish).
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &(s, p, o) in &self.spo {
+            for v in [s, p, o] {
+                for b in v.to_le_bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
+        h
+    }
+}
+
+/// A zero-allocation scan over a contiguous slice of one frozen permutation,
+/// remapping permuted rows back to SPO [`Triple`]s as it goes.
+#[derive(Debug, Clone)]
+pub struct FrozenRun<'a> {
+    rows: std::slice::Iter<'a, Key>,
+    perm: Permutation,
+}
+
+impl FrozenRun<'_> {
+    /// An empty run (used for degraded views with no entailments).
+    pub fn empty() -> FrozenRun<'static> {
+        FrozenRun { rows: [].iter(), perm: Permutation::Spo }
+    }
+
+    fn remap(&self, k: Key) -> Triple {
+        let (s, p, o) = match self.perm {
+            Permutation::Spo => k,
+            Permutation::Pos => (k.2, k.0, k.1),
+            Permutation::Osp => (k.1, k.2, k.0),
+        };
+        Triple::from_tuple((s, p, o))
+    }
+}
+
+impl Iterator for FrozenRun<'_> {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        self.rows.next().map(|&k| self.remap(k))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.rows.size_hint()
+    }
+}
+
+impl ExactSizeIterator for FrozenRun<'_> {}
+
+impl DoubleEndedIterator for FrozenRun<'_> {
+    fn next_back(&mut self) -> Option<Triple> {
+        self.rows.next_back().map(|&k| self.remap(k))
+    }
+}
+
+/// An immutable snapshot of one named model: a frozen index plus lazily
+/// computed statistics. Shared by `Arc` between history versions, published
+/// store generations, and concurrent readers.
+#[derive(Debug, Default)]
+pub struct FrozenGraph {
+    index: FrozenIndex,
+    stats: OnceLock<GraphStats>,
+}
+
+impl FrozenGraph {
+    /// Wraps a frozen index.
+    pub fn new(index: FrozenIndex) -> Self {
+        FrozenGraph { index, stats: OnceLock::new() }
+    }
+
+    /// The underlying columnar index.
+    pub fn index(&self) -> &FrozenIndex {
+        &self.index
+    }
+
+    /// Pattern scan (zero-allocation contiguous slice).
+    pub fn scan(&self, pattern: TriplePattern) -> FrozenRun<'_> {
+        self.index.run(pattern)
+    }
+
+    /// All triples in SPO order.
+    pub fn iter(&self) -> FrozenRun<'_> {
+        self.index.iter()
+    }
+
+    /// Whether the triple is present.
+    pub fn contains(&self, t: Triple) -> bool {
+        self.index.contains(t)
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Graph statistics, computed once and cached (the graph is immutable).
+    pub fn stats(&self) -> GraphStats {
+        *self.stats.get_or_init(|| {
+            let mut subjects = std::collections::HashSet::new();
+            let mut predicates = std::collections::HashSet::new();
+            let mut objects = std::collections::HashSet::new();
+            for &(s, p, o) in self.index.spo_rows() {
+                subjects.insert(s);
+                predicates.insert(p);
+                objects.insert(o);
+            }
+            let nodes = subjects.union(&objects).count();
+            GraphStats {
+                edges: self.index.len(),
+                nodes,
+                distinct_subjects: subjects.len(),
+                distinct_predicates: predicates.len(),
+                distinct_objects: objects.len(),
+                approx_bytes: self.index.approx_bytes(),
+            }
+        })
+    }
+
+    /// Content checksum (see [`FrozenIndex::checksum`]).
+    pub fn checksum(&self) -> u64 {
+        self.index.checksum()
+    }
+}
+
+/// An immutable snapshot of the whole store: one generation of named models
+/// over a shared read-only dictionary. This is what readers hold — it is
+/// `Send + Sync` and never changes after publication, so search, lineage,
+/// and SPARQL evaluation proceed without any lock.
+#[derive(Debug, Default, Clone)]
+pub struct FrozenStore {
+    generation: u64,
+    dict: Arc<Dictionary>,
+    models: BTreeMap<String, Arc<FrozenGraph>>,
+}
+
+impl FrozenStore {
+    /// Assembles a snapshot from its parts.
+    pub fn new(
+        generation: u64,
+        dict: Arc<Dictionary>,
+        models: BTreeMap<String, Arc<FrozenGraph>>,
+    ) -> Self {
+        FrozenStore { generation, dict, models }
+    }
+
+    /// The publish-order generation number of this snapshot.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The read-only dictionary view.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The shared dictionary handle (for reuse across generations).
+    pub fn dict_arc(&self) -> &Arc<Dictionary> {
+        &self.dict
+    }
+
+    /// Looks up a model by name.
+    pub fn model(&self, name: &str) -> Result<&FrozenGraph, RdfError> {
+        self.models
+            .get(name)
+            .map(|g| g.as_ref())
+            .ok_or_else(|| RdfError::UnknownModel(name.to_string()))
+    }
+
+    /// The shared handle of a model (an O(1) "copy" of the whole graph).
+    pub fn model_arc(&self, name: &str) -> Result<&Arc<FrozenGraph>, RdfError> {
+        self.models
+            .get(name)
+            .ok_or_else(|| RdfError::UnknownModel(name.to_string()))
+    }
+
+    /// All model names, sorted.
+    pub fn model_names(&self) -> Vec<&str> {
+        self.models.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Whether a model exists.
+    pub fn has_model(&self, name: &str) -> bool {
+        self.models.contains_key(name)
+    }
+
+    /// Encodes a term without interning (read-side lookups).
+    pub fn encode(&self, term: &Term) -> Option<TermId> {
+        self.dict.lookup(term)
+    }
+
+    /// Decodes a triple into its terms.
+    pub fn decode(&self, t: Triple) -> Result<(&Term, &Term, &Term), RdfError> {
+        let s = self.dict.term(t.s).ok_or(RdfError::UnknownTermId(t.s.0))?;
+        let p = self.dict.term(t.p).ok_or(RdfError::UnknownTermId(t.p.0))?;
+        let o = self.dict.term(t.o).ok_or(RdfError::UnknownTermId(t.o.0))?;
+        Ok((s, p, o))
+    }
+
+    /// Builds a pattern from optional terms, resolving them in the
+    /// dictionary. `None` if a bound term is unknown (matches nothing).
+    pub fn pattern(
+        &self,
+        s: Option<&Term>,
+        p: Option<&Term>,
+        o: Option<&Term>,
+    ) -> Option<TriplePattern> {
+        let resolve = |t: Option<&Term>| -> Option<Option<TermId>> {
+            match t {
+                None => Some(None),
+                Some(term) => self.dict.lookup(term).map(Some),
+            }
+        };
+        Some(TriplePattern { s: resolve(s)?, p: resolve(p)?, o: resolve(o)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64, p: u64, o: u64) -> Triple {
+        Triple::from_tuple((s, p, o))
+    }
+
+    fn sample() -> TripleIndex {
+        let mut idx = TripleIndex::new();
+        for (s, p, o) in [
+            (1, 10, 100),
+            (1, 10, 101),
+            (1, 11, 100),
+            (2, 10, 100),
+            (2, 11, 102),
+            (3, 12, 101),
+        ] {
+            idx.insert(t(s, p, o));
+        }
+        idx
+    }
+
+    #[test]
+    fn freeze_preserves_contents_and_order() {
+        let idx = sample();
+        let frozen = FrozenIndex::from_index(&idx);
+        assert_eq!(frozen.len(), idx.len());
+        let a: Vec<_> = idx.iter().collect();
+        let b: Vec<_> = frozen.iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_routing_shape_matches_mutable_scan() {
+        let idx = sample();
+        let frozen = FrozenIndex::from_index(&idx);
+        let pats = [
+            TriplePattern::any(),
+            TriplePattern::with_s(TermId(1)),
+            TriplePattern::with_sp(TermId(1), TermId(10)),
+            TriplePattern::exact(t(2, 11, 102)),
+            TriplePattern::with_p(TermId(10)),
+            TriplePattern::with_po(TermId(10), TermId(100)),
+            TriplePattern::with_o(TermId(100)),
+            TriplePattern { s: Some(TermId(1)), p: None, o: Some(TermId(100)) },
+            TriplePattern::exact(t(9, 9, 9)), // absent
+        ];
+        for pat in pats {
+            let mutable: Vec<_> = idx.scan(pat).collect();
+            let cols: Vec<_> = frozen.run(pat).collect();
+            assert_eq!(mutable, cols, "pattern {pat:?}");
+            assert_eq!(frozen.count_exact(pat), mutable.len(), "pattern {pat:?}");
+        }
+    }
+
+    #[test]
+    fn count_exact_is_uncapped_and_exact() {
+        let frozen = FrozenIndex::from_index(&sample());
+        assert_eq!(frozen.count_exact(TriplePattern::any()), 6);
+        assert_eq!(frozen.count_exact(TriplePattern::with_s(TermId(1))), 3);
+        assert_eq!(frozen.count_exact(TriplePattern::with_s(TermId(42))), 0);
+    }
+
+    #[test]
+    fn from_spo_rows_sorts_and_dedups() {
+        let rows = vec![(2, 1, 1), (1, 1, 1), (2, 1, 1), (1, 1, 2)];
+        let frozen = FrozenIndex::from_spo_rows(rows);
+        assert_eq!(frozen.len(), 3);
+        assert_eq!(frozen.spo_rows(), &[(1, 1, 1), (1, 1, 2), (2, 1, 1)]);
+        assert!(frozen.contains(t(2, 1, 1)));
+        assert_eq!(frozen.count_exact(TriplePattern::with_o(TermId(1))), 2);
+    }
+
+    #[test]
+    fn thaw_round_trips() {
+        let idx = sample();
+        let frozen = FrozenIndex::from_index(&idx);
+        let thawed = frozen.thaw();
+        assert_eq!(thawed.len(), idx.len());
+        let a: Vec<_> = idx.scan(TriplePattern::with_p(TermId(10))).collect();
+        let b: Vec<_> = thawed.scan(TriplePattern::with_p(TermId(10))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checksum_tracks_content() {
+        let a = FrozenIndex::from_index(&sample());
+        let b = FrozenIndex::from_index(&sample());
+        assert_eq!(a.checksum(), b.checksum());
+        let mut idx = sample();
+        idx.insert(t(7, 7, 7));
+        let c = FrozenIndex::from_index(&idx);
+        assert_ne!(a.checksum(), c.checksum());
+    }
+
+    #[test]
+    fn frozen_graph_stats_match_mutable() {
+        let idx = sample();
+        let graph = crate::store::Graph::from_index_for_tests(idx.clone());
+        let frozen = FrozenGraph::new(FrozenIndex::from_index(&idx));
+        let a = graph.stats();
+        let b = frozen.stats();
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.distinct_subjects, b.distinct_subjects);
+        assert_eq!(a.distinct_predicates, b.distinct_predicates);
+        assert_eq!(a.distinct_objects, b.distinct_objects);
+    }
+
+    #[test]
+    fn frozen_run_is_exact_size() {
+        let frozen = FrozenIndex::from_index(&sample());
+        let run = frozen.run(TriplePattern::with_s(TermId(1)));
+        assert_eq!(run.len(), 3);
+    }
+}

@@ -23,7 +23,9 @@ use std::ops::Bound;
 
 use crate::triple::{Triple, TriplePattern};
 
-type Key = (u64, u64, u64);
+/// A permuted index row. The component order depends on the permutation the
+/// row lives in (SPO, POS, or OSP).
+pub(crate) type Key = (u64, u64, u64);
 
 /// A triple index maintaining the SPO, POS, and OSP permutations in lockstep.
 #[derive(Debug, Default, Clone)]
@@ -105,9 +107,9 @@ impl TripleIndex {
 
     /// Scans all triples matching a pattern, in the routed permutation's
     /// order. The returned iterator borrows the index.
-    #[allow(clippy::type_complexity)]
-    pub fn scan(&self, pattern: TriplePattern) -> impl Iterator<Item = Triple> + '_ {
-        let (set, lo, hi, remap): (&BTreeSet<Key>, Key, Key, fn(Key) -> Triple) =
+    pub fn scan(&self, pattern: TriplePattern) -> IndexScan<'_> {
+        type Routed<'a> = (&'a BTreeSet<Key>, Key, Key, fn(Key) -> Triple);
+        let (set, lo, hi, remap): Routed<'_> =
             match Self::route(&pattern) {
                 Permutation::Spo => {
                     let (lo, hi) = prefix_bounds(pattern.s.map(|x| x.0), pattern.p.map(|x| x.0), pattern.o.map(|x| x.0));
@@ -122,9 +124,11 @@ impl TripleIndex {
                     (&self.osp, lo, hi, |(o, s, p)| Triple::from_tuple((s, p, o)))
                 }
             };
-        set.range((Bound::Included(lo), Bound::Included(hi)))
-            .map(move |&k| remap(k))
-            .filter(move |t| pattern.matches(*t))
+        IndexScan {
+            range: set.range((Bound::Included(lo), Bound::Included(hi))),
+            remap,
+            pattern,
+        }
     }
 
     /// Counts matches for a pattern, optionally capped (for selectivity
@@ -159,14 +163,67 @@ impl TripleIndex {
     pub fn approx_bytes(&self) -> usize {
         self.spo.len() * 3 * std::mem::size_of::<Key>()
     }
+
+    /// The SPO rows in sorted order (for freezing into columnar form).
+    pub(crate) fn spo_keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.spo.iter().copied()
+    }
+
+    /// The POS rows in sorted order (for freezing into columnar form).
+    pub(crate) fn pos_keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.pos.iter().copied()
+    }
+
+    /// The OSP rows in sorted order (for freezing into columnar form).
+    pub(crate) fn osp_keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.osp.iter().copied()
+    }
+
+    /// Rebuilds a mutable index from SPO rows (thawing a frozen graph back
+    /// into its mutable form; rare — only writers that touch a historized
+    /// version pay this O(n log n) cost).
+    pub(crate) fn from_spo_rows(rows: impl Iterator<Item = Key> + Clone) -> TripleIndex {
+        TripleIndex {
+            spo: rows.clone().collect(),
+            pos: rows.clone().map(|(s, p, o)| (p, o, s)).collect(),
+            osp: rows.map(|(s, p, o)| (o, s, p)).collect(),
+        }
+    }
+}
+
+/// A borrowed range scan over one permutation of a [`TripleIndex`].
+///
+/// Concrete (nameable) so [`crate::store::Scan`] can carry it without boxing.
+#[derive(Debug, Clone)]
+pub struct IndexScan<'a> {
+    range: std::collections::btree_set::Range<'a, Key>,
+    remap: fn(Key) -> Triple,
+    pattern: TriplePattern,
+}
+
+impl Iterator for IndexScan<'_> {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        // The routed range is always a pure prefix of the permutation, so the
+        // match check is a safeguard, not a filter doing real work.
+        for &k in self.range.by_ref() {
+            let t = (self.remap)(k);
+            if self.pattern.matches(t) {
+                return Some(t);
+            }
+        }
+        None
+    }
 }
 
 /// Builds inclusive range bounds for a lexicographic prefix of a permuted key.
 ///
-/// Only a *prefix* of bound positions narrows the range; a bound third
-/// component with an unbound second cannot narrow and is handled by the
-/// post-filter in [`TripleIndex::scan`].
-fn prefix_bounds(a: Option<u64>, b: Option<u64>, c: Option<u64>) -> (Key, Key) {
+/// Only a *prefix* of bound positions narrows the range; the routing table
+/// guarantees every pattern is a pure prefix of its permutation, so the
+/// bounds are exact. Shared with the frozen columnar index so both engines
+/// agree byte-for-byte on range semantics.
+pub(crate) fn prefix_bounds(a: Option<u64>, b: Option<u64>, c: Option<u64>) -> (Key, Key) {
     match (a, b, c) {
         (Some(a), Some(b), Some(c)) => ((a, b, c), (a, b, c)),
         (Some(a), Some(b), None) => ((a, b, u64::MIN), (a, b, u64::MAX)),

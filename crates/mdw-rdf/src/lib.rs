@@ -11,6 +11,14 @@
 //!   store),
 //! * [`index::TripleIndex`] — three covering index permutations (SPO, POS,
 //!   OSP) supporting range scans for every bound-prefix access pattern,
+//! * [`frozen::FrozenIndex`]/[`frozen::FrozenStore`] — the same permutations
+//!   frozen into immutable sorted columns: binary-search range scans, exact
+//!   O(log n) cardinalities, and `Arc`-shared snapshots,
+//! * [`epoch::ArcCell`] + [`store::SharedStore`] — the lock-free epoch
+//!   publisher: writers build the next generation off to the side and
+//!   atomically publish; readers never take a lock,
+//! * [`context::QueryContext`] — a snapshot-pinned, budget-carrying read
+//!   handle threaded through search, lineage, and SPARQL,
 //! * [`store::Store`] — named RDF models (the paper queries
 //!   `SEM_MODELS('DWH_CURR')`) over a shared dictionary,
 //! * [`staging::StagingArea`] — the staging-table + validating bulk-load
@@ -29,9 +37,12 @@
 //! lives in the sibling crates `mdw-reason`, `mdw-sparql`, and `mdw-core`.
 
 pub mod budget;
+pub mod context;
 pub mod dict;
+pub mod epoch;
 pub mod error;
 pub mod failpoint;
+pub mod frozen;
 pub mod index;
 pub mod journal;
 pub mod persist;
@@ -46,9 +57,12 @@ pub use budget::{
     CancellationToken, Completeness, ManualTime, MonotonicTime, QueryBudget, TimeSource,
     TruncationReason,
 };
+pub use context::QueryContext;
 pub use dict::{Dictionary, TermId};
+pub use epoch::ArcCell;
 pub use error::RdfError;
 pub use failpoint::FailSpec;
+pub use frozen::{FrozenGraph, FrozenIndex, FrozenRun, FrozenStore};
 pub use index::TripleIndex;
 pub use journal::{Journal, JournalBatch, JournalOp};
 pub use persist::{
@@ -56,6 +70,6 @@ pub use persist::{
     SaveReport, SnapshotInfo,
 };
 pub use staging::{LoadReport, StagingArea};
-pub use store::{Graph, Store, TripleSource};
+pub use store::{Graph, GraphStats, Scan, SharedStore, Store, TripleSource};
 pub use term::{Literal, LiteralKind, Term};
 pub use triple::{Triple, TriplePattern};

@@ -33,9 +33,11 @@ use std::collections::BTreeSet;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::error::RdfError;
 use crate::failpoint;
+use crate::frozen::{FrozenGraph, FrozenIndex};
 use crate::journal::{self, Journal, JournalOp};
 use crate::store::Store;
 use crate::triple::Triple;
@@ -293,10 +295,25 @@ fn load_model_file(
             ));
         }
     }
-    store.create_model(&entry.name)?;
+    // Intern into the shared dictionary, then build the frozen columns
+    // directly — a loaded snapshot starts life immutable and lock-free
+    // readable, without ever paying for the mutable B-trees.
+    let mut rows: Vec<(u64, u64, u64)> = Vec::with_capacity(doc.triples.len());
     for (s, p, o) in doc.triples {
-        store.insert(&entry.name, &s, &p, &o)?;
+        if !s.is_subject_capable() {
+            return Err(RdfError::InvalidTriple { reason: format!("literal subject: {s}") });
+        }
+        if !p.is_iri() {
+            return Err(RdfError::InvalidTriple { reason: format!("non-IRI predicate: {p}") });
+        }
+        let dict = store.dict_mut();
+        let s = dict.intern_owned(s).raw();
+        let p = dict.intern_owned(p).raw();
+        let o = dict.intern_owned(o).raw();
+        rows.push((s, p, o));
     }
+    let frozen = Arc::new(FrozenGraph::new(FrozenIndex::from_spo_rows(rows)));
+    store.insert_frozen_model(&entry.name, frozen)?;
     Ok(())
 }
 

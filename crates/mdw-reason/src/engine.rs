@@ -8,8 +8,10 @@
 //! new facts, not to the whole graph, after the first round.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 use mdw_rdf::dict::{Dictionary, TermId};
+use mdw_rdf::frozen::FrozenIndex;
 use mdw_rdf::index::TripleIndex;
 use mdw_rdf::store::Graph;
 use mdw_rdf::triple::{Triple, TriplePattern};
@@ -34,6 +36,8 @@ pub struct MaterializeStats {
 pub struct Materialization {
     derived: TripleIndex,
     stats: MaterializeStats,
+    /// Cached frozen form of `derived`, rebuilt lazily after each extension.
+    frozen: OnceLock<Arc<FrozenIndex>>,
 }
 
 impl Materialization {
@@ -58,6 +62,7 @@ impl Materialization {
         // A newly asserted fact may already have been *derived* — it moves
         // from the index to the base, preserving the invariant that the two
         // are disjoint (the entailed view's union scans rely on it).
+        self.frozen.take();
         for &t in new_facts {
             self.derived.remove(t);
         }
@@ -68,6 +73,19 @@ impl Materialization {
     /// The entailment index (derived triples only).
     pub fn derived(&self) -> &TripleIndex {
         &self.derived
+    }
+
+    /// The frozen (columnar) form of the entailment index, built once per
+    /// extension and cached. This is what query snapshots scan.
+    pub fn frozen(&self) -> &FrozenIndex {
+        self.frozen_arc()
+    }
+
+    /// The shared handle of the frozen entailment index, for owning
+    /// snapshots handed to worker threads.
+    pub fn frozen_arc(&self) -> &Arc<FrozenIndex> {
+        self.frozen
+            .get_or_init(|| Arc::new(FrozenIndex::from_index(&self.derived)))
     }
 
     /// Run statistics.

@@ -1,44 +1,52 @@
 //! The entailment-aware graph view.
 //!
-//! [`EntailedGraph`] unions a base graph with the derived triples of a
-//! [`Materialization`](crate::engine::Materialization). It implements
-//! [`TripleSource`], so the SPARQL executor can run over it exactly as it
-//! runs over a plain graph — this is what "the query references the OWL
-//! index" means in the paper: same query shape, denser graph.
+//! [`EntailedGraph`] unions a frozen base graph with the frozen derived
+//! triples of a [`Materialization`](crate::engine::Materialization). It
+//! implements [`TripleSource`], so the SPARQL executor can run over it
+//! exactly as it runs over a plain graph — this is what "the query
+//! references the OWL index" means in the paper: same query shape, denser
+//! graph. Both sides are immutable sorted columns, so a pattern scan is two
+//! contiguous slice runs chained at scan time, with no locking, boxing, or
+//! allocation.
 
-use mdw_rdf::index::TripleIndex;
-use mdw_rdf::store::{Graph, TripleSource};
+use std::sync::Arc;
+
+use mdw_rdf::frozen::{FrozenGraph, FrozenIndex};
+use mdw_rdf::store::{Scan, TripleSource};
 use mdw_rdf::triple::{Triple, TriplePattern};
 
-/// A read-only union of a base graph and an entailment index.
+/// A read-only union of a frozen base graph and a frozen entailment index.
 ///
 /// The two are disjoint by construction (the engine never stores an asserted
 /// triple in the derived index), so chained scans yield no duplicates.
 #[derive(Debug, Clone, Copy)]
 pub struct EntailedGraph<'a> {
-    base: &'a Graph,
-    derived: &'a TripleIndex,
+    base: &'a FrozenGraph,
+    derived: &'a FrozenIndex,
 }
 
 impl<'a> EntailedGraph<'a> {
     /// Creates the view.
-    pub fn new(base: &'a Graph, derived: &'a TripleIndex) -> Self {
+    pub fn new(base: &'a FrozenGraph, derived: &'a FrozenIndex) -> Self {
         EntailedGraph { base, derived }
     }
 
     /// The asserted-facts part.
-    pub fn base(&self) -> &'a Graph {
+    pub fn base(&self) -> &'a FrozenGraph {
         self.base
     }
 
     /// The derived part (the semantic index).
-    pub fn derived(&self) -> &'a TripleIndex {
+    pub fn derived(&self) -> &'a FrozenIndex {
         self.derived
     }
 
-    /// Pattern scan over base ∪ derived.
-    pub fn scan(&self, pattern: TriplePattern) -> impl Iterator<Item = Triple> + 'a {
-        self.base.scan(pattern).chain(self.derived.scan(pattern))
+    /// Pattern scan over base ∪ derived: two frozen runs, chained.
+    pub fn scan(&self, pattern: TriplePattern) -> Scan<'a> {
+        Scan::Chained {
+            first: self.base.scan(pattern),
+            second: self.derived.run(pattern),
+        }
     }
 
     /// Total triple count (base + derived).
@@ -58,8 +66,8 @@ impl<'a> EntailedGraph<'a> {
 }
 
 impl TripleSource for EntailedGraph<'_> {
-    fn scan_pattern(&self, pattern: TriplePattern) -> Box<dyn Iterator<Item = Triple> + '_> {
-        Box::new(self.base.scan(pattern).chain(self.derived.scan(pattern)))
+    fn scan_pattern(&self, pattern: TriplePattern) -> Scan<'_> {
+        self.scan(pattern)
     }
 
     fn contains_triple(&self, t: Triple) -> bool {
@@ -67,15 +75,46 @@ impl TripleSource for EntailedGraph<'_> {
     }
 
     fn estimate(&self, pattern: TriplePattern, cap: usize) -> usize {
-        let base = self.base.index().count(pattern, Some(cap));
-        if base >= cap {
-            return base;
-        }
-        base + self.derived.count(pattern, Some(cap - base))
+        // Exact on both frozen sides: four binary searches, no iteration.
+        (self.base.index().count_exact(pattern) + self.derived.count_exact(pattern)).min(cap)
     }
 
     fn len_triples(&self) -> usize {
         self.len()
+    }
+}
+
+/// An owning, `Send + Sync` version of the entailed view: one frozen base
+/// snapshot plus one frozen entailment index, both shared by `Arc`.
+///
+/// Worker threads (concurrent SPARQL scans, the `mdwh drill overload`
+/// readers) each clone one of these for a few refcount bumps and evaluate
+/// against it with zero contention.
+#[derive(Debug, Clone)]
+pub struct EntailedSnapshot {
+    base: Arc<FrozenGraph>,
+    derived: Arc<FrozenIndex>,
+}
+
+impl EntailedSnapshot {
+    /// Bundles a base snapshot with its entailment index.
+    pub fn new(base: Arc<FrozenGraph>, derived: Arc<FrozenIndex>) -> Self {
+        EntailedSnapshot { base, derived }
+    }
+
+    /// The borrowed view for query evaluation.
+    pub fn view(&self) -> EntailedGraph<'_> {
+        EntailedGraph::new(&self.base, &self.derived)
+    }
+
+    /// The asserted-facts snapshot.
+    pub fn base(&self) -> &Arc<FrozenGraph> {
+        &self.base
+    }
+
+    /// The derived index.
+    pub fn derived(&self) -> &Arc<FrozenIndex> {
+        &self.derived
     }
 }
 
@@ -107,8 +146,8 @@ mod tests {
     #[test]
     fn view_sees_base_and_derived() {
         let (store, m) = setup();
-        let g = store.model("m").unwrap();
-        let view = EntailedGraph::new(g, m.derived());
+        let g = store.model("m").unwrap().freeze();
+        let view = EntailedGraph::new(&g, m.frozen());
 
         let john = store.encode(&Term::iri("john")).unwrap();
         let ty = store.encode(&Term::iri(vocab::rdf::TYPE)).unwrap();
@@ -124,21 +163,21 @@ mod tests {
     #[test]
     fn base_only_scan_misses_derived() {
         let (store, m) = setup();
-        let g = store.model("m").unwrap();
+        let g = store.model("m").unwrap().freeze();
         let john = store.encode(&Term::iri("john")).unwrap();
         let ty = store.encode(&Term::iri(vocab::rdf::TYPE)).unwrap();
         let party = store.encode(&Term::iri("Party")).unwrap();
         let derived_triple = mdw_rdf::triple::Triple::new(john, ty, party);
         assert!(!g.contains(derived_triple));
-        let view = EntailedGraph::new(g, m.derived());
+        let view = EntailedGraph::new(&g, m.frozen());
         assert!(view.contains(derived_triple));
     }
 
     #[test]
     fn no_duplicates_in_union_scan() {
         let (store, m) = setup();
-        let g = store.model("m").unwrap();
-        let view = EntailedGraph::new(g, m.derived());
+        let g = store.model("m").unwrap().freeze();
+        let view = EntailedGraph::new(&g, m.frozen());
         let mut all: Vec<_> = view.scan(TriplePattern::any()).collect();
         let before = all.len();
         all.sort();
@@ -149,9 +188,25 @@ mod tests {
     #[test]
     fn estimate_caps() {
         let (store, m) = setup();
-        let g = store.model("m").unwrap();
-        let view = EntailedGraph::new(g, m.derived());
+        let g = store.model("m").unwrap().freeze();
+        let view = EntailedGraph::new(&g, m.frozen());
         assert_eq!(view.estimate(TriplePattern::any(), 1), 1);
         assert_eq!(view.estimate(TriplePattern::any(), 1000), view.len());
+    }
+
+    #[test]
+    fn snapshot_view_is_send_and_owning() {
+        let (store, m) = setup();
+        let snap = EntailedSnapshot::new(
+            store.model("m").unwrap().freeze(),
+            std::sync::Arc::clone(m.frozen_arc()),
+        );
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        assert_send_sync(&snap);
+        let from_thread = std::thread::scope(|s| {
+            let snap = snap.clone();
+            s.spawn(move || snap.view().len()).join().unwrap()
+        });
+        assert_eq!(from_thread, snap.view().len());
     }
 }

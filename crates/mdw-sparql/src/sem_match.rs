@@ -215,7 +215,8 @@ impl SemMatch {
         match (&self.rulebase, entailments) {
             (None, _) => execute_with_budget(&query, graph, store.dict(), budget),
             (Some(_), Some(m)) => {
-                let view = EntailedGraph::new(graph, m.derived());
+                let base = graph.freeze();
+                let view = EntailedGraph::new(&base, m.frozen());
                 execute_with_budget(&query, &view, store.dict(), budget)
             }
             (Some(rb), None) => Err(SparqlError::Semantic(format!(

@@ -62,6 +62,7 @@ const USAGE: &str = "usage:
   mdwh recover  --store DIR
   mdwh drill overload [--store DIR] [--threads N] [--requests N] [--quota N]
                       [--expect-shed]
+  mdwh drill overload --writer-race [--threads N] [--writes N]
 
 Query budgets: search, lineage, and sparql accept --deadline-ms MS,
 --max-rows N, and --max-steps N; a blown budget returns the partial
@@ -81,7 +82,7 @@ struct Args {
 const VALUE_FLAGS: &[&str] = &[
     "--scale", "--out", "--seed", "--store", "--area", "--class", "--depth", "--rule-filter",
     "--inject", "--deadline-ms", "--max-rows", "--max-steps", "--threads", "--requests",
-    "--quota",
+    "--quota", "--writes",
 ];
 
 fn parse_args(args: &[String]) -> Args {
@@ -528,6 +529,9 @@ fn parse_or<T: std::str::FromStr>(args: &Args, key: &str, default: T) -> Result<
 /// completes (possibly truncated by its deadline) or is shed with a typed
 /// `Overloaded` — the drill fails if anything panics or errors otherwise.
 fn drill_overload(args: &Args) -> Result<(), String> {
+    if args.flag("writer-race") {
+        return drill_writer_race(args);
+    }
     let threads: usize = parse_or(args, "threads", 8)?;
     let requests: usize = parse_or(args, "requests", 32)?;
     let quota: usize = parse_or(args, "quota", 2)?;
@@ -636,6 +640,144 @@ fn drill_overload(args: &Args) -> Result<(), String> {
     if args.flag("expect-shed") && stats.total_shed() == 0 {
         return Err("expected the gate to shed under forced-low quotas, but shed = 0".to_string());
     }
+    Ok(())
+}
+
+/// The writer-race drill: reader threads spin on [`SharedStore::snapshot`]
+/// (a lock-free load) while one writer loop publishes generations, each a
+/// whole batch of triples. Every observed snapshot must be internally whole:
+/// the fsck-style content checksum is stable, the triple count is a multiple
+/// of the batch size (a torn publish would expose a partial batch), a full
+/// scan agrees with the O(log n) exact count, and generations never go
+/// backwards. A snapshot pinned before the first write must still verify
+/// unchanged at the end. Any violation exits non-zero.
+fn drill_writer_race(args: &Args) -> Result<(), String> {
+    use metadata_warehouse::rdf::store::{SharedStore, Store};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let readers: usize = parse_or(args, "threads", 8)?;
+    let writes: usize = parse_or(args, "writes", 64)?;
+    const BATCH: usize = 16;
+    const MODEL: &str = "DRILL_RACE";
+
+    let mut store = Store::new();
+    store.create_model(MODEL).map_err(|e| e.to_string())?;
+    let shared = SharedStore::new(store);
+
+    eprintln!(
+        "writer-race drill: {readers} reader(s) racing 1 writer × {writes} \
+         publish(es) of {BATCH}-triple batches"
+    );
+
+    // Pinned before the writer starts: whatever gets published, this handle
+    // must keep reading generation 0 exactly as it was.
+    let pinned = shared.snapshot();
+    let pinned_checksum = pinned.model(MODEL).map_err(|e| e.to_string())?.checksum();
+
+    let done = AtomicBool::new(false);
+    let total_reads = AtomicU64::new(0);
+    let violations: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        let done = &done;
+        let total_reads = &total_reads;
+        let violations = &violations;
+
+        scope.spawn(move || {
+            for round in 0..writes {
+                shared.write(|store| {
+                    for i in 0..BATCH {
+                        store
+                            .insert(
+                                MODEL,
+                                &Term::iri(format!("http://ex.org/race/s{round}_{i}")),
+                                &Term::iri("http://ex.org/race/p"),
+                                &Term::iri(format!("http://ex.org/race/o{round}_{i}")),
+                            )
+                            .expect("race insert");
+                    }
+                });
+            }
+            done.store(true, Ordering::Release);
+        });
+
+        for r in 0..readers {
+            scope.spawn(move || {
+                let mut last_generation = 0u64;
+                let mut reads = 0u64;
+                let report = |msg: String| violations.lock().unwrap().push(msg);
+                while !done.load(Ordering::Acquire) || reads == 0 {
+                    let snap = shared.snapshot();
+                    reads += 1;
+                    let generation = snap.generation();
+                    if generation < last_generation {
+                        report(format!(
+                            "reader {r}: generation went backwards \
+                             ({last_generation} -> {generation})"
+                        ));
+                        break;
+                    }
+                    last_generation = generation;
+                    let graph = match snap.model(MODEL) {
+                        Ok(g) => g,
+                        Err(e) => {
+                            report(format!("reader {r}: generation {generation}: {e}"));
+                            break;
+                        }
+                    };
+                    if graph.len() % BATCH != 0 {
+                        report(format!(
+                            "reader {r}: torn batch at generation {generation}: \
+                             {} triples (not a multiple of {BATCH})",
+                            graph.len()
+                        ));
+                        break;
+                    }
+                    let checksum = graph.checksum();
+                    let scanned = graph.iter().count();
+                    if scanned != graph.len() || checksum != graph.checksum() {
+                        report(format!(
+                            "reader {r}: inconsistent snapshot at generation \
+                             {generation}: scan {scanned} vs len {}",
+                            graph.len()
+                        ));
+                        break;
+                    }
+                }
+                total_reads.fetch_add(reads, Ordering::Relaxed);
+            });
+        }
+    });
+
+    let final_snap = shared.snapshot();
+    let final_len = final_snap.model(MODEL).map_err(|e| e.to_string())?.len();
+    println!(
+        "reads:       {} across {readers} reader(s)",
+        total_reads.load(std::sync::atomic::Ordering::Relaxed)
+    );
+    println!(
+        "generations: {} published, final model holds {final_len} triple(s)",
+        final_snap.generation()
+    );
+    let pinned_graph = pinned.model(MODEL).map_err(|e| e.to_string())?;
+    if pinned_graph.checksum() != pinned_checksum || !pinned_graph.is_empty() {
+        return Err("pinned pre-write snapshot changed under the writer".to_string());
+    }
+    if final_len != writes * BATCH {
+        return Err(format!(
+            "writer lost updates: expected {} triples, found {final_len}",
+            writes * BATCH
+        ));
+    }
+    let violations = violations.into_inner().expect("no poisoned reader");
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("violation: {v}");
+        }
+        return Err(format!("{} torn-read violation(s)", violations.len()));
+    }
+    println!("zero torn reads: every snapshot verified whole (checksum + batch invariant)");
     Ok(())
 }
 

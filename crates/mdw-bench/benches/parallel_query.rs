@@ -1,0 +1,80 @@
+//! Parallel query scaling: search candidate scoring, lineage frontier
+//! expansion, and the SPARQL leaf scan at 1/2/4/8 worker threads over the
+//! Table-I corpus (~130 k nodes / ~1.2 M edges).
+//!
+//! Workers only do pure reads over frozen-snapshot partitions; the
+//! per-query sequential merge keeps results bit-identical to the
+//! single-threaded run (asserted below before measuring). The interesting
+//! number is therefore pure scaling: how much wall-clock the partitioned
+//! phase saves once correctness is pinned elsewhere
+//! (`tests/differential_parallel.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mdw_bench::setup::load_scale;
+use mdw_core::lineage::LineageRequest;
+use mdw_core::search::SearchRequest;
+use mdw_corpus::Scale;
+use mdw_rdf::ParallelPolicy;
+use mdw_sparql::SemMatch;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_parallel_query(c: &mut Criterion) {
+    let mut loaded = load_scale(Scale::Paper);
+    let start = loaded.corpus.chain_start.clone();
+    let search_req = SearchRequest::new("customer");
+    let lineage_req = LineageRequest::downstream(start);
+    let sparql = SemMatch::new("{ ?x rdf:type ?c }").select(&["?x", "?c"]);
+
+    // Correctness gate: the 4-thread answers must be bit-identical to the
+    // sequential ones before any timing is worth reporting.
+    loaded.warehouse.set_parallelism(ParallelPolicy::sequential());
+    let pins = (
+        format!("{:?}", loaded.warehouse.search(&search_req).unwrap()),
+        format!("{:?}", loaded.warehouse.lineage(&lineage_req).unwrap()),
+        loaded.warehouse.sem_match(&sparql).unwrap(),
+    );
+    loaded.warehouse.set_parallelism(ParallelPolicy::new(4));
+    assert_eq!(
+        format!("{:?}", loaded.warehouse.search(&search_req).unwrap()),
+        pins.0,
+        "parallel search must match sequential"
+    );
+    assert_eq!(
+        format!("{:?}", loaded.warehouse.lineage(&lineage_req).unwrap()),
+        pins.1,
+        "parallel lineage must match sequential"
+    );
+    assert_eq!(
+        loaded.warehouse.sem_match(&sparql).unwrap(),
+        pins.2,
+        "parallel sem_match must match sequential"
+    );
+
+    let mut group = c.benchmark_group("parallel_query");
+    group.sample_size(10);
+    for threads in THREADS {
+        loaded.warehouse.set_parallelism(ParallelPolicy::new(threads));
+        let w = &loaded.warehouse;
+        group.bench_with_input(
+            BenchmarkId::new("search_customer", threads),
+            &threads,
+            |b, _| b.iter(|| w.search(&search_req).unwrap().instance_count()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lineage_downstream", threads),
+            &threads,
+            |b, _| b.iter(|| w.lineage(&lineage_req).unwrap().endpoints.len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparql_type_scan", threads),
+            &threads,
+            |b, _| b.iter(|| w.sem_match(&sparql).unwrap().rows.len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_query);
+criterion_main!(benches);

@@ -12,8 +12,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 pub use mdw_rdf::budget::{
-    CancellationToken, Completeness, ManualTime, MonotonicTime, QueryBudget, TimeSource,
-    TruncationReason, CHECK_INTERVAL,
+    CancellationToken, Completeness, ManualTime, MonotonicTime, QueryBudget, StepMeter,
+    TimeSource, TruncationReason, CHECK_INTERVAL,
 };
 
 /// A budget with a wall-clock deadline `timeout` from now, measured on

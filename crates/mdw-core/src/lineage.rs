@@ -26,6 +26,13 @@
 //! small." A [`LineageRequest::rule_condition_filter`] restricts traversal
 //! to mapping edges whose reified rule condition matches.
 //!
+//! Traversal runs in two stages: a level-synchronous BFS discovers the
+//! reachable mapping subgraph — each frontier level expanded in parallel
+//! under the context's [`mdw_rdf::par::ParallelPolicy`], merged in
+//! deterministic frontier order — and a sequential DFS then enumerates
+//! simple paths over the discovered adjacency. Results are bit-identical
+//! for every thread count.
+//!
 //! [`schema_flow`] aggregates attribute-level mappings to schema-level flows
 //! and [`drill_down`] expands one schema pair back to attribute granularity —
 //! the two navigation directions of the Figure 7 provenance frontend.
@@ -250,31 +257,115 @@ pub fn trace(
     // Rule conditions of reified mappings: (from, to) → condition.
     let conditions = mapping_conditions(graph, dict);
 
-    // Step 3 + Figure 8: enumerate simple (isMappedTo)* paths.
-    let mut walker = Walker {
-        graph,
+    // Step 3 + Figure 8, stage 1: level-synchronous BFS discovery.
+    //
+    // Each frontier level is expanded in (optionally parallel) contiguous
+    // chunks: workers only scan the outgoing `isMappedTo` edges of their
+    // frontier nodes — read-only work, ticking the shared budget's
+    // deadline/cancellation through a per-worker meter — while the
+    // sequential in-order merge does everything stateful: it charges one
+    // budget step per scanned edge, applies the rule-condition filter,
+    // records discovered edges in the adjacency map, and assigns exact
+    // shortest-hop distances. Because charging and discovery order live in
+    // the merge, the result is bit-identical for every thread count.
+    let budget = ctx.budget();
+    let policy = ctx.parallelism();
+    let mut tripped: Option<TruncationReason> = budget.check().err();
+    let mut adj: HashMap<TermId, Vec<Edge>> = HashMap::new();
+    let mut reached: BTreeMap<TermId, usize> = BTreeMap::new();
+    let mut frontier: Vec<TermId> = vec![start];
+    let mut depth = 0usize;
+    while tripped.is_none() && !frontier.is_empty() && depth < request.max_depth {
+        let scans = mdw_rdf::par::map_chunks(&policy, &frontier, |nodes| {
+            let mut meter = budget.meter();
+            let mut edges: Vec<(TermId, TermId)> = Vec::new();
+            let mut trip: Option<TruncationReason> = None;
+            'chunk: for &node in nodes {
+                let pattern = match request.direction {
+                    Direction::Downstream => TriplePattern::with_sp(node, mapped),
+                    Direction::Upstream => TriplePattern::with_po(mapped, node),
+                };
+                for t in graph.scan(pattern) {
+                    if let Err(reason) = meter.tick() {
+                        trip = Some(reason);
+                        break 'chunk;
+                    }
+                    edges.push((t.s, t.o));
+                }
+            }
+            (edges, trip)
+        });
+        let mut next: Vec<TermId> = Vec::new();
+        'merge: for (edges, worker_trip) in scans {
+            for (from, to) in edges {
+                // One scanned edge = one budget step, charged in
+                // deterministic frontier order.
+                if let Err(reason) = budget.charge_step() {
+                    tripped = Some(reason);
+                    break 'merge;
+                }
+                let (source, step_to) = match request.direction {
+                    Direction::Downstream => (from, to),
+                    Direction::Upstream => (to, from),
+                };
+                let condition = conditions.get(&(from, to)).cloned();
+                if let Some(filter) = request.rule_condition_filter.as_deref() {
+                    match &condition {
+                        Some(c) if c.contains(filter) => {}
+                        _ => continue,
+                    }
+                }
+                // Every passing edge joins the adjacency (stage 2 needs the
+                // edges into already-reached nodes for diamond fan-in and
+                // cycle paths), but only newly-reached nodes join the next
+                // frontier — which is what keeps distances exact
+                // shortest-hop counts independent of worker scheduling.
+                adj.entry(source).or_default().push(Edge { from, to, condition });
+                if step_to != start && !reached.contains_key(&step_to) {
+                    reached.insert(step_to, depth + 1);
+                    next.push(step_to);
+                }
+            }
+            // A worker stopped scanning early (deadline or cancellation):
+            // everything merged so far is a truthful prefix; later chunks
+            // are discarded.
+            if tripped.is_none() {
+                if let Some(reason) = worker_trip {
+                    tripped = Some(reason);
+                    break 'merge;
+                }
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+
+    // Stage 2: sequential simple-path enumeration over the discovered
+    // adjacency. A stage-1 trip skips enumeration entirely: the budget is
+    // spent, and paths over a partially discovered graph would not be a
+    // prefix of the sequential enumeration.
+    let mut walker = PathWalker {
+        adj: &adj,
         dict,
-        mapped,
         direction: request.direction,
         max_depth: request.max_depth,
         max_paths: request.max_paths,
-        condition_filter: request.rule_condition_filter.as_deref(),
-        conditions: &conditions,
-        budget: ctx.budget(),
-        tripped: ctx.budget().check().err(),
+        budget,
+        tripped: None,
         paths: Vec::new(),
         paths_explored: 0,
         truncated: false,
         stack: Vec::new(),
         on_path: BTreeSet::new(),
-        reached: BTreeMap::new(),
     };
-    walker.on_path.insert(start);
-    walker.dfs(start, 0);
+    if tripped.is_none() {
+        walker.on_path.insert(start);
+        walker.dfs(start, 0);
+    }
 
     // Qualify endpoints by (entailed) rdf:type ∩ valid classes.
     let mut endpoints = Vec::new();
-    for (&node, &distance) in &walker.reached {
+    for (&node, &distance) in &reached {
         let classes: Vec<TermId> = match ty {
             Some(ty) => graph
                 .scan(TriplePattern::with_sp(node, ty))
@@ -310,10 +401,11 @@ pub fn trace(
     // Keep only paths ending at qualifying endpoints.
     let endpoint_nodes: BTreeSet<&Term> = endpoints.iter().map(|e| &e.node).collect();
     let paths_explored = walker.paths_explored;
-    // A budget trip takes precedence as the verdict; a pure max_paths cut
-    // is the structural PathLimit the walker always enforced.
-    let reason = walker
-        .tripped
+    // A budget trip takes precedence as the verdict (discovery first, then
+    // enumeration); a pure max_paths cut is the structural PathLimit the
+    // walker always enforced.
+    let reason = tripped
+        .or(walker.tripped)
         .or(if walker.truncated { Some(TruncationReason::PathLimit) } else { None });
     let paths: Vec<LineagePath> = walker
         .paths
@@ -335,15 +427,24 @@ pub fn trace(
     }
 }
 
-struct Walker<'a, 'g> {
-    graph: &'a EntailedGraph<'g>,
+/// One discovered mapping edge, stored in data-flow orientation under its
+/// traversal-source node in the stage-1 adjacency.
+struct Edge {
+    from: TermId,
+    to: TermId,
+    condition: Option<String>,
+}
+
+/// Stage 2: the sequential simple-path enumerator over the adjacency that
+/// stage-1 BFS discovered. Edge order inside each adjacency list is the
+/// graph scan order, so (for a complete discovery) the enumeration visits
+/// paths in exactly the order the historical direct-scan DFS did.
+struct PathWalker<'a> {
+    adj: &'a HashMap<TermId, Vec<Edge>>,
     dict: &'a Dictionary,
-    mapped: TermId,
     direction: Direction,
     max_depth: usize,
     max_paths: usize,
-    condition_filter: Option<&'a str>,
-    conditions: &'a HashMap<(TermId, TermId), String>,
     budget: &'a QueryBudget,
     /// First budget violation, if any; the walk unwinds once set.
     tripped: Option<TruncationReason>,
@@ -354,29 +455,15 @@ struct Walker<'a, 'g> {
     truncated: bool,
     stack: Vec<Hop>,
     on_path: BTreeSet<TermId>,
-    /// node → min distance.
-    reached: BTreeMap<TermId, usize>,
 }
 
-impl Walker<'_, '_> {
+impl PathWalker<'_> {
     fn dfs(&mut self, node: TermId, depth: usize) {
         if depth >= self.max_depth || self.truncated || self.tripped.is_some() {
             return;
         }
-        // Outgoing edges in traversal direction.
-        let next: Vec<(TermId, TermId)> = match self.direction {
-            Direction::Downstream => self
-                .graph
-                .scan(TriplePattern::with_sp(node, self.mapped))
-                .map(|t| (t.s, t.o))
-                .collect(),
-            Direction::Upstream => self
-                .graph
-                .scan(TriplePattern::with_po(self.mapped, node))
-                .map(|t| (t.s, t.o))
-                .collect(),
-        };
-        for (from, to) in next {
+        let Some(edges) = self.adj.get(&node) else { return };
+        for edge in edges {
             if self.truncated || self.tripped.is_some() {
                 return; // a deeper frame tripped mid-loop
             }
@@ -386,16 +473,9 @@ impl Walker<'_, '_> {
                 self.tripped = Some(reason);
                 return;
             }
-            let step_to = if self.direction == Direction::Downstream { to } else { from };
+            let step_to = if self.direction == Direction::Downstream { edge.to } else { edge.from };
             if self.on_path.contains(&step_to) {
                 continue; // simple paths only
-            }
-            let condition = self.conditions.get(&(from, to)).cloned();
-            if let Some(filter) = self.condition_filter {
-                match &condition {
-                    Some(c) if c.contains(filter) => {}
-                    _ => continue,
-                }
             }
             if self.paths_explored >= self.max_paths {
                 self.truncated = true;
@@ -404,18 +484,13 @@ impl Walker<'_, '_> {
             self.paths_explored += 1;
             // Record the hop in data-flow orientation.
             self.stack.push(Hop {
-                from: self.decoded(from),
-                to: self.decoded(to),
-                condition,
+                from: self.decoded(edge.from),
+                to: self.decoded(edge.to),
+                condition: edge.condition.clone(),
             });
             self.on_path.insert(step_to);
-            let d = depth + 1;
-            self.reached
-                .entry(step_to)
-                .and_modify(|old| *old = (*old).min(d))
-                .or_insert(d);
             self.paths.push(LineagePath { hops: self.stack.clone() });
-            self.dfs(step_to, d);
+            self.dfs(step_to, depth + 1);
             self.on_path.remove(&step_to);
             self.stack.pop();
         }

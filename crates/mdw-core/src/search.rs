@@ -27,7 +27,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use mdw_rdf::dict::{Dictionary, TermId};
 use mdw_rdf::term::Term;
-use mdw_rdf::triple::TriplePattern;
+use mdw_rdf::triple::{Triple, TriplePattern};
 use mdw_rdf::vocab;
 use mdw_rdf::QueryContext;
 use mdw_reason::EntailedGraph;
@@ -231,11 +231,9 @@ pub fn search(
         }
         per_filter_sets.push(set);
     }
+    let policy = ctx.parallelism();
     let step1: BTreeSet<TermId> = if per_filter_sets.is_empty() {
-        graph
-            .scan(TriplePattern::with_p(ty))
-            .map(|t| t.o)
-            .collect()
+        distinct_type_objects(graph, ty, &policy)
     } else {
         per_filter_sets.iter().flatten().copied().collect()
     };
@@ -262,79 +260,104 @@ pub fn search(
     };
 
     // ---- Step 3: matching instances of the valid classes ----------------
-    // The scan streams (no up-front materialization): every name triple
-    // charges the budget, and a tripped budget or a full result cap stops
-    // the loop with whatever matched so far — tagged truncated.
+    // Sequentially the scan streams (no up-front materialization): every
+    // name triple charges the budget, and a tripped budget or a full result
+    // cap stops the loop with whatever matched so far — tagged truncated.
+    // Under a parallel policy the same scan runs two-phase: candidates are
+    // collected, budget steps for them are reserved in bulk (the granted
+    // count is exactly the prefix incremental charging would have
+    // admitted), contiguous chunks are scored in parallel by pure
+    // read-only workers, and a sequential chunk-order merge applies dedup,
+    // row caps, and grouping — so ranking is bit-identical to sequential.
     let budget = ctx.budget();
     let mut truncated: Option<TruncationReason> = budget.check().err();
     let mut matched_instances: BTreeSet<TermId> = BTreeSet::new();
     let mut groups: BTreeMap<TermId, Vec<SearchHit>> = BTreeMap::new();
+    let scorer = Scorer {
+        graph,
+        dict,
+        request,
+        needles: &needles,
+        expanded_terms: &expanded_terms,
+        step2: &step2,
+        ty,
+        in_area,
+        at_level,
+    };
 
-    let name_triples = has_name
-        .into_iter()
-        .flat_map(|p| graph.scan(TriplePattern::with_p(p)));
-    for t in name_triples {
-        if truncated.is_some() {
-            break;
-        }
-        if let Err(reason) = budget.charge_step() {
-            truncated = Some(reason);
-            break;
-        }
-        let Some(Term::Literal(lit)) = dict.term(t.o) else {
-            continue;
-        };
-        let haystack = if request.case_sensitive {
-            lit.lexical.to_string()
-        } else {
-            lit.lexical.to_lowercase()
-        };
-        let Some(matched_idx) = needles.iter().position(|n| haystack.contains(n.as_str())) else {
-            continue;
-        };
-
-        // Area / level filters.
-        if let Some(area) = &request.area {
-            if !has_value_edge(graph, dict, t.s, in_area, &area.term()) {
-                continue;
-            }
-        }
-        if let Some(level) = &request.level {
-            if !has_value_edge(graph, dict, t.s, at_level, &level.term()) {
-                continue;
-            }
-        }
-
-        // The instance's (entailed) classes, intersected with step 2.
-        let classes: Vec<TermId> = graph
-            .scan(TriplePattern::with_sp(t.s, ty))
-            .map(|t| t.o)
-            .filter(|c| step2.contains(c))
+    if policy.is_parallel() && truncated.is_none() {
+        let candidates: Vec<Triple> = has_name
+            .into_iter()
+            .flat_map(|p| graph.scan(TriplePattern::with_p(p)))
             .collect();
-        if classes.is_empty() {
-            continue;
+        let granted = budget.reserve_steps(candidates.len() as u64) as usize;
+        let admitted = &candidates[..granted.min(candidates.len())];
+        let scorer = &scorer;
+        let scans = mdw_rdf::par::map_chunks(&policy, admitted, |chunk| {
+            // Workers are pure: score candidates against the frozen
+            // snapshot, ticking the shared budget's deadline/cancellation
+            // through a per-worker meter.
+            let mut meter = budget.meter();
+            let mut scored: Vec<Scored> = Vec::new();
+            let mut trip: Option<TruncationReason> = None;
+            for t in chunk {
+                if let Err(reason) = meter.tick() {
+                    trip = Some(reason);
+                    break;
+                }
+                scored.extend(scorer.score(*t));
+            }
+            (scored, trip)
+        });
+        'merge: for (scored, worker_trip) in scans {
+            for s in scored {
+                if let Err(reason) = admit_hit(
+                    request.max_results,
+                    budget,
+                    &mut matched_instances,
+                    &mut groups,
+                    s,
+                ) {
+                    truncated = Some(reason);
+                    break 'merge;
+                }
+            }
+            // A worker stopped scoring early (deadline or cancellation):
+            // everything merged so far is a truthful prefix; later chunks
+            // are discarded.
+            if let Some(reason) = worker_trip {
+                truncated = Some(reason);
+                break 'merge;
+            }
         }
-        if !matched_instances.contains(&t.s) {
-            // A *new* instance that would exceed the cap proves more
-            // results existed, so the RowLimit verdict is never a false
-            // positive; an exact fit stays Complete.
-            if matched_instances.len() >= request.max_results {
-                truncated = Some(TruncationReason::RowLimit);
+        if truncated.is_none() && granted < candidates.len() {
+            truncated = Some(TruncationReason::StepLimit);
+        }
+    } else {
+        let name_triples = has_name
+            .into_iter()
+            .flat_map(|p| graph.scan(TriplePattern::with_p(p)));
+        for t in name_triples {
+            if truncated.is_some() {
                 break;
             }
-            if budget.charge_row().is_err() {
-                truncated = Some(TruncationReason::RowLimit);
+            if let Err(reason) = budget.charge_step() {
+                truncated = Some(reason);
                 break;
             }
-            matched_instances.insert(t.s);
-        }
-        let hit = SearchHit {
-            instance: dict.term_unchecked(t.s).clone(),
-            name: lit.lexical.to_string(),
-            matched_term: expanded_terms[matched_idx].clone(),
-        };
-        for class in classes {
-            groups.entry(class).or_default().push(hit.clone());
+            let Some(s) = scorer.score(t) else {
+                continue;
+            };
+            if let Err(reason) = admit_hit(
+                request.max_results,
+                budget,
+                &mut matched_instances,
+                &mut groups,
+                s,
+            ) {
+                truncated = Some(reason);
+                break;
+            }
         }
     }
 
@@ -397,6 +420,138 @@ fn empty_results(request: &SearchRequest, synonyms: &SynonymTable) -> SearchResu
         completeness: Completeness::Complete,
         degraded: false,
     }
+}
+
+/// A name triple that survived scoring: the matched instance plus its
+/// fully built hit, one copy per valid (step-2) class. Hit construction
+/// (term decode, string clones) is pure, so it runs inside the scoring
+/// workers; the sequential merge only dedups, charges, and pushes.
+struct Scored {
+    instance: TermId,
+    entries: Vec<(TermId, SearchHit)>,
+}
+
+/// The pure, read-only per-candidate scoring shared by the sequential scan
+/// and the parallel workers: needle matching, area/level filters, and the
+/// entailed-class intersection with step 2. No shared state is touched, so
+/// any number of workers can score disjoint chunks concurrently.
+struct Scorer<'a, 'g> {
+    graph: &'a EntailedGraph<'g>,
+    dict: &'a Dictionary,
+    request: &'a SearchRequest,
+    needles: &'a [String],
+    expanded_terms: &'a [String],
+    step2: &'a BTreeSet<TermId>,
+    ty: TermId,
+    in_area: Option<TermId>,
+    at_level: Option<TermId>,
+}
+
+impl Scorer<'_, '_> {
+    fn score(&self, t: Triple) -> Option<Scored> {
+        let Some(Term::Literal(lit)) = self.dict.term(t.o) else {
+            return None;
+        };
+        let haystack = if self.request.case_sensitive {
+            lit.lexical.to_string()
+        } else {
+            lit.lexical.to_lowercase()
+        };
+        let matched_idx = self.needles.iter().position(|n| haystack.contains(n.as_str()))?;
+
+        // Area / level filters.
+        if let Some(area) = &self.request.area {
+            if !has_value_edge(self.graph, self.dict, t.s, self.in_area, &area.term()) {
+                return None;
+            }
+        }
+        if let Some(level) = &self.request.level {
+            if !has_value_edge(self.graph, self.dict, t.s, self.at_level, &level.term()) {
+                return None;
+            }
+        }
+
+        // The instance's (entailed) classes, intersected with step 2.
+        let classes: Vec<TermId> = self
+            .graph
+            .scan(TriplePattern::with_sp(t.s, self.ty))
+            .map(|t| t.o)
+            .filter(|c| self.step2.contains(c))
+            .collect();
+        if classes.is_empty() {
+            return None;
+        }
+        let hit = SearchHit {
+            instance: self.dict.term_unchecked(t.s).clone(),
+            name: lit.lexical.to_string(),
+            matched_term: self.expanded_terms[matched_idx].clone(),
+        };
+        Some(Scored {
+            instance: t.s,
+            entries: classes.into_iter().map(|c| (c, hit.clone())).collect(),
+        })
+    }
+}
+
+/// The distinct `rdf:type` objects — the step-1 class set when no filter
+/// narrows it. Under a parallel policy the base and derived type runs are
+/// partitioned across workers collecting per-chunk sets; set union is
+/// order-independent, so the result is identical to the sequential scan.
+fn distinct_type_objects(
+    graph: &EntailedGraph<'_>,
+    ty: TermId,
+    policy: &mdw_rdf::par::ParallelPolicy,
+) -> BTreeSet<TermId> {
+    let pattern = TriplePattern::with_p(ty);
+    if !policy.is_parallel() {
+        return graph.scan(pattern).map(|t| t.o).collect();
+    }
+    let chunks = policy.threads.max(1);
+    let mut runs = graph.base().index().run_partitions(pattern, chunks);
+    runs.extend(graph.derived().run_partitions(pattern, chunks));
+    // The items here are whole runs, so chunk by run count, not row count.
+    let per_run =
+        mdw_rdf::par::ParallelPolicy::new(policy.threads).with_min_partition_rows(1);
+    mdw_rdf::par::map_chunks(&per_run, &runs, |chunk| {
+        chunk
+            .iter()
+            .flat_map(|run| run.clone().map(|t| t.o))
+            .collect::<BTreeSet<TermId>>()
+    })
+    .into_iter()
+    .fold(BTreeSet::new(), |mut acc, mut set| {
+        acc.append(&mut set);
+        acc
+    })
+}
+
+/// The stateful admission step both scan paths run sequentially, in scan
+/// order: dedup by instance, enforce the result cap and row budget, and
+/// group the hit under each valid class. `Err` carries the truncation
+/// verdict that stops the scan.
+fn admit_hit(
+    max_results: usize,
+    budget: &QueryBudget,
+    matched_instances: &mut BTreeSet<TermId>,
+    groups: &mut BTreeMap<TermId, Vec<SearchHit>>,
+    scored: Scored,
+) -> Result<(), TruncationReason> {
+    if !matched_instances.contains(&scored.instance) {
+        // A *new* instance that would exceed the cap proves more results
+        // existed, so the RowLimit verdict is never a false positive; an
+        // exact fit stays Complete.
+        if matched_instances.len() >= max_results {
+            return Err(TruncationReason::RowLimit);
+        }
+        if budget.charge_row().is_err() {
+            return Err(TruncationReason::RowLimit);
+        }
+        matched_instances.insert(scored.instance);
+    }
+    for (class, hit) in scored.entries {
+        groups.entry(class).or_default().push(hit);
+    }
+    Ok(())
 }
 
 /// True if the instance has `property` pointing at `value` (direct or

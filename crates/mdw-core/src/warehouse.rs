@@ -25,6 +25,7 @@ use mdw_rdf::persist::{self, RecoveryReport, SaveReport};
 use mdw_rdf::store::{GraphStats, Store};
 use mdw_rdf::term::Term;
 use mdw_rdf::triple::Triple;
+use mdw_rdf::par::ParallelPolicy;
 use mdw_rdf::QueryContext;
 use mdw_reason::{EntailedGraph, Materialization, MaterializeStats, Rulebase};
 use mdw_sparql::{QueryOutput, SemMatch};
@@ -78,6 +79,9 @@ pub struct MetadataWarehouse {
     /// dictionary allocation when no new term was interned, and numbers
     /// itself as the successor generation.
     prev_snapshot: Option<Arc<FrozenStore>>,
+    /// Worker-thread policy attached to every [`QueryContext`] this
+    /// warehouse hands out; sequential unless configured.
+    parallelism: ParallelPolicy,
 }
 
 impl Default for MetadataWarehouse {
@@ -111,6 +115,7 @@ impl MetadataWarehouse {
             breaker: None,
             frozen_store: OnceLock::new(),
             prev_snapshot: None,
+            parallelism: ParallelPolicy::sequential(),
         }
     }
 
@@ -133,6 +138,7 @@ impl MetadataWarehouse {
             breaker: None,
             frozen_store: OnceLock::new(),
             prev_snapshot: None,
+            parallelism: ParallelPolicy::sequential(),
         })
     }
 
@@ -232,7 +238,20 @@ impl MetadataWarehouse {
     /// unlimited budget. The context (and any clone) keeps reading that
     /// generation even while later ingests mutate the warehouse.
     pub fn context(&self) -> QueryContext {
-        QueryContext::new(Arc::clone(self.snapshot_store()))
+        QueryContext::new(Arc::clone(self.snapshot_store())).with_parallelism(self.parallelism)
+    }
+
+    /// Sets the worker-thread policy used by every subsequent query
+    /// (search scoring, lineage frontier expansion, SPARQL leaf scans).
+    /// Parallel execution only changes wall-clock time — results are
+    /// bit-identical to sequential execution for every policy.
+    pub fn set_parallelism(&mut self, policy: ParallelPolicy) {
+        self.parallelism = policy;
+    }
+
+    /// The current worker-thread policy.
+    pub fn parallelism(&self) -> ParallelPolicy {
+        self.parallelism
     }
 
     /// The current-model name.
@@ -651,7 +670,8 @@ impl MetadataWarehouse {
             // Base-graph answers: the rulebase is unavailable, not an error.
             query = query.without_rulebase();
         }
-        let mut out = query.execute_with_budget(&self.store, entailments, budget)?;
+        let mut out =
+            query.execute_with_options(&self.store, entailments, budget, self.parallelism)?;
         out.degraded = degraded;
         if entailments.is_some() {
             self.record_entailment_outcome(degraded, &out.completeness);

@@ -1,0 +1,160 @@
+//! Parallel lineage frontier-merge coverage on adversarial graph shapes:
+//! cycles, diamond fan-in, and self-loops sitting exactly at depth limits.
+//!
+//! The level-synchronous BFS expands each frontier in parallel chunks and
+//! merges the per-worker edge lists sequentially, in chunk order. These
+//! tests pin the observable guarantees of that merge: shortest-hop
+//! distances stay exact, path enumeration order stays identical to the
+//! sequential walk, and depth limits cut cycles and self-loops at the same
+//! hop regardless of the thread count.
+
+use mdw_core::ingest::Extract;
+use mdw_core::lineage::{LineageRequest, LineageResult};
+use mdw_core::warehouse::MetadataWarehouse;
+use mdw_rdf::term::Term;
+use mdw_rdf::vocab;
+use mdw_rdf::ParallelPolicy;
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+fn node(name: &str) -> Term {
+    Term::iri(format!("http://ex.org/{name}"))
+}
+
+/// Builds a warehouse from `from -> to` mapping edges.
+fn warehouse(edges: &[(&str, &str)]) -> MetadataWarehouse {
+    let ty = Term::iri(vocab::rdf::TYPE);
+    let has_name = Term::iri(vocab::cs::HAS_NAME);
+    let mapped = Term::iri(vocab::cs::IS_MAPPED_TO);
+    let mut names: Vec<&str> = Vec::new();
+    for &(a, b) in edges {
+        for n in [a, b] {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+    }
+    let mut triples = Vec::new();
+    for n in names {
+        triples.push((node(n), ty.clone(), Term::iri("http://ex.org/Item")));
+        triples.push((node(n), has_name.clone(), Term::plain(n)));
+    }
+    for &(a, b) in edges {
+        triples.push((node(a), mapped.clone(), node(b)));
+    }
+    let mut w = MetadataWarehouse::new();
+    w.ingest(vec![Extract::new("par-lineage", triples)]).unwrap();
+    w.build_semantic_index().unwrap();
+    w
+}
+
+/// Runs the request at every thread count and asserts the `Debug`
+/// rendering (paths in order, endpoints, distances, verdict) never moves,
+/// then hands back the sequential result for shape assertions.
+fn assert_identical_across_threads(
+    w: &mut MetadataWarehouse,
+    request: &LineageRequest,
+) -> LineageResult {
+    w.set_parallelism(ParallelPolicy::new(1));
+    let baseline = w.lineage(request).unwrap();
+    let pin = format!("{baseline:?}");
+    for threads in THREADS {
+        w.set_parallelism(ParallelPolicy::new(threads).with_min_partition_rows(1));
+        let got = format!("{:?}", w.lineage(request).unwrap());
+        assert_eq!(got, pin, "lineage diverged at {threads} threads");
+    }
+    baseline
+}
+
+fn distance(result: &LineageResult, name: &str) -> Option<usize> {
+    result.endpoint(&node(name)).map(|e| e.distance)
+}
+
+/// A 4-cycle: a -> b -> c -> d -> a. The BFS must re-discover `a` through
+/// the cycle without looping, and distances around the ring stay exact.
+#[test]
+fn cycle_distances_are_exact_at_every_thread_count() {
+    let mut w = warehouse(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]);
+    let result =
+        assert_identical_across_threads(&mut w, &LineageRequest::downstream(node("a")));
+    assert_eq!(distance(&result, "b"), Some(1));
+    assert_eq!(distance(&result, "c"), Some(2));
+    assert_eq!(distance(&result, "d"), Some(3));
+    // The start is not its own endpoint even though the cycle returns to it.
+    assert_eq!(distance(&result, "a"), None);
+}
+
+/// Diamond fan-in (a -> {b, c} -> d -> e): `d` is reached twice in the same
+/// frontier level — once per worker when the frontier splits — and the merge
+/// must keep both incoming edges (two distinct paths) while recording the
+/// shortest distance exactly once.
+#[test]
+fn diamond_fan_in_keeps_both_paths_and_one_distance() {
+    let mut w = warehouse(&[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"), ("d", "e")]);
+    let result =
+        assert_identical_across_threads(&mut w, &LineageRequest::downstream(node("a")));
+    assert_eq!(distance(&result, "d"), Some(2));
+    assert_eq!(distance(&result, "e"), Some(3));
+    let through_d = result
+        .paths
+        .iter()
+        .filter(|p| p.endpoint() == Some(&node("d")))
+        .count();
+    assert_eq!(through_d, 2, "both diamond arms must survive the merge");
+}
+
+/// A self-loop on the node sitting exactly at the depth limit: with
+/// max_depth 2 on a -> b -> c(c -> c), the loop edge is discovered in the
+/// final frontier expansion but must not extend any path past the limit.
+#[test]
+fn self_loop_at_depth_limit_does_not_extend_paths() {
+    let mut w = warehouse(&[("a", "b"), ("b", "c"), ("c", "c"), ("c", "d")]);
+    let result = assert_identical_across_threads(
+        &mut w,
+        &LineageRequest::downstream(node("a")).max_depth(2),
+    );
+    assert_eq!(distance(&result, "b"), Some(1));
+    assert_eq!(distance(&result, "c"), Some(2));
+    // d is 3 hops out — beyond the limit.
+    assert_eq!(distance(&result, "d"), None);
+    assert!(
+        result.paths.iter().all(|p| p.len() <= 2),
+        "no path may exceed max_depth"
+    );
+}
+
+/// Self-loop on the start node combined with a cycle back into it: the
+/// upstream direction must show the same exactness.
+#[test]
+fn upstream_cycle_with_start_self_loop() {
+    let mut w = warehouse(&[("a", "a"), ("b", "a"), ("c", "b"), ("a", "c")]);
+    let result =
+        assert_identical_across_threads(&mut w, &LineageRequest::upstream(node("a")));
+    assert_eq!(distance(&result, "b"), Some(1));
+    assert_eq!(distance(&result, "c"), Some(2));
+}
+
+/// Wide fan-in at scale: 40 sources all mapping into one sink, plus a
+/// two-hop tail. The single-level frontier of 40 nodes splits across all 8
+/// workers and every source must still contribute exactly one path.
+#[test]
+fn wide_fan_in_splits_across_workers_without_loss() {
+    let names: Vec<String> = (0..40).map(|i| format!("src{i}")).collect();
+    let mut edges: Vec<(&str, &str)> = vec![("root", "sink"), ("sink", "tail")];
+    for n in &names {
+        edges.push(("root", n));
+        edges.push((n, "sink"));
+    }
+    let mut w = warehouse(&edges);
+    let result =
+        assert_identical_across_threads(&mut w, &LineageRequest::downstream(node("root")));
+    assert_eq!(distance(&result, "sink"), Some(1));
+    assert_eq!(distance(&result, "tail"), Some(2));
+    let into_sink = result
+        .paths
+        .iter()
+        .filter(|p| p.endpoint() == Some(&node("sink")))
+        .count();
+    // Direct edge plus one path through each of the 40 sources.
+    assert_eq!(into_sink, 41);
+}

@@ -17,18 +17,24 @@ use crate::budget::QueryBudget;
 use crate::dict::Dictionary;
 use crate::error::RdfError;
 use crate::frozen::{FrozenGraph, FrozenStore};
+use crate::par::ParallelPolicy;
 
 /// A snapshot-pinned, budget-carrying read handle.
 #[derive(Debug, Clone)]
 pub struct QueryContext {
     snapshot: Arc<FrozenStore>,
     budget: QueryBudget,
+    parallelism: ParallelPolicy,
 }
 
 impl QueryContext {
-    /// Pins a snapshot with an unlimited budget.
+    /// Pins a snapshot with an unlimited budget and sequential execution.
     pub fn new(snapshot: Arc<FrozenStore>) -> Self {
-        QueryContext { snapshot, budget: QueryBudget::unlimited() }
+        QueryContext {
+            snapshot,
+            budget: QueryBudget::unlimited(),
+            parallelism: ParallelPolicy::sequential(),
+        }
     }
 
     /// Replaces the budget (clones share counters with the original budget,
@@ -36,6 +42,18 @@ impl QueryContext {
     pub fn with_budget(mut self, budget: QueryBudget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Sets the worker-thread policy query layers consult before
+    /// partitioning a scan (sequential unless a caller opts in).
+    pub fn with_parallelism(mut self, policy: ParallelPolicy) -> Self {
+        self.parallelism = policy;
+        self
+    }
+
+    /// The worker-thread policy for this query.
+    pub fn parallelism(&self) -> ParallelPolicy {
+        self.parallelism
     }
 
     /// The pinned snapshot.

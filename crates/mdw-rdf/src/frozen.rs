@@ -114,6 +114,21 @@ impl FrozenIndex {
         FrozenRun { rows: column[lo..hi].iter(), perm }
     }
 
+    /// Splits the binary-search prefix run serving `pattern` into at most
+    /// `chunks` contiguous, balanced sub-runs — the partition unit of
+    /// parallel scans. Concatenating the sub-runs in order yields exactly
+    /// the rows of [`FrozenIndex::run`], so a chunk-order merge of
+    /// per-chunk work reproduces the sequential scan bit for bit.
+    pub fn run_partitions(&self, pattern: TriplePattern, chunks: usize) -> Vec<FrozenRun<'_>> {
+        let (column, lo, hi, perm) = self.bounds(pattern);
+        let rows = &column[lo..hi];
+        let bounds = crate::par::chunk_bounds(rows.len(), chunks.max(1));
+        bounds
+            .windows(2)
+            .map(|w| FrozenRun { rows: rows[w[0]..w[1]].iter(), perm })
+            .collect()
+    }
+
     /// Exact match count for a pattern: the subtraction of two binary
     /// searches, O(log n) and never iterates rows.
     pub fn count_exact(&self, pattern: TriplePattern) -> usize {

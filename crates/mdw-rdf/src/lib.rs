@@ -19,6 +19,9 @@
 //!   atomically publish; readers never take a lock,
 //! * [`context::QueryContext`] — a snapshot-pinned, budget-carrying read
 //!   handle threaded through search, lineage, and SPARQL,
+//! * [`par`] — a hand-rolled scoped worker pool ([`par::map_chunks`]) and
+//!   the [`par::ParallelPolicy`] that lets queries split frozen-column
+//!   scans across threads with deterministic chunk-order merges,
 //! * [`store::Store`] — named RDF models (the paper queries
 //!   `SEM_MODELS('DWH_CURR')`) over a shared dictionary,
 //! * [`staging::StagingArea`] — the staging-table + validating bulk-load
@@ -45,6 +48,7 @@ pub mod failpoint;
 pub mod frozen;
 pub mod index;
 pub mod journal;
+pub mod par;
 pub mod persist;
 pub mod staging;
 pub mod store;
@@ -65,6 +69,7 @@ pub use failpoint::FailSpec;
 pub use frozen::{FrozenGraph, FrozenIndex, FrozenRun, FrozenStore};
 pub use index::TripleIndex;
 pub use journal::{Journal, JournalBatch, JournalOp};
+pub use par::ParallelPolicy;
 pub use persist::{
     fsck, load_store, recover, save_snapshot, save_store, FsckReport, RecoveryReport,
     SaveReport, SnapshotInfo,

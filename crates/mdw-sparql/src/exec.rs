@@ -13,6 +13,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use mdw_rdf::budget::{Completeness, QueryBudget, TruncationReason};
 use mdw_rdf::dict::{Dictionary, TermId};
+use mdw_rdf::par::ParallelPolicy;
 use mdw_rdf::store::TripleSource;
 use mdw_rdf::term::Term;
 use mdw_rdf::triple::TriplePattern;
@@ -123,10 +124,26 @@ pub fn execute_with_budget(
     dict: &Dictionary,
     budget: &QueryBudget,
 ) -> Result<QueryOutput, SparqlError> {
+    execute_with_options(query, source, dict, budget, ParallelPolicy::sequential())
+}
+
+/// Executes a parsed query under a resource budget and a worker-thread
+/// policy. The policy only affects wall-clock time: the leaf scan+filter
+/// stage of BGP evaluation partitions its prefix run across scoped worker
+/// threads and merges in scan order, so rows, row order, and truncation
+/// verdicts are bit-identical to sequential execution.
+pub fn execute_with_options(
+    query: &Query,
+    source: &dyn TripleSource,
+    dict: &Dictionary,
+    budget: &QueryBudget,
+    par: ParallelPolicy,
+) -> Result<QueryOutput, SparqlError> {
     Executor {
         source,
         dict,
         budget,
+        par,
         regex_cache: RefCell::new(HashMap::new()),
         tripped: Cell::new(None),
     }
@@ -140,6 +157,7 @@ struct Executor<'a> {
     source: &'a dyn TripleSource,
     dict: &'a Dictionary,
     budget: &'a QueryBudget,
+    par: ParallelPolicy,
     regex_cache: RefCell<HashMap<(String, String), Regex>>,
     /// First budget violation observed; once set, every loop unwinds.
     tripped: Cell<Option<TruncationReason>>,
@@ -599,13 +617,57 @@ impl<'a> Executor<'a> {
             ResolvedUnit::Triple(rt) => {
                 let pat = rt.to_pattern(&binding);
                 let matches: Vec<_> = self.source.scan_pattern(pat).collect();
-                for t in matches {
-                    if !self.charge() || cap_reached(out.len(), cap) {
-                        break;
+                if remaining.is_empty() && cap.is_none() && self.par.is_parallel() && !self.is_tripped()
+                {
+                    // Leaf scan+filter: the last unit's matches only extend
+                    // the current binding, so workers can do that pure work
+                    // over contiguous partitions of the prefix run (ticking
+                    // the shared budget's deadline/cancellation through
+                    // per-worker meters) while the in-order merge charges
+                    // one step per match — rows, row order, and verdicts
+                    // bit-identical to the sequential loop.
+                    let budget = self.budget;
+                    let seed = &binding;
+                    let chunks = mdw_rdf::par::map_chunks(&self.par, &matches, |chunk| {
+                        let mut meter = budget.meter();
+                        let mut exts: Vec<Option<Binding>> = Vec::with_capacity(chunk.len());
+                        let mut trip: Option<TruncationReason> = None;
+                        for t in chunk {
+                            if let Err(reason) = meter.tick() {
+                                trip = Some(reason);
+                                break;
+                            }
+                            let mut next = seed.clone();
+                            exts.push(rt.extend(&mut next, *t).then_some(next));
+                        }
+                        (exts, trip)
+                    });
+                    'merge: for (exts, worker_trip) in chunks {
+                        for ext in exts {
+                            if !self.charge() {
+                                break 'merge;
+                            }
+                            if let Some(next) = ext {
+                                out.push(next);
+                            }
+                        }
+                        // A worker stopped early (deadline/cancellation):
+                        // the merged prefix is truthful, later chunks are
+                        // discarded.
+                        if let Some(reason) = worker_trip {
+                            self.trip(reason);
+                            break 'merge;
+                        }
                     }
-                    let mut next = binding.clone();
-                    if rt.extend(&mut next, t) {
-                        self.bgp_step(remaining, next, cap, out);
+                } else {
+                    for t in matches {
+                        if !self.charge() || cap_reached(out.len(), cap) {
+                            break;
+                        }
+                        let mut next = binding.clone();
+                        if rt.extend(&mut next, t) {
+                            self.bgp_step(remaining, next, cap, out);
+                        }
                     }
                 }
             }

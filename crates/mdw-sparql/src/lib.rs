@@ -32,6 +32,6 @@ pub mod sem_match;
 
 pub use ast::Query;
 pub use error::SparqlError;
-pub use exec::{execute, execute_with_budget, QueryOutput, ResultRow};
+pub use exec::{execute, execute_with_budget, execute_with_options, QueryOutput, ResultRow};
 pub use regex_lite::Regex;
 pub use sem_match::SemMatch;

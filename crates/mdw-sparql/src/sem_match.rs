@@ -38,8 +38,9 @@ use mdw_rdf::vocab;
 use mdw_reason::{EntailedGraph, Materialization};
 
 use crate::error::SparqlError;
-use crate::exec::{execute_with_budget, QueryOutput};
+use crate::exec::{execute_with_options, QueryOutput};
 use mdw_rdf::budget::QueryBudget;
+use mdw_rdf::par::ParallelPolicy;
 use crate::parser::parse;
 
 /// Builder for a `SEM_MATCH`-flavoured query.
@@ -204,6 +205,19 @@ impl SemMatch {
         entailments: Option<&Materialization>,
         budget: &QueryBudget,
     ) -> Result<QueryOutput, SparqlError> {
+        self.execute_with_options(store, entailments, budget, ParallelPolicy::sequential())
+    }
+
+    /// [`SemMatch::execute_with_budget`] plus a worker-thread policy for
+    /// the executor's parallel leaf scans (results stay bit-identical to
+    /// sequential execution).
+    pub fn execute_with_options(
+        &self,
+        store: &Store,
+        entailments: Option<&Materialization>,
+        budget: &QueryBudget,
+        par: ParallelPolicy,
+    ) -> Result<QueryOutput, SparqlError> {
         let model_name = self
             .model
             .as_deref()
@@ -213,11 +227,11 @@ impl SemMatch {
             .map_err(|e| SparqlError::Semantic(e.to_string()))?;
         let query = parse(&self.to_sparql())?;
         match (&self.rulebase, entailments) {
-            (None, _) => execute_with_budget(&query, graph, store.dict(), budget),
+            (None, _) => execute_with_options(&query, graph, store.dict(), budget, par),
             (Some(_), Some(m)) => {
                 let base = graph.freeze();
                 let view = EntailedGraph::new(&base, m.frozen());
-                execute_with_budget(&query, &view, store.dict(), budget)
+                execute_with_options(&query, &view, store.dict(), budget, par)
             }
             (Some(rb), None) => Err(SparqlError::Semantic(format!(
                 "rulebase {rb} requested but no entailment index supplied"

@@ -22,6 +22,7 @@ use std::time::Duration;
 
 use metadata_warehouse::core::admission::AdmissionConfig;
 use metadata_warehouse::core::budget::{Completeness, MonotonicTime, QueryBudget};
+use metadata_warehouse::rdf::ParallelPolicy;
 use metadata_warehouse::core::error::MdwError;
 use metadata_warehouse::core::governance::render_access;
 use metadata_warehouse::core::lineage::LineageRequest;
@@ -53,11 +54,13 @@ const USAGE: &str = "usage:
   mdwh info     --store DIR
   mdwh census   --store DIR
   mdwh search   --store DIR TERM [--synonyms] [--area NAME] [--class LOCAL]
+                [--threads N]
   mdwh lineage  --store DIR ITEM [--upstream] [--depth N] [--rule-filter STR]
+                [--threads N]
   mdwh audit    --store DIR ITEM
   mdwh gaps     --store DIR
   mdwh sources  --store DIR CONCEPT
-  mdwh sparql   --store DIR QUERY [--no-rulebase]
+  mdwh sparql   --store DIR QUERY [--no-rulebase] [--threads N]
   mdwh fsck     --store DIR
   mdwh recover  --store DIR
   mdwh drill overload [--store DIR] [--threads N] [--requests N] [--quota N]
@@ -67,6 +70,10 @@ const USAGE: &str = "usage:
 Query budgets: search, lineage, and sparql accept --deadline-ms MS,
 --max-rows N, and --max-steps N; a blown budget returns the partial
 answer tagged `truncated` instead of an error.
+
+Parallelism: query commands accept --threads N (default: the
+MDW_PAR_THREADS env var, else 1) to split frozen-snapshot scans across
+worker threads; results are bit-identical to sequential execution.
 
 Fault drills: --inject 'name=spec,…' (or MDWH_FAILPOINTS env) arms
 failpoints; spec is once | times:N | always | pct:P[:SEED].";
@@ -276,7 +283,21 @@ fn open_warehouse(args: &Args) -> Result<MetadataWarehouse, String> {
     let mut warehouse =
         MetadataWarehouse::from_store(store, &model).map_err(|e| e.to_string())?;
     warehouse.build_semantic_index().map_err(|e| e.to_string())?;
+    warehouse.set_parallelism(parallelism_from_args(args)?);
     Ok(warehouse)
+}
+
+/// Worker-thread policy from `--threads N`; defaults to the
+/// `MDW_PAR_THREADS` environment variable, else sequential. Parallelism
+/// only changes wall-clock time — query results are bit-identical.
+fn parallelism_from_args(args: &Args) -> Result<ParallelPolicy, String> {
+    match args.option("threads") {
+        Some(n) => {
+            let n: usize = n.parse().map_err(|_| format!("bad --threads: {n}"))?;
+            Ok(ParallelPolicy::new(n))
+        }
+        None => Ok(ParallelPolicy::from_env()),
+    }
 }
 
 /// Builds a query budget from `--deadline-ms`, `--max-rows`, and
@@ -463,11 +484,12 @@ fn cmd_sparql(args: &Args) -> Result<(), String> {
             .store()
             .model(warehouse.model_name())
             .map_err(|e| e.to_string())?;
-        metadata_warehouse::sparql::exec::execute_with_budget(
+        metadata_warehouse::sparql::exec::execute_with_options(
             &query,
             graph,
             warehouse.store().dict(),
             &budget,
+            warehouse.parallelism(),
         )
         .map_err(|e| e.to_string())?
     } else {
@@ -513,6 +535,7 @@ fn drill_warehouse(args: &Args) -> Result<MetadataWarehouse, String> {
         .ingest(corpus.into_extracts())
         .map_err(|e| e.to_string())?;
     warehouse.build_semantic_index().map_err(|e| e.to_string())?;
+    warehouse.set_parallelism(ParallelPolicy::from_env());
     Ok(warehouse)
 }
 

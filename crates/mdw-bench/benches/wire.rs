@@ -1,0 +1,155 @@
+//! Wire benchmark: the full serving path — TCP accept, request parse,
+//! per-tenant admission, budgeted query, chunked ndjson streaming — against
+//! an in-process `mdw-serve` server.
+//!
+//! Two questions:
+//!
+//! 1. **Roundtrip cost** — what does the wire add over an in-process query?
+//!    (`roundtrip_*`: one connection, one request, strict frame-verifying
+//!    client.)
+//! 2. **Overload shape** — under a concurrent burst, what do admission
+//!    quotas buy? Each configuration prints a characterization line with
+//!    p50/p99 latency and the shed count, mirroring `mdwh drill wire`.
+//!
+//! Every response is judged by the strict client parser: a frame that is
+//! not provably complete panics the bench.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use mdw_bench::setup::load_scale;
+use mdw_core::admission::AdmissionConfig;
+use mdw_corpus::Scale;
+use mdw_serve::{client, serve, ServerConfig, ServerHandle};
+
+const BURST: usize = 32;
+const DEADLINE_MS: u64 = 200;
+const QUOTA: usize = 2;
+
+fn start(admission: Option<AdmissionConfig>) -> ServerHandle {
+    let warehouse = load_scale(Scale::Small).warehouse.into_shared();
+    let config = ServerConfig { admission, ..ServerConfig::default() };
+    serve(warehouse, config).expect("bind")
+}
+
+/// One strict-verified search roundtrip; panics on any non-complete frame.
+fn roundtrip(addr: SocketAddr) -> usize {
+    let resp = client::get(
+        addr,
+        "/search?q=customer",
+        &[("X-Deadline-Ms", DEADLINE_MS.to_string())],
+        Duration::from_secs(10),
+    )
+    .expect("roundtrip");
+    assert_eq!(resp.status, 200);
+    assert!(resp.complete_frame, "frame must verify complete");
+    resp.lines().len()
+}
+
+struct BurstOutcome {
+    latencies_us: Vec<u64>,
+    shed: u64,
+}
+
+/// `BURST` concurrent connections with the drill's query mix; every
+/// response must be a complete frame (200 rows-and-summary or a 503 shed).
+fn burst(addr: SocketAddr) -> BurstOutcome {
+    let barrier = std::sync::Barrier::new(BURST);
+    let mut latencies_us = Vec::new();
+    let mut shed = 0u64;
+    std::thread::scope(|scope| {
+        let barrier = &barrier;
+        let workers: Vec<_> = (0..BURST)
+            .map(|c| {
+                scope.spawn(move || {
+                    let tenant = format!("tenant{}", c % 2);
+                    let headers = [
+                        ("X-Tenant", tenant),
+                        ("X-Deadline-Ms", DEADLINE_MS.to_string()),
+                    ];
+                    let target = match c % 3 {
+                        0 => "/search?q=customer",
+                        1 => "/lineage?item=dwh_stage0_item0",
+                        _ => "/sparql?query=%7B%20%3Fa%20%3Fp%20%3Fb%20.%20%3Fc%20%3Fq%20%3Fd%20%7D",
+                    };
+                    barrier.wait();
+                    let begun = Instant::now();
+                    let resp = client::get(addr, target, &headers, Duration::from_secs(10))
+                        .expect("burst response");
+                    assert!(resp.complete_frame, "frame must verify complete");
+                    match resp.status {
+                        200 => (Some(begun.elapsed().as_micros() as u64), 0u64),
+                        503 => (None, 1),
+                        other => panic!("unexpected status {other}"),
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            let (lat, s) = worker.join().expect("burst worker");
+            latencies_us.extend(lat);
+            shed += s;
+        }
+    });
+    latencies_us.sort_unstable();
+    BurstOutcome { latencies_us, shed }
+}
+
+fn percentile_us(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * pct / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn characterize(label: &str, out: &BurstOutcome) {
+    eprintln!(
+        "wire/{label}: completed {} of {BURST}, p50 {:.2} ms, p99 {:.2} ms, shed {}",
+        out.latencies_us.len(),
+        percentile_us(&out.latencies_us, 50.0) as f64 / 1000.0,
+        percentile_us(&out.latencies_us, 99.0) as f64 / 1000.0,
+        out.shed,
+    );
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    group.sample_size(10);
+
+    {
+        let server = start(Some(AdmissionConfig::default()));
+        let addr = server.addr();
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("roundtrip_search", |b| b.iter(|| roundtrip(addr)));
+    }
+
+    group.throughput(Throughput::Elements(BURST as u64));
+    {
+        let server = start(None);
+        let addr = server.addr();
+        characterize("burst_no_admission", &burst(addr));
+        group.bench_function("burst_no_admission", |b| {
+            b.iter(|| burst(addr).latencies_us.len())
+        });
+    }
+    {
+        // Forced-low queueless quotas: the shed path is on the hot path.
+        let server = start(Some(AdmissionConfig {
+            max_queued: 0,
+            max_wait: Duration::ZERO,
+            ..AdmissionConfig::with_quotas(QUOTA, QUOTA)
+        }));
+        let addr = server.addr();
+        characterize("burst_admission", &burst(addr));
+        group.bench_function("burst_admission", |b| {
+            b.iter(|| burst(addr).latencies_us.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -20,6 +20,7 @@
 //! non-blocking [`AdmissionController::try_admit`] path needs no threads at
 //! all.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -176,13 +177,30 @@ impl AdmissionStats {
 struct GateState {
     active_total: usize,
     active: [usize; CLASS_COUNT],
-    waiting: usize,
+    /// FIFO wait queue: `(ticket, class)` in arrival order. Wake-ups grant
+    /// the *first eligible* waiter — the oldest one whose class has a free
+    /// slot — so waiters of a saturated class never head-of-line-block the
+    /// other classes, and same-class waiters are served strictly FIFO.
+    queue: VecDeque<(u64, QueryClass)>,
+    next_ticket: u64,
 }
 
 impl GateState {
     fn has_slot(&self, config: &AdmissionConfig, class: QueryClass) -> bool {
         self.active_total < config.max_concurrent
             && self.active[class.index()] < config.per_class[class.index()]
+    }
+
+    /// The ticket of the oldest queued waiter that could run right now.
+    fn first_eligible(&self, config: &AdmissionConfig) -> Option<u64> {
+        self.queue
+            .iter()
+            .find(|(_, class)| self.has_slot(config, *class))
+            .map(|(ticket, _)| *ticket)
+    }
+
+    fn remove_ticket(&mut self, ticket: u64) {
+        self.queue.retain(|(t, _)| *t != ticket);
     }
 }
 
@@ -207,7 +225,7 @@ impl fmt::Debug for AdmissionController {
         f.debug_struct("AdmissionController")
             .field("config", &self.gate.config)
             .field("active_total", &state.active_total)
-            .field("waiting", &state.waiting)
+            .field("waiting", &state.queue.len())
             .finish()
     }
 }
@@ -234,50 +252,69 @@ impl AdmissionController {
     /// Non-blocking admission: a free slot admits immediately, otherwise
     /// the request is shed. Deterministic — used by unit tests and by
     /// callers that would rather shed than wait.
+    ///
+    /// Does not barge: if a queued waiter could use the free slot, the
+    /// request is shed instead (the waiter arrived first).
     pub fn try_admit(&self, class: QueryClass) -> Result<Permit, Overloaded> {
         let mut state = self.gate.state.lock().unwrap();
-        if state.has_slot(&self.gate.config, class) {
+        if state.has_slot(&self.gate.config, class)
+            && state.first_eligible(&self.gate.config).is_none()
+        {
             return Ok(self.grant(&mut state, class));
         }
+        let depth = state.queue.len();
         drop(state);
-        Err(self.reject(class, ShedReason::QueueFull))
+        Err(self.reject(class, ShedReason::QueueFull, depth))
     }
 
     /// Blocking admission: waits (bounded by `max_wait`) in the bounded
-    /// queue for a slot. A full queue or an expired wait sheds the request
-    /// with a typed [`Overloaded`] — never an unbounded hang.
+    /// FIFO queue for a slot. A full queue or an expired wait sheds the
+    /// request with a typed [`Overloaded`] — never an unbounded hang.
+    ///
+    /// Wake order is fair: when a slot frees, the *oldest* queued waiter
+    /// whose class has capacity is granted first, regardless of which
+    /// thread the scheduler happens to wake first.
     pub fn admit(&self, class: QueryClass) -> Result<Permit, Overloaded> {
         let mut state = self.gate.state.lock().unwrap();
-        if state.has_slot(&self.gate.config, class) {
+        if state.has_slot(&self.gate.config, class)
+            && state.first_eligible(&self.gate.config).is_none()
+        {
             return Ok(self.grant(&mut state, class));
         }
-        if state.waiting >= self.gate.config.max_queued {
+        if state.queue.len() >= self.gate.config.max_queued {
+            let depth = state.queue.len();
             drop(state);
-            return Err(self.reject(class, ShedReason::QueueFull));
+            return Err(self.reject(class, ShedReason::QueueFull, depth));
         }
-        state.waiting += 1;
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.queue.push_back((ticket, class));
         let deadline = self.gate.config.max_wait;
         let mut waited = Duration::ZERO;
         loop {
+            if state.first_eligible(&self.gate.config) == Some(ticket) {
+                state.remove_ticket(ticket);
+                let permit = self.grant(&mut state, class);
+                // The grant may have made the *next* queued waiter the
+                // first eligible one; let it re-check.
+                drop(state);
+                self.gate.freed.notify_all();
+                return Ok(permit);
+            }
             let remaining = deadline.saturating_sub(waited);
             if remaining.is_zero() {
-                state.waiting -= 1;
+                state.remove_ticket(ticket);
+                let depth = state.queue.len();
                 drop(state);
-                return Err(self.reject(class, ShedReason::WaitTimeout));
+                // Our departure may unblock a younger waiter's eligibility
+                // bookkeeping — wake the queue to re-evaluate.
+                self.gate.freed.notify_all();
+                return Err(self.reject(class, ShedReason::WaitTimeout, depth));
             }
             let started = std::time::Instant::now();
-            let (next, timeout) = self.gate.freed.wait_timeout(state, remaining).unwrap();
+            let (next, _timeout) = self.gate.freed.wait_timeout(state, remaining).unwrap();
             state = next;
             waited += started.elapsed();
-            if state.has_slot(&self.gate.config, class) {
-                state.waiting -= 1;
-                return Ok(self.grant(&mut state, class));
-            }
-            if timeout.timed_out() {
-                state.waiting -= 1;
-                drop(state);
-                return Err(self.reject(class, ShedReason::WaitTimeout));
-            }
         }
     }
 
@@ -288,9 +325,15 @@ impl AdmissionController {
         Permit { gate: Arc::clone(&self.gate), class }
     }
 
-    fn reject(&self, class: QueryClass, reason: ShedReason) -> Overloaded {
+    /// Builds the typed rejection. The `retry_after` hint scales with the
+    /// observed queue depth (capped at 8× the configured base), so clients
+    /// shed from a deep queue back off harder than clients shed from an
+    /// empty one — and `mdwh drill overload` can report the distribution
+    /// operators tune quotas from.
+    fn reject(&self, class: QueryClass, reason: ShedReason, queue_depth: usize) -> Overloaded {
         self.gate.shed[class.index()].fetch_add(1, Ordering::Relaxed);
-        Overloaded { class, reason, retry_after: self.gate.config.retry_after }
+        let scale = (queue_depth.saturating_add(1)).min(8) as u32;
+        Overloaded { class, reason, retry_after: self.gate.config.retry_after * scale }
     }
 
     /// Current counters.
@@ -306,6 +349,14 @@ impl AdmissionController {
     /// Queries currently holding a slot.
     pub fn active(&self) -> usize {
         self.gate.state.lock().unwrap().active_total
+    }
+
+    /// Requests currently parked in the wait queue. Every `admit` exit path
+    /// — grant, queue-full shed, and wait-timeout shed — removes its queue
+    /// entry, so this returns to 0 once the gate quiesces (the permit-audit
+    /// invariant the serving layer's chaos suite asserts).
+    pub fn waiting(&self) -> usize {
+        self.gate.state.lock().unwrap().queue.len()
     }
 }
 
@@ -568,6 +619,134 @@ mod tests {
         });
         assert_eq!(gate.active(), 0);
         assert!(gate.try_admit(QueryClass::Search).is_ok());
+    }
+
+    #[test]
+    fn waiters_wake_in_fifo_order_under_contention() {
+        let gate = AdmissionController::new(AdmissionConfig {
+            max_queued: 8,
+            max_wait: Duration::from_secs(10),
+            ..AdmissionConfig::with_quotas(1, 1)
+        });
+        let held = gate.try_admit(QueryClass::Search).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut waiters = Vec::new();
+        for i in 0..4usize {
+            let gate2 = gate.clone();
+            let order2 = Arc::clone(&order);
+            waiters.push(std::thread::spawn(move || {
+                let permit = gate2.admit(QueryClass::Search).unwrap();
+                // Record while still holding the permit so the next waiter
+                // cannot be granted (and recorded) before us.
+                order2.lock().unwrap().push(i);
+                drop(permit);
+            }));
+            // Pin arrival order: don't start waiter i+1 until waiter i is
+            // parked in the queue.
+            while gate.waiting() != i + 1 {
+                std::thread::yield_now();
+            }
+        }
+        drop(held);
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(gate.waiting(), 0);
+        assert_eq!(gate.active(), 0);
+    }
+
+    #[test]
+    fn try_admit_does_not_barge_past_queued_waiters() {
+        let gate = AdmissionController::new(AdmissionConfig {
+            max_queued: 4,
+            max_wait: Duration::from_secs(10),
+            ..AdmissionConfig::with_quotas(1, 1)
+        });
+        let held = gate.try_admit(QueryClass::Search).unwrap();
+        let gate2 = gate.clone();
+        // The waiter parks its permit in the channel (instead of dropping
+        // it) so the slot stays occupied until this test is done probing.
+        let (parked_tx, parked) = std::sync::mpsc::channel();
+        let waiter = std::thread::spawn(move || match gate2.admit(QueryClass::Search) {
+            Ok(permit) => parked_tx.send(permit).is_ok(),
+            Err(_) => false,
+        });
+        while gate.waiting() != 1 {
+            std::thread::yield_now();
+        }
+        drop(held);
+        // Whether or not the waiter has claimed the freed slot yet, a
+        // newcomer must not get it: either the slot is taken, or the waiter
+        // is still first in line.
+        assert_eq!(gate.try_admit(QueryClass::Search).unwrap_err().reason, ShedReason::QueueFull);
+        assert!(waiter.join().unwrap());
+        drop(parked);
+    }
+
+    #[test]
+    fn saturated_class_waiter_does_not_block_other_classes() {
+        let gate = AdmissionController::new(AdmissionConfig {
+            max_queued: 4,
+            max_wait: Duration::from_secs(10),
+            ..AdmissionConfig::with_quotas(2, 1)
+        });
+        let held = gate.try_admit(QueryClass::Search).unwrap();
+        let gate2 = gate.clone();
+        let waiter = std::thread::spawn(move || gate2.admit(QueryClass::Search).is_ok());
+        while gate.waiting() != 1 {
+            std::thread::yield_now();
+        }
+        // A search waiter is queued (its class is at quota), but lineage
+        // has a free slot — the waiter must not head-of-line-block it.
+        let lineage = gate.try_admit(QueryClass::Lineage).unwrap();
+        drop(lineage);
+        drop(held);
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn timed_out_waiter_leaves_no_queue_entry() {
+        let gate = gate(1, 1, 4);
+        let _held = gate.try_admit(QueryClass::Search).unwrap();
+        let err = gate.admit(QueryClass::Search).unwrap_err();
+        assert_eq!(err.reason, ShedReason::WaitTimeout);
+        assert_eq!(gate.waiting(), 0);
+    }
+
+    #[test]
+    fn retry_after_scales_with_queue_depth_and_caps() {
+        // Empty queue: base hint.
+        let empty = gate(1, 1, 0);
+        let _held = empty.try_admit(QueryClass::Search).unwrap();
+        let base = empty.config().retry_after;
+        assert_eq!(empty.try_admit(QueryClass::Search).unwrap_err().retry_after, base);
+
+        // Deep queue: the hint grows with depth, capped at 8×.
+        let gate = AdmissionController::new(AdmissionConfig {
+            max_queued: 16,
+            max_wait: Duration::from_secs(10),
+            ..AdmissionConfig::with_quotas(1, 1)
+        });
+        let held = gate.try_admit(QueryClass::Search).unwrap();
+        let mut waiters = Vec::new();
+        for i in 0..9usize {
+            let gate2 = gate.clone();
+            waiters.push(std::thread::spawn(move || {
+                let _ = gate2.admit(QueryClass::Search);
+            }));
+            while gate.waiting() != i + 1 {
+                std::thread::yield_now();
+            }
+        }
+        let deep = gate.try_admit(QueryClass::Search).unwrap_err();
+        assert_eq!(deep.retry_after, base * 8);
+        drop(held);
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(gate.waiting(), 0);
+        assert_eq!(gate.active(), 0);
     }
 
     fn breaker(time: Arc<dyn TimeSource>) -> CircuitBreaker {

@@ -504,6 +504,17 @@ impl MetadataWarehouse {
         Ok(EntailedGraph::new(self.snapshot_store().model(&self.model)?, m.frozen()))
     }
 
+    /// Freezes this warehouse into a shared service handle. The warehouse
+    /// is `Sync` (queries take `&self`; snapshots are immutable), so a
+    /// serving layer can fan one handle out across connection threads; the
+    /// mutating setup surface (`load`, `build_*`, `enable_*`) is sealed off
+    /// because `Arc` only hands out shared references.
+    pub fn into_shared(self) -> Arc<Self> {
+        fn assert_service_handle<T: Send + Sync + 'static>() {}
+        assert_service_handle::<MetadataWarehouse>();
+        Arc::new(self)
+    }
+
     /// Puts an admission gate in front of the query entry points: beyond
     /// the configured concurrency and queue bounds, queries are shed with
     /// a typed [`MdwError::Overloaded`] instead of piling up.

@@ -116,6 +116,10 @@ pub enum TruncationReason {
     Cancelled,
     /// A structural enumeration cap (e.g. lineage `max_paths`) was hit.
     PathLimit,
+    /// The response-byte budget ([`QueryBudget::with_max_bytes`]) ran out.
+    /// Charged by the serving layer as encoded bytes leave the socket, so
+    /// the cap reflects what the client actually received.
+    ByteLimit,
 }
 
 impl fmt::Display for TruncationReason {
@@ -126,6 +130,7 @@ impl fmt::Display for TruncationReason {
             TruncationReason::DeadlineExceeded => "deadline exceeded",
             TruncationReason::Cancelled => "cancelled",
             TruncationReason::PathLimit => "path limit",
+            TruncationReason::ByteLimit => "byte limit",
         };
         f.write_str(s)
     }
@@ -184,11 +189,13 @@ pub const CHECK_INTERVAL: u64 = 256;
 struct BudgetInner {
     max_steps: u64,
     max_rows: u64,
+    max_bytes: u64,
     deadline: Option<Duration>,
     time: Option<Arc<dyn TimeSource>>,
     cancel: CancellationToken,
     steps: AtomicU64,
     rows: AtomicU64,
+    bytes: AtomicU64,
 }
 
 /// A per-request resource budget, shared by every traversal loop that
@@ -215,6 +222,7 @@ impl fmt::Debug for QueryBudget {
         f.debug_struct("QueryBudget")
             .field("max_steps", &self.inner.max_steps)
             .field("max_rows", &self.inner.max_rows)
+            .field("max_bytes", &self.inner.max_bytes)
             .field("deadline", &self.inner.deadline)
             .field("steps", &self.steps_charged())
             .field("rows", &self.rows_charged())
@@ -236,11 +244,13 @@ impl QueryBudget {
             inner: Arc::new(BudgetInner {
                 max_steps: u64::MAX,
                 max_rows: u64::MAX,
+                max_bytes: u64::MAX,
                 deadline: None,
                 time: None,
                 cancel: CancellationToken::new(),
                 steps: AtomicU64::new(0),
                 rows: AtomicU64::new(0),
+                bytes: AtomicU64::new(0),
             }),
         }
     }
@@ -253,6 +263,13 @@ impl QueryBudget {
     /// Caps the number of result rows / matched instances.
     pub fn with_max_rows(self, n: u64) -> Self {
         self.rebuild(|b| b.max_rows = n)
+    }
+
+    /// Caps the number of encoded response bytes. The serving layer charges
+    /// this as bytes leave the socket ([`QueryBudget::charge_bytes`]), so
+    /// one slow or greedy client cannot stream an unbounded result.
+    pub fn with_max_bytes(self, n: u64) -> Self {
+        self.rebuild(|b| b.max_bytes = n)
     }
 
     /// Sets a wall-clock deadline `timeout` from now, measured on `time`.
@@ -276,11 +293,13 @@ impl QueryBudget {
         let mut inner = Arc::try_unwrap(self.inner).unwrap_or_else(|arc| BudgetInner {
             max_steps: arc.max_steps,
             max_rows: arc.max_rows,
+            max_bytes: arc.max_bytes,
             deadline: arc.deadline,
             time: arc.time.clone(),
             cancel: arc.cancel.clone(),
             steps: AtomicU64::new(arc.steps.load(Ordering::Relaxed)),
             rows: AtomicU64::new(arc.rows.load(Ordering::Relaxed)),
+            bytes: AtomicU64::new(arc.bytes.load(Ordering::Relaxed)),
         });
         f(&mut inner);
         QueryBudget { inner: Arc::new(inner) }
@@ -383,6 +402,31 @@ impl QueryBudget {
         Ok(())
     }
 
+    /// Bytes charged so far (what the serving layer has pushed toward the
+    /// socket for this request).
+    pub fn bytes_charged(&self) -> u64 {
+        self.inner.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Charges `n` encoded response bytes against the byte cap. The counter
+    /// saturates at `u64::MAX` (a tripped byte budget stays tripped), and
+    /// the charge is made *before* the bytes are written: on `Err` the
+    /// caller must withhold the payload and emit a truthful `Truncated`
+    /// verdict instead, so the cap bounds what actually leaves the process.
+    pub fn charge_bytes(&self, n: u64) -> Result<(), TruncationReason> {
+        let prev = self
+            .inner
+            .bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            })
+            .expect("fetch_update closure never returns None");
+        if prev.saturating_add(n) > self.inner.max_bytes {
+            return Err(TruncationReason::ByteLimit);
+        }
+        Ok(())
+    }
+
     /// An immediate full check (deadline, cancellation, step cap) without
     /// charging anything — for loop boundaries that want a fresh verdict.
     pub fn check(&self) -> Result<(), TruncationReason> {
@@ -480,6 +524,27 @@ mod tests {
         }
         assert_eq!(b.charge_step(), Err(TruncationReason::StepLimit));
         assert_eq!(b.check(), Err(TruncationReason::StepLimit));
+    }
+
+    #[test]
+    fn byte_limit_trips_before_the_payload_leaves() {
+        let b = QueryBudget::unlimited().with_max_bytes(100);
+        b.charge_bytes(60).unwrap();
+        assert_eq!(b.bytes_charged(), 60);
+        b.charge_bytes(40).unwrap(); // exactly at the cap is fine
+        assert_eq!(b.charge_bytes(1), Err(TruncationReason::ByteLimit));
+        // Tripped stays tripped: the counter saturates, never wraps.
+        assert_eq!(b.charge_bytes(u64::MAX), Err(TruncationReason::ByteLimit));
+        assert_eq!(b.bytes_charged(), u64::MAX);
+        assert_eq!(b.charge_bytes(0), Err(TruncationReason::ByteLimit));
+    }
+
+    #[test]
+    fn byte_charges_are_shared_across_clones() {
+        let b = QueryBudget::unlimited().with_max_bytes(10);
+        let b2 = b.clone();
+        b.charge_bytes(6).unwrap();
+        assert_eq!(b2.charge_bytes(5), Err(TruncationReason::ByteLimit));
     }
 
     #[test]

@@ -12,6 +12,13 @@
 //! other and a test's arsenal is dropped when the test ends (or via
 //! [`reset`]).
 //!
+//! A second, **process-global** scope exists for the serving layer
+//! ([`arm_global`]): a server's connection handlers run on pool threads the
+//! arming thread never sees, so wire-level chaos (injected partial writes,
+//! resets, accept errors) must cross threads. Global armings are consulted
+//! only when a thread-local arming for the same name does not exist, and an
+//! atomic count keeps the unarmed fast path a single relaxed load.
+//!
 //! Naming convention: `layer::operation[::detail]`, e.g.
 //! `journal::append`, `snapshot::manifest`, `ingest::extract::app1`.
 //! [`check`] consults the exact name only; callers that want per-source
@@ -19,6 +26,8 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::error::RdfError;
 
@@ -53,8 +62,12 @@ thread_local! {
     static REGISTRY: RefCell<BTreeMap<String, Armed>> = const { RefCell::new(BTreeMap::new()) };
 }
 
-/// Arms a failpoint with the given behavior (replacing any previous arming).
-pub fn arm(name: &str, spec: FailSpec) {
+/// Number of globally armed failpoints — the unarmed fast path is one
+/// relaxed load of this counter, no lock.
+static GLOBAL_ARMED: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL_REGISTRY: Mutex<BTreeMap<String, Armed>> = Mutex::new(BTreeMap::new());
+
+fn armed_entry(spec: FailSpec) -> Armed {
     let remaining = match &spec {
         FailSpec::Once => 1,
         FailSpec::Times(n) => *n,
@@ -64,11 +77,84 @@ pub fn arm(name: &str, spec: FailSpec) {
         FailSpec::Probability { seed, .. } => seed | 1,
         _ => 0,
     };
+    Armed { spec, remaining, rng_state, hits: 0 }
+}
+
+/// Decides whether an armed failpoint fires on this check, updating (and
+/// possibly removing) the entry. Shared by both scopes.
+fn decide(map: &mut BTreeMap<String, Armed>, name: &str) -> Option<bool> {
+    let armed = map.get_mut(name)?;
+    armed.hits += 1;
+    Some(match armed.spec {
+        FailSpec::Always => true,
+        FailSpec::Once | FailSpec::Times(_) => {
+            if armed.remaining > 0 {
+                armed.remaining -= 1;
+                if armed.remaining == 0 {
+                    map.remove(name);
+                }
+                true
+            } else {
+                map.remove(name);
+                false
+            }
+        }
+        FailSpec::Probability { pct, .. } => {
+            let roll = splitmix64(&mut armed.rng_state) % 100;
+            roll < u64::from(pct)
+        }
+    })
+}
+
+/// Arms a failpoint in the process-global scope: every thread's [`check`]
+/// sees it (unless that thread has its own thread-local arming of the same
+/// name, which wins). Used by the serving layer, whose connection handlers
+/// run on pool threads.
+pub fn arm_global(name: &str, spec: FailSpec) {
+    let mut map = GLOBAL_REGISTRY.lock().unwrap();
+    map.insert(name.to_string(), armed_entry(spec));
+    GLOBAL_ARMED.store(map.len(), Ordering::SeqCst);
+}
+
+/// Disarms one global failpoint; `true` if it was armed.
+pub fn disarm_global(name: &str) -> bool {
+    let mut map = GLOBAL_REGISTRY.lock().unwrap();
+    let removed = map.remove(name).is_some();
+    GLOBAL_ARMED.store(map.len(), Ordering::SeqCst);
+    removed
+}
+
+/// Disarms every global failpoint.
+pub fn reset_global() {
+    let mut map = GLOBAL_REGISTRY.lock().unwrap();
+    map.clear();
+    GLOBAL_ARMED.store(0, Ordering::SeqCst);
+}
+
+/// Names of currently armed global failpoints.
+pub fn armed_global() -> Vec<String> {
+    GLOBAL_REGISTRY.lock().unwrap().keys().cloned().collect()
+}
+
+/// Arms global failpoints from the same `name=spec,…` list format as
+/// [`arm_from_list`] (used by `mdwh serve --inject`, whose handler threads
+/// are not the arming thread).
+pub fn arm_from_list_global(list: &str) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for entry in list.split(',').filter(|e| !e.trim().is_empty()) {
+        let (name, spec_text) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("bad failpoint entry {entry:?} (want name=spec)"))?;
+        arm_global(name.trim(), parse_spec(spec_text.trim())?);
+        names.push(name.trim().to_string());
+    }
+    Ok(names)
+}
+
+/// Arms a failpoint with the given behavior (replacing any previous arming).
+pub fn arm(name: &str, spec: FailSpec) {
     REGISTRY.with(|r| {
-        r.borrow_mut().insert(
-            name.to_string(),
-            Armed { spec, remaining, rng_state, hits: 0 },
-        );
+        r.borrow_mut().insert(name.to_string(), armed_entry(spec));
     });
 }
 
@@ -102,34 +188,21 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// Consults a failpoint: `Err(RdfError::Injected)` if it fires, `Ok(())`
-/// otherwise (including when it is not armed).
+/// otherwise (including when it is not armed). A thread-local arming of the
+/// name takes precedence; otherwise the global scope (if any failpoint is
+/// globally armed) is consulted under its lock.
 pub fn check(name: &str) -> Result<(), RdfError> {
-    let fire = REGISTRY.with(|r| {
-        let mut map = r.borrow_mut();
-        let Some(armed) = map.get_mut(name) else {
-            return false;
-        };
-        armed.hits += 1;
-        match armed.spec {
-            FailSpec::Always => true,
-            FailSpec::Once | FailSpec::Times(_) => {
-                if armed.remaining > 0 {
-                    armed.remaining -= 1;
-                    if armed.remaining == 0 {
-                        map.remove(name);
-                    }
-                    true
-                } else {
-                    map.remove(name);
-                    false
-                }
-            }
-            FailSpec::Probability { pct, .. } => {
-                let roll = splitmix64(&mut armed.rng_state) % 100;
-                roll < u64::from(pct)
-            }
+    let local = REGISTRY.with(|r| decide(&mut r.borrow_mut(), name));
+    let fire = match local {
+        Some(fire) => fire,
+        None if GLOBAL_ARMED.load(Ordering::Relaxed) != 0 => {
+            let mut map = GLOBAL_REGISTRY.lock().unwrap();
+            let fired = decide(&mut map, name).unwrap_or(false);
+            GLOBAL_ARMED.store(map.len(), Ordering::SeqCst);
+            fired
         }
-    });
+        None => false,
+    };
     if fire {
         Err(RdfError::Injected { failpoint: name.to_string() })
     } else {
@@ -257,6 +330,40 @@ mod tests {
         assert_eq!(names, vec!["a::b", "c::d"]);
         assert_eq!(armed().len(), 2);
         reset();
+    }
+
+    #[test]
+    fn global_arming_fires_on_other_threads() {
+        arm_global("t::global::xthread", FailSpec::Times(2));
+        // A thread that never armed anything still sees the global arming.
+        let fired = std::thread::spawn(|| check("t::global::xthread").is_err())
+            .join()
+            .unwrap();
+        assert!(fired);
+        assert!(check("t::global::xthread").is_err());
+        // Times(2) exhausted — the entry is gone everywhere.
+        assert!(check("t::global::xthread").is_ok());
+        assert!(!armed_global().contains(&"t::global::xthread".to_string()));
+    }
+
+    #[test]
+    fn thread_local_arming_shadows_global() {
+        arm_global("t::global::shadow", FailSpec::Always);
+        arm("t::global::shadow", FailSpec::Once);
+        // Local Once wins, fires, disarms…
+        assert!(check("t::global::shadow").is_err());
+        // …then the global Always shows through again.
+        assert!(check("t::global::shadow").is_err());
+        assert!(disarm_global("t::global::shadow"));
+        assert!(check("t::global::shadow").is_ok());
+    }
+
+    #[test]
+    fn arm_from_list_global_arms_each() {
+        let names = arm_from_list_global("t::g::a=once,t::g::b=times:2").unwrap();
+        assert_eq!(names, vec!["t::g::a", "t::g::b"]);
+        assert!(disarm_global("t::g::a"));
+        assert!(disarm_global("t::g::b"));
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! A strict little HTTP client for drills and tests.
+//!
+//! Strictness is the point: this parser decides whether a response frame is
+//! *provably complete* — `Content-Length` fully satisfied, or chunked
+//! transfer properly terminated by the `0\r\n\r\n` chunk — and the chaos
+//! suite uses that verdict to assert the server never emits a half-frame
+//! that parses as complete. The load drill (`mdwh drill wire`) uses the
+//! same parser, so what the drill counts as "ok" is exactly what survives
+//! this scrutiny.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed (and verified) response.
+#[derive(Debug)]
+pub struct WireResponse {
+    /// The status code.
+    pub status: u16,
+    /// Headers, names lower-cased.
+    pub headers: BTreeMap<String, String>,
+    /// Decoded body (chunked bodies are de-framed).
+    pub body: String,
+    /// True only when the frame is provably complete: full declared length,
+    /// or a chunked body that reached its terminator.
+    pub complete_frame: bool,
+}
+
+impl WireResponse {
+    /// The body's ndjson lines.
+    pub fn lines(&self) -> Vec<&str> {
+        self.body.lines().filter(|l| !l.is_empty()).collect()
+    }
+
+    /// The final `{"summary":…}` line of a row stream, if the frame carries
+    /// one. A truthful row stream always ends with its summary; a missing
+    /// summary means the response was cut.
+    pub fn summary_line(&self) -> Option<&str> {
+        let last = self.lines().last().copied()?;
+        last.contains("\"summary\"").then_some(last)
+    }
+
+    /// Whether a streamed answer is complete end-to-end: frame closed,
+    /// summary present, and the summary says `"complete":true`.
+    pub fn answer_complete(&self) -> bool {
+        self.complete_frame
+            && self
+                .summary_line()
+                .is_some_and(|s| s.contains("\"complete\":true"))
+    }
+
+    /// The `Retry-After` hint in seconds, if present.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        self.headers.get("retry-after")?.parse().ok()
+    }
+}
+
+/// Errors a drill distinguishes from sheds.
+#[derive(Debug)]
+pub enum WireError {
+    /// Connecting or talking to the server failed at the socket level.
+    Io(std::io::Error),
+    /// The server replied, but the frame was malformed or cut short.
+    BadFrame(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+            WireError::BadFrame(what) => write!(f, "bad frame: {what}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Sends one GET and reads the response to EOF (the server always closes).
+pub fn get(
+    addr: SocketAddr,
+    target: &str,
+    headers: &[(&str, String)],
+    timeout: Duration,
+) -> Result<WireResponse, WireError> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut request = format!("GET {target} HTTP/1.1\r\nHost: mdw\r\nConnection: close\r\n");
+    for (name, value) in headers {
+        request.push_str(name);
+        request.push_str(": ");
+        request.push_str(value);
+        request.push_str("\r\n");
+    }
+    request.push_str("\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Sends a bare POST (no body) and reads the response to EOF.
+pub fn post(
+    addr: SocketAddr,
+    target: &str,
+    timeout: Duration,
+) -> Result<WireResponse, WireError> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let request =
+        format!("POST {target} HTTP/1.1\r\nHost: mdw\r\nConnection: close\r\nContent-Length: 0\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Parses raw response bytes, judging frame completeness strictly.
+pub fn parse_response(raw: &[u8]) -> Result<WireResponse, WireError> {
+    let head_end = find_head_end(raw).ok_or(WireError::BadFrame("no header terminator"))?;
+    let head =
+        std::str::from_utf8(&raw[..head_end]).map_err(|_| WireError::BadFrame("non-utf8 head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or(WireError::BadFrame("empty head"))?;
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().ok_or(WireError::BadFrame("bad status line"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(WireError::BadFrame("bad http version"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(WireError::BadFrame("bad status code"))?;
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(WireError::BadFrame("bad header"))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let body_raw = &raw[head_end + 4..];
+    let chunked = headers
+        .get("transfer-encoding")
+        .is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+    let (body_bytes, complete_frame) = if chunked {
+        decode_chunked(body_raw)
+    } else if let Some(length) = headers.get("content-length").and_then(|v| v.parse().ok()) {
+        let got = body_raw.len().min(length);
+        (body_raw[..got].to_vec(), body_raw.len() >= length)
+    } else {
+        // No length, no chunking: completeness is unknowable — treat as
+        // incomplete so nothing silently passes.
+        (body_raw.to_vec(), false)
+    };
+    Ok(WireResponse {
+        status,
+        headers,
+        body: String::from_utf8_lossy(&body_bytes).into_owned(),
+        complete_frame,
+    })
+}
+
+fn find_head_end(raw: &[u8]) -> Option<usize> {
+    raw.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// De-frames a chunked body. Returns the payload plus whether the terminal
+/// `0`-chunk was reached — a body cut anywhere short of it is incomplete.
+fn decode_chunked(mut raw: &[u8]) -> (Vec<u8>, bool) {
+    let mut body = Vec::new();
+    loop {
+        let Some(line_end) = raw.windows(2).position(|w| w == b"\r\n") else {
+            return (body, false);
+        };
+        let Ok(size_text) = std::str::from_utf8(&raw[..line_end]) else {
+            return (body, false);
+        };
+        let Ok(size) = usize::from_str_radix(size_text.trim(), 16) else {
+            return (body, false);
+        };
+        raw = &raw[line_end + 2..];
+        if size == 0 {
+            // Terminal chunk: strictly require the final CRLF (trailers
+            // unsupported) — the server always writes the full `0\r\n\r\n`.
+            return (body, raw.starts_with(b"\r\n"));
+        }
+        if raw.len() < size + 2 {
+            body.extend_from_slice(&raw[..raw.len().min(size)]);
+            return (body, false);
+        }
+        body.extend_from_slice(&raw[..size]);
+        raw = &raw[size + 2..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fixed_length_responses() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 3\r\n\r\nok\n";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.complete_frame);
+        assert_eq!(resp.body, "ok\n");
+    }
+
+    #[test]
+    fn short_fixed_length_bodies_are_incomplete() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nok";
+        let resp = parse_response(raw).unwrap();
+        assert!(!resp.complete_frame);
+    }
+
+    #[test]
+    fn chunked_frames_complete_only_at_the_terminator() {
+        let full = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+                     8\r\n{\"a\":1}\n\r\n0\r\n\r\n";
+        let resp = parse_response(full).unwrap();
+        assert!(resp.complete_frame);
+        assert_eq!(resp.body, "{\"a\":1}\n");
+
+        // Same frame cut anywhere before the terminator: incomplete.
+        for cut in 47..full.len() - 1 {
+            let resp = parse_response(&full[..cut]).unwrap();
+            assert!(!resp.complete_frame, "cut at {cut} parsed as complete");
+        }
+    }
+
+    #[test]
+    fn summary_detection_requires_the_summary_line() {
+        let with = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+            8\r\n{\"a\":1}\n\r\n27\r\n{\"summary\":{\"rows\":1,\"complete\":true}}\n\r\n0\r\n\r\n";
+        let resp = parse_response(with).unwrap();
+        assert!(resp.complete_frame);
+        assert!(resp.summary_line().is_some());
+        assert!(resp.answer_complete());
+
+        let without = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+                        8\r\n{\"a\":1}\n\r\n0\r\n\r\n";
+        let resp = parse_response(without).unwrap();
+        assert!(resp.complete_frame);
+        assert!(resp.summary_line().is_none());
+        assert!(!resp.answer_complete());
+    }
+}

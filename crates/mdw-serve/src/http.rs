@@ -1,0 +1,376 @@
+//! A minimal HTTP/1.1 subset: request parsing with hard size limits and a
+//! chunked-transfer response writer.
+//!
+//! The server speaks just enough HTTP for curl and load generators:
+//! one request per connection (`Connection: close` on every response),
+//! GET/POST, headers, and percent-encoded query strings. Responses with
+//! bodies of unknown length use `Transfer-Encoding: chunked`, which gives
+//! the wire a crucial property for fault tolerance: a response is only
+//! *complete* when the terminal `0\r\n\r\n` chunk arrives, so a connection
+//! killed mid-body can never be mistaken for a full answer. The chaos suite
+//! leans on exactly this frame discipline.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Longest accepted request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Longest accepted single header line.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Largest request body the server will read (and discard).
+pub const MAX_BODY: usize = 64 * 1024;
+
+/// A parsed request head (the server ignores bodies beyond draining them).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased as received).
+    pub method: String,
+    /// The path component of the target, percent-decoded.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header name → value, names lower-cased.
+    pub headers: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Header value (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+}
+
+/// Why a request could not be parsed. Maps to a `400` (or `413`) response.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The socket failed or timed out while reading the head.
+    Io(io::Error),
+    /// The peer closed before sending a full head.
+    UnexpectedEof,
+    /// The head was malformed (bad request line, header, or encoding).
+    Malformed(&'static str),
+    /// The request exceeded a size limit.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o: {e}"),
+            ParseError::UnexpectedEof => f.write_str("connection closed mid-request"),
+            ParseError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ParseError::TooLarge(what) => write!(f, "request too large: {what}"),
+        }
+    }
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads one line (up to CRLF or LF), enforcing `limit` bytes.
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+    what: &'static str,
+) -> Result<String, ParseError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                if line.is_empty() {
+                    return Err(ParseError::UnexpectedEof);
+                }
+                break;
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > limit {
+                    return Err(ParseError::TooLarge(what));
+                }
+            }
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| ParseError::Malformed("non-utf8 header bytes"))
+}
+
+/// Percent-decodes a URL component; `+` becomes a space in query values.
+pub fn percent_decode(text: &str, plus_is_space: bool) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(decoded) => {
+                        out.push(decoded);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k, true), percent_decode(v, true)),
+            None => (percent_decode(pair, true), String::new()),
+        })
+        .collect()
+}
+
+/// Parses one request head from `stream` and drains any declared body (so
+/// the connection is clean for the response even on POSTs).
+pub fn parse_request<S: Read>(stream: S) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_line(&mut reader, MAX_REQUEST_LINE, "request line")?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ParseError::Malformed("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or(ParseError::Malformed("missing target"))?;
+    let version = parts.next().ok_or(ParseError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("unsupported http version"));
+    }
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+
+    let mut headers = BTreeMap::new();
+    loop {
+        let line = read_line(&mut reader, MAX_HEADER_LINE, "header line")?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::TooLarge("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ParseError::Malformed("header without colon"))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    if let Some(length) = headers.get("content-length") {
+        let length: usize = length
+            .parse()
+            .map_err(|_| ParseError::Malformed("bad content-length"))?;
+        if length > MAX_BODY {
+            return Err(ParseError::TooLarge("body"));
+        }
+        let mut remaining = length;
+        let mut sink = [0u8; 1024];
+        while remaining > 0 {
+            let want = remaining.min(sink.len());
+            let got = reader.read(&mut sink[..want])?;
+            if got == 0 {
+                return Err(ParseError::UnexpectedEof);
+            }
+            remaining -= got;
+        }
+    }
+
+    Ok(Request {
+        method,
+        path: percent_decode(path_raw, false),
+        query: parse_query(query_raw),
+        headers,
+    })
+}
+
+/// The human phrase for the status codes the server emits.
+pub fn status_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response (status + headers + body) in one
+/// go. Used for errors, health checks, and stats — everything that is not a
+/// row stream.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nConnection: close\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        status,
+        status_phrase(status),
+        content_type,
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Starts a chunked response: status + headers, no body yet. Rows follow
+/// via [`write_chunk`]; the frame is complete only after [`finish_chunks`].
+pub fn start_chunked<W: Write>(
+    w: &mut W,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    content_type: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nConnection: close\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\n",
+        status,
+        status_phrase(status),
+        content_type,
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())
+}
+
+/// Writes one chunk. Empty payloads are skipped (an empty chunk would read
+/// as the terminator).
+pub fn write_chunk<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.is_empty() {
+        return Ok(());
+    }
+    write!(w, "{:x}\r\n", payload.len())?;
+    w.write_all(payload)?;
+    w.write_all(b"\r\n")
+}
+
+/// Terminates a chunked body. Until this lands on the wire the response is
+/// *not* complete — the client-side parser must treat a missing terminator
+/// as a broken transfer.
+pub fn finish_chunks<W: Write>(w: &mut W) -> io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_line_query_and_headers() {
+        let raw = b"GET /search?q=client%20data&max=3&flag HTTP/1.1\r\n\
+                    Host: localhost\r\n\
+                    X-Tenant: risk\r\n\
+                    \r\n";
+        let req = parse_request(&raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.query_param("q"), Some("client data"));
+        assert_eq!(req.query_param("max"), Some("3"));
+        assert_eq!(req.query_param("flag"), Some(""));
+        assert_eq!(req.header("x-tenant"), Some("risk"));
+        assert_eq!(req.header("X-Tenant"), Some("risk"));
+    }
+
+    #[test]
+    fn drains_declared_bodies() {
+        let raw = b"POST /admin/drain HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let req = parse_request(&raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/admin/drain");
+    }
+
+    #[test]
+    fn rejects_oversized_request_lines() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat(b'a').take(MAX_REQUEST_LINE + 10));
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert!(matches!(
+            parse_request(&raw[..]),
+            Err(ParseError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_heads() {
+        let raw = b"GET /search HTTP/1.1\r\nHost: x";
+        // EOF mid-header: never a valid request.
+        assert!(parse_request(&raw[..]).is_err());
+    }
+
+    #[test]
+    fn percent_decode_handles_plus_and_bad_escapes() {
+        assert_eq!(percent_decode("a+b%2Fc", true), "a b/c");
+        assert_eq!(percent_decode("a+b", false), "a+b");
+        assert_eq!(percent_decode("50%", false), "50%");
+        assert_eq!(percent_decode("%zz", false), "%zz");
+    }
+
+    #[test]
+    fn chunked_frames_are_well_formed() {
+        let mut out = Vec::new();
+        start_chunked(&mut out, 200, &[], "application/x-ndjson").unwrap();
+        write_chunk(&mut out, b"{\"a\":1}\n").unwrap();
+        write_chunk(&mut out, b"").unwrap(); // skipped, not a terminator
+        write_chunk(&mut out, b"{\"b\":2}\n").unwrap();
+        finish_chunks(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.contains("8\r\n{\"a\":1}\n\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # mdw-serve — the warehouse's serving layer, built failure-first
+//!
+//! The paper's warehouse is a shared bank-wide *service*: SODA-style search
+//! frontends, lineage tools, and ad-hoc SPARQL consumers all query one
+//! graph concurrently. This crate is that front door — a long-lived
+//! HTTP/1.1 server (hand-rolled subset over [`std::net::TcpListener`];
+//! no new dependencies) that pushes the robustness machinery of the
+//! substrate over the wire, where real failures live:
+//!
+//! * **Budgets reach the socket** — `X-Deadline-Ms` / `X-Max-Rows` become a
+//!   [`QueryBudget`](mdw_rdf::budget::QueryBudget); response bytes are
+//!   charged *as they leave*, and a tripped budget yields a truthful
+//!   `Truncated` summary, never a silently short answer.
+//! * **Admission is per tenant** ([`tenant`]) — `X-Tenant` maps to a
+//!   bounded FIFO gate; overload sheds `503 + Retry-After` scaled by queue
+//!   depth.
+//! * **The wire can be killed deterministically** ([`fault`]) — the
+//!   substrate's failpoint registry extends to reads, writes, and accepts,
+//!   so a chaos suite can cut every seam and assert no deadlock, no leaked
+//!   permit, no half-frame that parses as complete ([`client`] is the
+//!   strict judge of that).
+//! * **Shutdown is a first-class path** ([`drain`], [`signal`]) — SIGTERM
+//!   stops the intake, lets in-flight requests finish until the drain
+//!   grace, then cancels stragglers, which still return valid truncated
+//!   prefixes.
+//!
+//! The handler core ([`router`]) is generic over `Read + Write`, so every
+//! one of those behaviors is tested without a socket, on one thread,
+//! deterministically.
+
+pub mod chaos;
+pub mod client;
+pub mod drain;
+pub mod fault;
+pub mod http;
+pub mod router;
+pub mod server;
+pub mod signal;
+pub mod tenant;
+
+pub use drain::DrainController;
+pub use router::{handle_connection, ConnOutcome};
+pub use server::{serve, Counters, ServeState, ServerConfig, ServerHandle};
+pub use tenant::TenantGates;

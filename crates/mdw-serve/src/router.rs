@@ -1,0 +1,479 @@
+//! Request routing: parse → admit → budget → query → stream.
+//!
+//! The handler is generic over any [`Read`]`+`[`Write`] stream, which is
+//! the crate's keystone for determinism: the chaos suite drives a whole
+//! request through an in-memory duplex on the test thread — thread-local
+//! failpoints and all — while production hands in a [`std::net::TcpStream`]
+//! wrapped in a [`FaultStream`](crate::fault::FaultStream).
+//!
+//! Responses stream as chunked `application/x-ndjson`: one JSON object per
+//! row, then exactly one `{"summary": …}` line, then the chunk terminator.
+//! The budget is charged **before** each row's bytes leave the socket, so
+//! the byte cap reflects what the client actually received, and the summary
+//! truthfully reports any truncation (budget, byte cap, deadline, drain
+//! cancellation). A frame missing its summary or terminator is *detectably*
+//! incomplete — that, not luck, is what the wire-failure model rests on.
+
+use std::io::{Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mdw_core::admission::QueryClass;
+use mdw_core::error::MdwError;
+use mdw_core::lineage::LineageRequest;
+use mdw_core::search::SearchRequest;
+use mdw_rdf::budget::{
+    CancellationToken, Completeness, MonotonicTime, QueryBudget, TruncationReason,
+};
+use mdw_rdf::vocab;
+use mdw_rdf::Term;
+use mdw_sparql::SemMatch;
+use serde_json::{json, Value};
+
+use crate::chaos;
+use crate::fault::FaultStream;
+use crate::http::{self, ParseError, Request};
+use crate::server::ServeState;
+use crate::tenant::DEFAULT_TENANT;
+
+/// Delay point: armed by drain tests to hold a request right before its
+/// query runs.
+pub const PAUSE_BEFORE_QUERY: &str = "serve::before_query";
+/// Delay point: armed by drain tests to hold a request between its query
+/// finishing and its rows streaming out.
+pub const PAUSE_BEFORE_ROWS: &str = "serve::before_rows";
+
+/// How one connection ended — the accept loop's bookkeeping signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnOutcome {
+    /// A response frame was completed (including error responses).
+    Served,
+    /// The request never parsed (bad head, timeout, reset).
+    BadRequest,
+    /// The wire died mid-response; the frame is detectably incomplete.
+    WireError,
+    /// The handler panicked; a `500` was attempted.
+    Panicked,
+}
+
+/// Serves exactly one request from `stream`, with wire fault injection and
+/// panic isolation. Never panics outward; never leaks a permit or an
+/// in-flight registration (both are RAII and released during unwind).
+pub fn handle_connection<S: Read + Write>(state: &Arc<ServeState>, stream: S) -> ConnOutcome {
+    let mut stream = FaultStream::new(stream);
+    let outcome = catch_unwind(AssertUnwindSafe(|| handle_request(state, &mut stream)));
+    match outcome {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            state.counters.panics.fetch_add(1, Ordering::Relaxed);
+            // Best effort: if the head already went out this produces junk
+            // past a started frame, which chunked framing keeps detectable.
+            let _ = http::write_response(
+                &mut stream,
+                500,
+                &[],
+                "application/json",
+                b"{\"error\":\"internal server error\"}\n",
+            );
+            ConnOutcome::Panicked
+        }
+    }
+}
+
+fn handle_request<S: Read + Write>(state: &Arc<ServeState>, stream: &mut S) -> ConnOutcome {
+    let request = match http::parse_request(&mut *stream) {
+        Ok(request) => request,
+        Err(e) => {
+            let status = match e {
+                ParseError::TooLarge(_) => 413,
+                _ => 400,
+            };
+            let body = format!("{{\"error\":{}}}\n", json_string(&e.to_string()));
+            let _ = http::write_response(stream, status, &[], "application/json", body.as_bytes());
+            return ConnOutcome::BadRequest;
+        }
+    };
+    route(state, &request, stream)
+}
+
+fn route<S: Write>(state: &Arc<ServeState>, request: &Request, stream: &mut S) -> ConnOutcome {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => fixed(state, stream, 200, "text/plain", b"ok\n"),
+        ("GET", "/stats") => {
+            let body = format!("{}\n", stats_json(state));
+            fixed(state, stream, 200, "application/json", body.as_bytes())
+        }
+        ("POST", "/admin/drain") => {
+            state.request_drain();
+            fixed(state, stream, 202, "application/json", b"{\"draining\":true}\n")
+        }
+        ("GET", "/search") | ("GET", "/lineage") | ("GET", "/sparql") => {
+            query_endpoint(state, request, stream)
+        }
+        (_, "/healthz" | "/stats" | "/search" | "/lineage" | "/sparql" | "/admin/drain") => fixed(
+            state,
+            stream,
+            405,
+            "application/json",
+            b"{\"error\":\"method not allowed\"}\n",
+        ),
+        _ => fixed(state, stream, 404, "application/json", b"{\"error\":\"no such endpoint\"}\n"),
+    }
+}
+
+fn fixed<S: Write>(
+    state: &ServeState,
+    stream: &mut S,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> ConnOutcome {
+    match http::write_response(stream, status, &[], content_type, body) {
+        Ok(()) => {
+            state.counters.served.fetch_add(1, Ordering::Relaxed);
+            ConnOutcome::Served
+        }
+        Err(_) => {
+            state.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+            ConnOutcome::WireError
+        }
+    }
+}
+
+fn overloaded_response<S: Write>(
+    state: &ServeState,
+    stream: &mut S,
+    retry_after: Duration,
+    detail: &str,
+) -> ConnOutcome {
+    state.counters.sheds.fetch_add(1, Ordering::Relaxed);
+    // Retry-After is whole seconds; round up so the hint never understates.
+    let secs = retry_after.as_secs() + u64::from(retry_after.subsec_nanos() > 0);
+    let headers = [("Retry-After", secs.max(1).to_string())];
+    let body = format!(
+        "{{\"error\":\"overloaded\",\"detail\":{},\"retry_after_ms\":{}}}\n",
+        json_string(detail),
+        retry_after.as_millis()
+    );
+    match http::write_response(stream, 503, &headers, "application/json", body.as_bytes()) {
+        Ok(()) => ConnOutcome::Served,
+        Err(_) => {
+            state.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+            ConnOutcome::WireError
+        }
+    }
+}
+
+fn query_endpoint<S: Write>(state: &ServeState, request: &Request, stream: &mut S) -> ConnOutcome {
+    let class = match request.path.as_str() {
+        "/search" => QueryClass::Search,
+        "/lineage" => QueryClass::Lineage,
+        _ => QueryClass::Sparql,
+    };
+
+    if state.drain.is_draining() {
+        return overloaded_response(state, stream, state.config.drain_grace, "server draining");
+    }
+
+    let tenant = request.header("x-tenant").unwrap_or(DEFAULT_TENANT);
+    // RAII permit: held for the whole request, released on every exit path.
+    let _permit = match &state.tenants {
+        Some(gates) => match gates.admit(tenant, class) {
+            Ok(permit) => Some(permit),
+            Err(shed) => {
+                let detail = format!("tenant {tenant}: {shed}");
+                return overloaded_response(state, stream, shed.retry_after, &detail);
+            }
+        },
+        None => None,
+    };
+
+    // Budget: wire headers → deadline, row cap, byte cap, cancellation.
+    let deadline = request
+        .header("x-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(state.config.default_deadline)
+        .min(state.config.max_deadline);
+    let max_rows = request
+        .header("x-max-rows")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(state.config.max_rows)
+        .min(state.config.max_rows);
+    let token = CancellationToken::new();
+    let _inflight = state.drain.register(token.clone());
+    let budget = QueryBudget::unlimited()
+        .with_deadline(deadline, Arc::new(MonotonicTime::new()))
+        .with_max_rows(max_rows)
+        .with_max_bytes(state.config.max_response_bytes)
+        .with_cancellation(&token);
+
+    chaos::pause(PAUSE_BEFORE_QUERY, &token);
+
+    // Chaos hook: lets the suite prove panic containment end-to-end — the
+    // unwind must release the permit, the in-flight registration, and the
+    // connection slot, and the process must keep serving.
+    if request.header("x-chaos-panic").is_some() {
+        panic!("injected handler panic (X-Chaos-Panic)");
+    }
+
+    let answer = match class {
+        QueryClass::Search => run_search(state, request, budget.clone()),
+        QueryClass::Lineage => run_lineage(state, request, budget.clone()),
+        QueryClass::Sparql => run_sparql(state, request, budget.clone()),
+    };
+    let answer = match answer {
+        Ok(answer) => answer,
+        Err(RouteError::BadRequest(msg)) => {
+            let body = format!("{{\"error\":{}}}\n", json_string(&msg));
+            return fixed(state, stream, 400, "application/json", body.as_bytes());
+        }
+        Err(RouteError::Warehouse(MdwError::Overloaded(o))) => {
+            return overloaded_response(state, stream, o.retry_after, &o.to_string());
+        }
+        Err(RouteError::Warehouse(MdwError::NotFound(what))) => {
+            let body = format!("{{\"error\":{}}}\n", json_string(&format!("not found: {what}")));
+            return fixed(state, stream, 404, "application/json", body.as_bytes());
+        }
+        Err(RouteError::Warehouse(MdwError::InvalidRequest(what))) => {
+            let body = format!("{{\"error\":{}}}\n", json_string(&what));
+            return fixed(state, stream, 400, "application/json", body.as_bytes());
+        }
+        Err(RouteError::Warehouse(other)) => {
+            let body = format!("{{\"error\":{}}}\n", json_string(&other.to_string()));
+            return fixed(state, stream, 500, "application/json", body.as_bytes());
+        }
+    };
+
+    chaos::pause(PAUSE_BEFORE_ROWS, &token);
+    stream_answer(state, stream, &budget, answer)
+}
+
+/// A fully-computed answer, ready to stream: pre-encoded ndjson rows plus
+/// the query-side completeness verdict.
+struct Answer {
+    rows: Vec<String>,
+    completeness: Completeness,
+    degraded: bool,
+}
+
+enum RouteError {
+    BadRequest(String),
+    Warehouse(MdwError),
+}
+
+impl From<MdwError> for RouteError {
+    fn from(e: MdwError) -> Self {
+        RouteError::Warehouse(e)
+    }
+}
+
+fn stream_answer<S: Write>(
+    state: &ServeState,
+    stream: &mut S,
+    budget: &QueryBudget,
+    answer: Answer,
+) -> ConnOutcome {
+    let mut wire_reason: Option<TruncationReason> = None;
+    let mut sent = 0usize;
+    let started = http::start_chunked(stream, 200, &[], "application/x-ndjson");
+    if started.is_err() {
+        state.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+        return ConnOutcome::WireError;
+    }
+    for line in &answer.rows {
+        // Deadline or drain cancellation lands between rows…
+        if let Err(reason) = budget.check_time() {
+            wire_reason = Some(reason);
+            break;
+        }
+        // …and the byte cap is charged before the row leaves the socket.
+        if let Err(reason) = budget.charge_bytes(line.len() as u64) {
+            wire_reason = Some(reason);
+            break;
+        }
+        if http::write_chunk(stream, line.as_bytes()).is_err() {
+            state.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+            return ConnOutcome::WireError;
+        }
+        sent += 1;
+    }
+
+    let reason = wire_reason.or(match answer.completeness {
+        Completeness::Complete => None,
+        Completeness::Truncated { reason } => Some(reason),
+    });
+    let summary = json!({
+        "summary": {
+            "rows": sent,
+            "complete": reason.is_none(),
+            "truncated": reason.map(|r| r.to_string()),
+            "degraded": answer.degraded,
+            "bytes": budget.bytes_charged(),
+        }
+    });
+    let line = format!("{}\n", serde_json::to_string(&summary).expect("summary serializes"));
+    if http::write_chunk(stream, line.as_bytes()).is_err() || http::finish_chunks(stream).is_err() {
+        state.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+        return ConnOutcome::WireError;
+    }
+    state.counters.served.fetch_add(1, Ordering::Relaxed);
+    ConnOutcome::Served
+}
+
+fn run_search(
+    state: &ServeState,
+    request: &Request,
+    budget: QueryBudget,
+) -> Result<Answer, RouteError> {
+    let term = request
+        .query_param("q")
+        .filter(|q| !q.is_empty())
+        .ok_or_else(|| RouteError::BadRequest("search needs ?q=TERM".to_string()))?;
+    let mut search = SearchRequest::new(term).with_budget(budget);
+    if request.query_param("synonyms").is_some() {
+        search.expand_synonyms = true;
+    }
+    if let Some(max) = request.query_param("max").and_then(|v| v.parse().ok()) {
+        search.max_results = max;
+    }
+    let results = state.warehouse.search(&search)?;
+    let mut rows = Vec::new();
+    for group in &results.groups {
+        for hit in &group.hits {
+            rows.push(ndjson_line(json!({
+                "class": group.label.clone(),
+                "instance": hit.instance.to_string(),
+                "name": hit.name.clone(),
+                "matched": hit.matched_term.clone(),
+            })));
+        }
+    }
+    Ok(Answer { rows, completeness: results.completeness, degraded: results.degraded })
+}
+
+fn run_lineage(
+    state: &ServeState,
+    request: &Request,
+    budget: QueryBudget,
+) -> Result<Answer, RouteError> {
+    let item = request
+        .query_param("item")
+        .filter(|i| !i.is_empty())
+        .ok_or_else(|| RouteError::BadRequest("lineage needs ?item=NAME".to_string()))?;
+    let start = if item.starts_with("http://") || item.starts_with("https://") {
+        Term::iri(item)
+    } else {
+        Term::iri(vocab::cs::dwh(item))
+    };
+    let mut lineage = match request.query_param("dir") {
+        Some("up") | Some("upstream") => LineageRequest::upstream(start),
+        _ => LineageRequest::downstream(start),
+    };
+    lineage = lineage.with_budget(budget);
+    if let Some(depth) = request.query_param("depth").and_then(|v| v.parse().ok()) {
+        lineage.max_depth = depth;
+    }
+    let result = state.warehouse.lineage(&lineage)?;
+    let rows = result
+        .endpoints
+        .iter()
+        .map(|endpoint| {
+            ndjson_line(json!({
+                "node": endpoint.node.to_string(),
+                "name": endpoint.name.clone(),
+                "distance": endpoint.distance,
+                "classes": endpoint
+                    .classes
+                    .iter()
+                    .map(|c| Value::String(c.to_string()))
+                    .collect::<Vec<_>>(),
+            }))
+        })
+        .collect();
+    Ok(Answer { rows, completeness: result.completeness, degraded: result.degraded })
+}
+
+fn run_sparql(
+    state: &ServeState,
+    request: &Request,
+    budget: QueryBudget,
+) -> Result<Answer, RouteError> {
+    let pattern = request
+        .query_param("query")
+        .filter(|q| !q.is_empty())
+        .ok_or_else(|| RouteError::BadRequest("sparql needs ?query=PATTERN".to_string()))?;
+    let mut sem = SemMatch::new(pattern)
+        .alias("dm", vocab::cs::DM)
+        .alias("dt", vocab::cs::DT)
+        .alias("dwh", vocab::cs::DWH);
+    if request.query_param("no-rulebase").is_none() {
+        sem = sem.rulebase("OWLPRIME");
+    }
+    let output = state.warehouse.sem_match_with_budget(&sem, &budget)?;
+    let rows = output
+        .rows
+        .iter()
+        .map(|row| {
+            let entries: Vec<(String, Value)> = output
+                .columns
+                .iter()
+                .zip(row.iter())
+                .map(|(col, term)| {
+                    let value = match term {
+                        Some(t) => Value::String(t.to_string()),
+                        None => Value::Null,
+                    };
+                    (col.clone(), value)
+                })
+                .collect();
+            ndjson_line(Value::Object(entries))
+        })
+        .collect();
+    Ok(Answer { rows, completeness: output.completeness, degraded: output.degraded })
+}
+
+fn ndjson_line(value: Value) -> String {
+    format!("{}\n", serde_json::to_string(&value).expect("row serializes"))
+}
+
+fn json_string(text: &str) -> String {
+    serde_json::to_string(&Value::String(text.to_string())).expect("string serializes")
+}
+
+/// The `/stats` document.
+pub fn stats_json(state: &ServeState) -> String {
+    let tenants: Vec<Value> = state
+        .tenants
+        .as_ref()
+        .map(|gates| {
+            gates
+                .stats()
+                .into_iter()
+                .map(|(tenant, stats, active, waiting)| {
+                    json!({
+                        "tenant": tenant,
+                        "admitted": stats.total_admitted(),
+                        "shed": stats.total_shed(),
+                        "active": active,
+                        "waiting": waiting,
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let doc = json!({
+        "served": state.counters.served.load(Ordering::Relaxed),
+        "sheds": state.counters.sheds.load(Ordering::Relaxed),
+        "panics": state.counters.panics.load(Ordering::Relaxed),
+        "wire_errors": state.counters.wire_errors.load(Ordering::Relaxed),
+        "accept_errors": state.counters.accept_errors.load(Ordering::Relaxed),
+        "capacity_rejects": state.counters.capacity_rejects.load(Ordering::Relaxed),
+        "inflight": state.drain.inflight(),
+        "draining": state.drain.is_draining(),
+        "tenants": tenants,
+    });
+    serde_json::to_string(&doc).expect("stats serialize")
+}

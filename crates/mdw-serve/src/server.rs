@@ -1,0 +1,308 @@
+//! The listener: bounded thread-per-connection serving over
+//! [`std::net::TcpListener`], built failure-first.
+//!
+//! Invariants the accept loop maintains:
+//!
+//! * **Bounded concurrency** — at most `max_connections` worker threads;
+//!   excess connections get an immediate `503` and close, never an
+//!   unbounded backlog.
+//! * **Slow-loris defense** — every accepted socket carries read and write
+//!   timeouts before the handler ever touches it.
+//! * **The loop never dies** — accept errors (real or injected via the
+//!   [`ACCEPT`](crate::fault::ACCEPT) failpoint) are counted and skipped;
+//!   handler panics are caught per connection.
+//! * **Drain stops the intake first** — once [`DrainController::begin`]
+//!   fires the loop stops accepting and exits; in-flight workers finish
+//!   under the drain ladder's rules.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mdw_core::admission::AdmissionConfig;
+use mdw_core::warehouse::MetadataWarehouse;
+use mdw_rdf::failpoint;
+
+use crate::drain::DrainController;
+use crate::fault;
+use crate::router;
+use crate::tenant::TenantGates;
+
+/// Server sizing and limits.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Concurrent connections; beyond this, connect attempts get `503`.
+    pub max_connections: usize,
+    /// Socket read timeout (slow-loris bound on request heads).
+    pub read_timeout: Duration,
+    /// Socket write timeout (slow-reader bound on responses).
+    pub write_timeout: Duration,
+    /// Deadline applied when a request sends no `X-Deadline-Ms`.
+    pub default_deadline: Duration,
+    /// Hard ceiling on any requested deadline.
+    pub max_deadline: Duration,
+    /// Row cap (default and ceiling for `X-Max-Rows`).
+    pub max_rows: u64,
+    /// Byte budget per response body, charged as rows leave the socket.
+    pub max_response_bytes: u64,
+    /// How long a drain lets in-flight requests finish before cancelling.
+    pub drain_grace: Duration,
+    /// Per-tenant admission quota shape; `None` turns admission off (the
+    /// drill's baseline mode).
+    pub admission: Option<AdmissionConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 1024,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            default_deadline: Duration::from_secs(2),
+            max_deadline: Duration::from_secs(30),
+            max_rows: 10_000,
+            max_response_bytes: 8 * 1024 * 1024,
+            drain_grace: Duration::from_secs(5),
+            admission: Some(AdmissionConfig::default()),
+        }
+    }
+}
+
+/// Monotonic counters the accept loop and handlers bump; surfaced by
+/// `/stats` and asserted by the chaos suite.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Responses whose frames completed (including error responses).
+    pub served: AtomicU64,
+    /// Requests shed with `503` (admission, capacity, drain).
+    pub sheds: AtomicU64,
+    /// Handler panics turned into `500`s.
+    pub panics: AtomicU64,
+    /// Connections whose wire died mid-request or mid-response.
+    pub wire_errors: AtomicU64,
+    /// Accept calls that failed (and were survived).
+    pub accept_errors: AtomicU64,
+    /// Connections turned away at the concurrency bound.
+    pub capacity_rejects: AtomicU64,
+}
+
+/// Everything a connection handler needs, shared across worker threads.
+/// Tests build one directly (no listener required) and drive
+/// [`router::handle_connection`] with in-memory streams.
+pub struct ServeState {
+    /// The sizing this server runs under.
+    pub config: ServerConfig,
+    /// The shared warehouse service handle.
+    pub warehouse: Arc<MetadataWarehouse>,
+    /// Per-tenant admission gates (`None` = admission off).
+    pub tenants: Option<TenantGates>,
+    /// Drain controller / in-flight registry.
+    pub drain: Arc<DrainController>,
+    /// Monotonic counters.
+    pub counters: Counters,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+}
+
+impl ServeState {
+    /// Fresh state for `warehouse` under `config`.
+    pub fn new(warehouse: Arc<MetadataWarehouse>, config: ServerConfig) -> Arc<Self> {
+        let tenants = config.admission.clone().map(TenantGates::new);
+        Arc::new(ServeState {
+            config,
+            warehouse,
+            tenants,
+            drain: Arc::new(DrainController::new()),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+        })
+    }
+
+    /// Connections currently being handled (including pre-parse).
+    pub fn active_connections(&self) -> usize {
+        self.active_connections.load(Ordering::Acquire)
+    }
+
+    /// Starts the drain ladder on a background thread (idempotent). Used by
+    /// `POST /admin/drain`; signal-driven shutdown runs the ladder
+    /// synchronously via [`ServerHandle::drain`] instead.
+    pub fn request_drain(self: &Arc<Self>) {
+        if self.drain.begin() {
+            let state = Arc::clone(self);
+            std::thread::spawn(move || {
+                if !state.drain.wait_idle(state.config.drain_grace) {
+                    state.drain.cancel_stragglers();
+                    state.drain.wait_idle(state.config.drain_grace);
+                }
+            });
+        }
+    }
+}
+
+/// A running server: its bound address, shared state, and accept thread.
+pub struct ServerHandle {
+    state: Arc<ServeState>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (stats, drain controller).
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Graceful drain: stop accepting, let in-flight requests finish for
+    /// `grace`, cancel stragglers, and wait for them to flush truthful
+    /// prefixes. Returns how many requests had to be cancelled.
+    pub fn drain(&mut self, grace: Duration) -> usize {
+        self.state.drain.begin();
+        let cancelled = {
+            let drain = &self.state.drain;
+            if drain.wait_idle(grace) {
+                0
+            } else {
+                let n = drain.cancel_stragglers();
+                drain.wait_idle(grace);
+                n
+            }
+        };
+        self.join_accept_thread();
+        // Workers past their registered request (writing a final 503, say)
+        // get a bounded window to clear out.
+        let deadline = std::time::Instant::now() + grace;
+        while self.state.active_connections() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        cancelled
+    }
+
+    /// Hard stop: no grace, no cancellation wait (tests and error paths).
+    pub fn shutdown(&mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        self.state.drain.begin();
+        self.state.drain.cancel_stragglers();
+        self.join_accept_thread();
+    }
+
+    fn join_accept_thread(&mut self) {
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds and starts serving `warehouse` under `config`; returns once the
+/// listener is live.
+pub fn serve(
+    warehouse: Arc<MetadataWarehouse>,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let state = ServeState::new(warehouse, config);
+    let accept_state = Arc::clone(&state);
+    let accept_thread = std::thread::Builder::new()
+        .name("mdw-serve-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_state))?;
+    Ok(ServerHandle { state, addr, accept_thread: Some(accept_thread) })
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServeState>) {
+    loop {
+        if state.shutdown.load(Ordering::Acquire) || state.drain.is_draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Injected accept failure: count it, survive it.
+                if failpoint::check(fault::ACCEPT).is_err() {
+                    state.counters.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                dispatch(&state, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                state.counters.accept_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+fn dispatch(state: &Arc<ServeState>, stream: TcpStream) {
+    // Claim a connection slot optimistically; over the bound, shed inline
+    // (a one-write 503 is cheaper than a thread).
+    let claimed = state.active_connections.fetch_add(1, Ordering::AcqRel) + 1;
+    if claimed > state.config.max_connections {
+        state.active_connections.fetch_sub(1, Ordering::AcqRel);
+        state.counters.capacity_rejects.fetch_add(1, Ordering::Relaxed);
+        let mut stream = stream;
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+        // Drain the request head first: closing with unread bytes in the
+        // socket buffer makes the kernel RST the connection, destroying the
+        // 503 before the client can read it.
+        let mut scratch = [0u8; 1024];
+        let _ = io::Read::read(&mut stream, &mut scratch);
+        let _ = crate::http::write_response(
+            &mut stream,
+            503,
+            &[("Retry-After", "1".to_string())],
+            "application/json",
+            b"{\"error\":\"server at connection capacity\"}\n",
+        );
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let worker_state = Arc::clone(state);
+    let spawned = std::thread::Builder::new()
+        .name("mdw-serve-conn".to_string())
+        .spawn(move || {
+            let mut stream = stream;
+            let _slot = ConnSlot(&worker_state.active_connections);
+            let _outcome = router::handle_connection(&worker_state, &stream);
+            let _ = stream.flush();
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        });
+    if spawned.is_err() {
+        // Thread spawn failed (resource exhaustion): release the slot and
+        // shed rather than crash.
+        state.active_connections.fetch_sub(1, Ordering::AcqRel);
+        state.counters.capacity_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// RAII connection-slot release (survives handler panics — though
+/// [`router::handle_connection`] already catches them).
+struct ConnSlot<'a>(&'a AtomicUsize);
+
+impl Drop for ConnSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}

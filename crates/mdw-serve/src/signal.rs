@@ -1,0 +1,86 @@
+//! SIGTERM/SIGINT without new dependencies: the process-level half of
+//! graceful drain.
+//!
+//! The handler does the only async-signal-safe thing — set an atomic flag —
+//! and `mdwh serve` polls [`termination_requested`] to run the drain ladder
+//! from its main thread. The libc `signal()` symbol is declared directly
+//! (std already links libc); non-unix builds compile to a no-op stub.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::*;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_termination(_signum: i32) {
+        // Async-signal-safe: a single atomic store, nothing else.
+        TERMINATION.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = on_termination as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs SIGTERM/SIGINT handlers that set the termination flag. Safe to
+/// call more than once.
+pub fn install_termination_handler() {
+    imp::install();
+}
+
+/// True once SIGTERM or SIGINT has been received (or [`request_termination`]
+/// was called).
+pub fn termination_requested() -> bool {
+    TERMINATION.load(Ordering::SeqCst)
+}
+
+/// Sets the flag programmatically — lets tests (and `/admin/drain`-style
+/// paths) drive the same code path a signal would.
+pub fn request_termination() {
+    TERMINATION.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag (test hygiene between cases).
+pub fn reset_termination() {
+    TERMINATION.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_roundtrip() {
+        reset_termination();
+        assert!(!termination_requested());
+        request_termination();
+        assert!(termination_requested());
+        reset_termination();
+        assert!(!termination_requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn installing_the_handler_is_harmless() {
+        install_termination_handler();
+        install_termination_handler();
+    }
+}

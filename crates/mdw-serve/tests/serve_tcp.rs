@@ -1,0 +1,223 @@
+//! End-to-end tests over real TCP sockets: the full accept-loop →
+//! thread-per-connection → router path, including injected accept failures,
+//! the connection-capacity bound, panic survival, and — the headline — a
+//! graceful drain that cancels an in-flight query and still hands the
+//! client a *complete frame* with a truthful `"cancelled"` summary.
+//!
+//! Unlike the wire chaos suite these tests cross threads, so fault arming
+//! uses the failpoint registry's **global** scope and the chaos delay
+//! registry (also global). A single mutex serializes the tests to keep that
+//! global state deterministic.
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use mdw_core::admission::AdmissionConfig;
+use mdw_core::warehouse::MetadataWarehouse;
+use mdw_corpus::{generate, CorpusConfig, Scale};
+use mdw_rdf::failpoint::{self, FailSpec};
+use mdw_serve::router::{PAUSE_BEFORE_QUERY, PAUSE_BEFORE_ROWS};
+use mdw_serve::{chaos, client, fault, serve, ServerConfig, ServerHandle};
+
+fn warehouse() -> Arc<MetadataWarehouse> {
+    static SHARED: OnceLock<Arc<MetadataWarehouse>> = OnceLock::new();
+    SHARED
+        .get_or_init(|| {
+            let corpus = generate(&CorpusConfig::preset(Scale::Small));
+            let mut warehouse = MetadataWarehouse::new();
+            warehouse.ingest(corpus.into_extracts()).expect("ingest");
+            warehouse.build_semantic_index().expect("index");
+            warehouse.into_shared()
+        })
+        .clone()
+}
+
+/// Serializes tests: global failpoints and chaos delays are process-wide.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let guard = LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    failpoint::reset_global();
+    chaos::reset_delays();
+    guard
+}
+
+fn start_server(config: ServerConfig) -> ServerHandle {
+    serve(warehouse(), config).expect("bind")
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        admission: Some(AdmissionConfig::with_quotas(8, 8)),
+        ..ServerConfig::default()
+    }
+}
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn wait_until(what: &str, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !done() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn serves_search_end_to_end_over_tcp() {
+    let _guard = chaos_lock();
+    let server = start_server(test_config());
+    let resp = client::get(
+        server.addr(),
+        "/search?q=client",
+        &[("X-Tenant", "e2e".to_string()), ("X-Deadline-Ms", "5000".to_string())],
+        CLIENT_TIMEOUT,
+    )
+    .expect("search response");
+    assert_eq!(resp.status, 200);
+    assert!(resp.answer_complete(), "body: {}", resp.body);
+    assert!(resp.lines().len() >= 2);
+
+    let stats = client::get(server.addr(), "/stats", &[], CLIENT_TIMEOUT).expect("stats");
+    assert!(stats.body.contains("\"tenant\":\"e2e\""), "stats: {}", stats.body);
+}
+
+#[test]
+fn survives_injected_accept_failures() {
+    let _guard = chaos_lock();
+    let server = start_server(test_config());
+    // The next two accepted connections are dropped by the injected fault;
+    // the loop must survive and keep serving afterwards.
+    failpoint::arm_global(fault::ACCEPT, FailSpec::Times(2));
+    let mut drops = 0;
+    let mut served = 0;
+    for _ in 0..5 {
+        match client::get(server.addr(), "/healthz", &[], CLIENT_TIMEOUT) {
+            Ok(resp) if resp.status == 200 && resp.complete_frame => served += 1,
+            _ => drops += 1,
+        }
+        if served >= 1 && drops >= 2 {
+            break;
+        }
+    }
+    assert_eq!(drops, 2, "exactly the injected failures should drop");
+    assert!(served >= 1, "the loop must keep serving after injected faults");
+    let counters = &server.state().counters;
+    assert_eq!(counters.accept_errors.load(std::sync::atomic::Ordering::Relaxed), 2);
+    failpoint::reset_global();
+}
+
+#[test]
+fn connection_capacity_sheds_with_retry_after() {
+    let _guard = chaos_lock();
+    let server = start_server(ServerConfig { max_connections: 1, ..test_config() });
+    // Hold the only slot: a request parked at the pre-query chaos pause.
+    chaos::arm_delay(PAUSE_BEFORE_QUERY, Duration::from_millis(400));
+    let addr = server.addr();
+    let holder = std::thread::spawn(move || {
+        client::get(addr, "/search?q=client", &[], CLIENT_TIMEOUT)
+    });
+    wait_until("holder to occupy the slot", || server.state().active_connections() >= 1);
+
+    // Second connection: inline 503 from the accept loop, never a thread.
+    let shed = client::get(addr, "/healthz", &[], CLIENT_TIMEOUT).expect("shed response");
+    assert_eq!(shed.status, 503);
+    assert!(shed.complete_frame);
+    assert_eq!(shed.retry_after_secs(), Some(1));
+    assert!(shed.body.contains("capacity"));
+    assert_eq!(
+        server.state().counters.capacity_rejects.load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+
+    // The holder still completes truthfully once its pause elapses.
+    let held = holder.join().unwrap().expect("holder response");
+    assert_eq!(held.status, 200);
+    assert!(held.answer_complete(), "body: {}", held.body);
+    chaos::reset_delays();
+}
+
+#[test]
+fn graceful_drain_cancels_stragglers_with_truthful_prefixes() {
+    let _guard = chaos_lock();
+    let mut server = start_server(test_config());
+    // Park a request between query and rows for far longer than the drain
+    // grace — it can only finish via cancellation.
+    chaos::arm_delay(PAUSE_BEFORE_ROWS, Duration::from_secs(30));
+    let addr = server.addr();
+    let inflight_client = std::thread::spawn(move || {
+        client::get(addr, "/search?q=client", &[], CLIENT_TIMEOUT)
+    });
+    wait_until("request to register in flight", || server.state().drain.inflight() >= 1);
+
+    let cancelled = server.drain(Duration::from_millis(200));
+    assert_eq!(cancelled, 1, "the parked request had to be cancelled");
+
+    // The cancelled client still got a VALID frame: terminated chunk stream
+    // and a summary that says so. Never silence, never a forged complete.
+    let resp = inflight_client.join().unwrap().expect("drained response");
+    assert_eq!(resp.status, 200);
+    assert!(resp.complete_frame, "drain must flush a whole frame: {}", resp.body);
+    let summary = resp.summary_line().expect("summary even when cancelled");
+    assert!(summary.contains("\"complete\":false"), "summary: {summary}");
+    assert!(summary.contains("cancel"), "summary: {summary}");
+
+    // Fully quiescent: nothing in flight, no permits held.
+    assert_eq!(server.state().drain.inflight(), 0);
+    if let Some(gates) = &server.state().tenants {
+        assert_eq!(gates.total_active(), 0);
+    }
+    // And the listener is gone: new connections fail outright or are torn
+    // down without a served response.
+    let after = client::get(addr, "/healthz", &[], Duration::from_millis(500));
+    assert!(
+        !matches!(&after, Ok(resp) if resp.status == 200),
+        "drained server must not serve new requests"
+    );
+    chaos::reset_delays();
+}
+
+#[test]
+fn drain_with_idle_server_cancels_nothing() {
+    let _guard = chaos_lock();
+    let mut server = start_server(test_config());
+    let resp = client::get(server.addr(), "/healthz", &[], CLIENT_TIMEOUT).expect("healthz");
+    assert_eq!(resp.status, 200);
+    assert_eq!(server.drain(Duration::from_millis(100)), 0);
+}
+
+#[test]
+fn handler_panic_over_tcp_leaves_the_server_serving() {
+    let _guard = chaos_lock();
+    let server = start_server(test_config());
+    let resp = client::get(
+        server.addr(),
+        "/search?q=client",
+        &[("X-Chaos-Panic", "1".to_string())],
+        CLIENT_TIMEOUT,
+    )
+    .expect("panic response");
+    assert_eq!(resp.status, 500);
+    assert_eq!(server.state().counters.panics.load(std::sync::atomic::Ordering::Relaxed), 1);
+
+    // The process (and this server) keep going.
+    let resp = client::get(server.addr(), "/search?q=client", &[], CLIENT_TIMEOUT)
+        .expect("post-panic response");
+    assert!(resp.answer_complete());
+    assert_eq!(server.state().drain.inflight(), 0);
+    if let Some(gates) = &server.state().tenants {
+        assert_eq!(gates.total_active(), 0);
+    }
+}
+
+#[test]
+fn admin_drain_endpoint_starts_the_ladder() {
+    let _guard = chaos_lock();
+    let server = start_server(test_config());
+    let resp = client::post(server.addr(), "/admin/drain", CLIENT_TIMEOUT).expect("drain resp");
+    assert_eq!(resp.status, 202);
+    assert!(server.state().drain.is_draining());
+    // Queries arriving during the drain are shed; the accept loop may also
+    // already be gone — either way nothing serves.
+    let after = client::get(server.addr(), "/search?q=client", &[], Duration::from_millis(500));
+    assert!(!matches!(&after, Ok(resp) if resp.status == 200));
+}

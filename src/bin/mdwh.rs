@@ -36,6 +36,7 @@ use metadata_warehouse::rdf::journal::Journal;
 use metadata_warehouse::rdf::persist::{self, load_store, save_store};
 use metadata_warehouse::rdf::vocab;
 use metadata_warehouse::rdf::Term;
+use metadata_warehouse::serve::{client, serve, signal, ServerConfig};
 use metadata_warehouse::sparql::SemMatch;
 
 fn main() -> ExitCode {
@@ -63,9 +64,20 @@ const USAGE: &str = "usage:
   mdwh sparql   --store DIR QUERY [--no-rulebase] [--threads N]
   mdwh fsck     --store DIR
   mdwh recover  --store DIR
+  mdwh serve    [--store DIR] [--addr HOST:PORT] [--quota N] [--max-conns N]
+                [--deadline-ms MS] [--drain-grace-ms MS] [--no-admission]
   mdwh drill overload [--store DIR] [--threads N] [--requests N] [--quota N]
                       [--expect-shed]
   mdwh drill overload --writer-race [--threads N] [--writes N]
+  mdwh drill wire [--addr HOST:PORT] [--connections N] [--requests N]
+                  [--quota N] [--tenants N] [--max-conns N] [--deadline-ms MS]
+                  [--no-admission] [--expect-shed]
+
+Serving: `mdwh serve` answers GET /search?q=, /lineage?item=, /sparql?query=
+as streamed ndjson; X-Deadline-Ms / X-Max-Rows / X-Tenant headers map to a
+query budget and a per-tenant admission gate. SIGTERM drains gracefully:
+in-flight responses finish (or return truthful truncated prefixes), then
+the process exits.
 
 Query budgets: search, lineage, and sparql accept --deadline-ms MS,
 --max-rows N, and --max-steps N; a blown budget returns the partial
@@ -89,7 +101,8 @@ struct Args {
 const VALUE_FLAGS: &[&str] = &[
     "--scale", "--out", "--seed", "--store", "--area", "--class", "--depth", "--rule-filter",
     "--inject", "--deadline-ms", "--max-rows", "--max-steps", "--threads", "--requests",
-    "--quota", "--writes",
+    "--quota", "--writes", "--addr", "--connections", "--max-conns", "--drain-grace-ms",
+    "--tenants",
 ];
 
 fn parse_args(args: &[String]) -> Args {
@@ -142,6 +155,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "gaps" => cmd_gaps(&parsed),
         "sources" => cmd_sources(&parsed),
         "sparql" => cmd_sparql(&parsed),
+        "serve" => cmd_serve(&parsed),
         "drill" => cmd_drill(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -513,8 +527,9 @@ fn cmd_sparql(args: &Args) -> Result<(), String> {
 fn cmd_drill(args: &Args) -> Result<(), String> {
     match args.positional.first().map(String::as_str) {
         Some("overload") => drill_overload(args),
-        Some(other) => Err(format!("unknown drill: {other} (available: overload)")),
-        None => Err("drill needs a drill name: overload".to_string()),
+        Some("wire") => drill_wire(args),
+        Some(other) => Err(format!("unknown drill: {other} (available: overload, wire)")),
+        None => Err("drill needs a drill name: overload or wire".to_string()),
     }
 }
 
@@ -577,12 +592,14 @@ fn drill_overload(args: &Args) -> Result<(), String> {
     // quota, so a forced-low gate sheds deterministically.
     let start = &std::sync::Barrier::new(threads);
     let mut latencies_us: Vec<u64> = Vec::new();
+    let mut retry_after_ms: Vec<u64> = Vec::new();
     let mut errors: Vec<String> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 scope.spawn(move || {
                     let mut lat = Vec::with_capacity(requests);
+                    let mut retries = Vec::new();
                     let mut errs = Vec::new();
                     start.wait();
                     for i in 0..requests {
@@ -616,17 +633,22 @@ fn drill_overload(args: &Args) -> Result<(), String> {
                         };
                         match outcome {
                             Ok(()) => lat.push(started.elapsed().as_micros() as u64),
-                            Err(MdwError::Overloaded(_)) => {} // counted by the gate
+                            // The shed's back-off hint scales with queue
+                            // depth — collect the distribution.
+                            Err(MdwError::Overloaded(o)) => {
+                                retries.push(o.retry_after.as_millis() as u64);
+                            }
                             Err(other) => errs.push(other.to_string()),
                         }
                     }
-                    (lat, errs)
+                    (lat, retries, errs)
                 })
             })
             .collect();
         for handle in handles {
-            let (lat, errs) = handle.join().expect("drill worker panicked");
+            let (lat, retries, errs) = handle.join().expect("drill worker panicked");
             latencies_us.extend(lat);
+            retry_after_ms.extend(retries);
             errors.extend(errs);
         }
     });
@@ -653,6 +675,17 @@ fn drill_overload(args: &Args) -> Result<(), String> {
         stats.shed[1],
         stats.shed[2],
     );
+    if !retry_after_ms.is_empty() {
+        retry_after_ms.sort_unstable();
+        println!(
+            "retry-after: min {} ms, p50 {} ms, p99 {} ms, max {} ms (over {} shed(s))",
+            retry_after_ms[0],
+            percentile_us(&retry_after_ms, 50.0),
+            percentile_us(&retry_after_ms, 99.0),
+            retry_after_ms[retry_after_ms.len() - 1],
+            retry_after_ms.len(),
+        );
+    }
     if !errors.is_empty() {
         return Err(format!(
             "{} request(s) failed with unexpected errors, e.g.: {}",
@@ -801,6 +834,204 @@ fn drill_writer_race(args: &Args) -> Result<(), String> {
         return Err(format!("{} torn-read violation(s)", violations.len()));
     }
     println!("zero torn reads: every snapshot verified whole (checksum + batch invariant)");
+    Ok(())
+}
+
+/// `mdwh serve`: the long-lived query server. Binds, prints the address,
+/// then runs until SIGTERM/SIGINT (or an admin drain), at which point it
+/// walks the graceful-drain ladder: stop accepting, let in-flight requests
+/// finish for the drain grace, cancel stragglers (their clients still get
+/// complete frames with truthful truncated summaries), and exit 0.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let warehouse = drill_warehouse(args)?.into_shared();
+    let mut config = ServerConfig {
+        addr: args.option("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        ..ServerConfig::default()
+    };
+    config.max_connections = parse_or(args, "max-conns", config.max_connections)?;
+    if let Some(ms) = args.option("deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad --deadline-ms: {ms}"))?;
+        config.default_deadline = Duration::from_millis(ms);
+    }
+    if let Some(ms) = args.option("drain-grace-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad --drain-grace-ms: {ms}"))?;
+        config.drain_grace = Duration::from_millis(ms);
+    }
+    if args.flag("no-admission") {
+        config.admission = None;
+    } else if let Some(quota) = args.option("quota") {
+        let quota: usize = quota.parse().map_err(|_| format!("bad --quota: {quota}"))?;
+        config.admission = Some(AdmissionConfig::with_quotas(quota, quota));
+    }
+    let grace = config.drain_grace;
+
+    signal::install_termination_handler();
+    let mut handle = serve(warehouse, config).map_err(|e| format!("bind failed: {e}"))?;
+    println!("mdw-serve listening on {}", handle.addr());
+    eprintln!("mdwh: GET /search?q= /lineage?item= /sparql?query= /stats /healthz; SIGTERM drains");
+
+    while !signal::termination_requested() && !handle.state().drain.is_draining() {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    eprintln!("mdwh: draining (grace {} ms) …", grace.as_millis());
+    let cancelled = handle.drain(grace);
+    let counters = &handle.state().counters;
+    let load = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    println!(
+        "drained: served {}, shed {}, wire errors {}, panics {}, cancelled in-flight {}",
+        load(&counters.served),
+        load(&counters.sheds),
+        load(&counters.wire_errors),
+        load(&counters.panics),
+        cancelled,
+    );
+    Ok(())
+}
+
+/// `mdwh drill wire`: the client-side load drill. Opens `--connections`
+/// concurrent connections (default 1000) against a server — an external
+/// `--addr`, or an in-process one booted for the drill — and reports
+/// latency percentiles, shed counts, and frame verdicts. Every response
+/// must be a complete frame (ok, truncated-but-truthful, or a well-formed
+/// 503 shed); a half-frame that parses as complete fails the drill.
+fn drill_wire(args: &Args) -> Result<(), String> {
+    let connections: usize = parse_or(args, "connections", 1000)?;
+    let requests: usize = parse_or(args, "requests", 1)?;
+    let deadline_ms: u64 = parse_or(args, "deadline-ms", 1000)?;
+    let quota: usize = parse_or(args, "quota", 4)?;
+    let tenants: usize = parse_or(args, "tenants", 4)?.max(1);
+    let timeout = Duration::from_secs(30);
+
+    let (addr, mut handle) = match args.option("addr") {
+        Some(addr) => {
+            let addr = addr
+                .parse::<std::net::SocketAddr>()
+                .map_err(|_| format!("bad --addr: {addr} (need IP:PORT)"))?;
+            (addr, None)
+        }
+        None => {
+            let warehouse = drill_warehouse(args)?.into_shared();
+            let admission = if args.flag("no-admission") {
+                None
+            } else {
+                // Forced-low, queueless quotas: overload sheds immediately,
+                // which is the behavior the drill wants to observe.
+                Some(AdmissionConfig {
+                    max_queued: 0,
+                    max_wait: Duration::ZERO,
+                    ..AdmissionConfig::with_quotas(quota, quota)
+                })
+            };
+            let config = ServerConfig {
+                max_connections: parse_or(args, "max-conns", 2048)?,
+                admission,
+                ..ServerConfig::default()
+            };
+            let handle = serve(warehouse, config).map_err(|e| format!("bind failed: {e}"))?;
+            (handle.addr(), Some(handle))
+        }
+    };
+
+    eprintln!(
+        "wire drill: {connections} connection(s) × {requests} request(s) against {addr} \
+         (admission {})",
+        if args.flag("no-admission") { "OFF" } else { "on" },
+    );
+
+    let start = std::sync::Barrier::new(connections);
+    let mut ok_latencies_us: Vec<u64> = Vec::new();
+    let mut truncated = 0u64;
+    let mut sheds = 0u64;
+    let mut io_errors = 0u64;
+    let mut bad_frames: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let start = &start;
+        let workers: Vec<_> = (0..connections)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    let (mut trunc, mut shed, mut io) = (0u64, 0u64, 0u64);
+                    let mut bad = Vec::new();
+                    let tenant = format!("tenant{}", c % tenants);
+                    let headers = [
+                        ("X-Tenant", tenant),
+                        ("X-Deadline-Ms", deadline_ms.to_string()),
+                    ];
+                    // The overload drill's mix: fast search and lineage
+                    // plus a heavy cross join that runs to its deadline —
+                    // the long permit holds are what make the gate bite.
+                    let target = match c % 3 {
+                        0 => "/search?q=client",
+                        1 => "/lineage?item=dwh_stage0_item0",
+                        _ => "/sparql?query=%7B%20%3Fa%20%3Fp%20%3Fb%20.%20%3Fc%20%3Fq%20%3Fd%20%7D",
+                    };
+                    start.wait();
+                    for _ in 0..requests {
+                        let begun = std::time::Instant::now();
+                        match client::get(addr, target, &headers, timeout) {
+                            Ok(resp) if resp.status == 200 && resp.answer_complete() => {
+                                lat.push(begun.elapsed().as_micros() as u64);
+                            }
+                            Ok(resp) if resp.status == 200 && resp.complete_frame => {
+                                // Truncated but truthful: frame closed, the
+                                // summary admits it.
+                                trunc += 1;
+                                lat.push(begun.elapsed().as_micros() as u64);
+                            }
+                            Ok(resp) if resp.status == 503 && resp.complete_frame => shed += 1,
+                            Ok(resp) => bad.push(format!(
+                                "status {} complete_frame {}",
+                                resp.status, resp.complete_frame
+                            )),
+                            Err(client::WireError::Io(_)) => io += 1,
+                            Err(e) => bad.push(e.to_string()),
+                        }
+                    }
+                    (lat, trunc, shed, io, bad)
+                })
+            })
+            .collect();
+        for worker in workers {
+            let (lat, trunc, shed, io, bad) = worker.join().expect("wire worker panicked");
+            ok_latencies_us.extend(lat);
+            truncated += trunc;
+            sheds += shed;
+            io_errors += io;
+            bad_frames.extend(bad);
+        }
+    });
+
+    ok_latencies_us.sort_unstable();
+    let total = connections * requests;
+    println!("requests:  {total} over {connections} concurrent connection(s)");
+    println!(
+        "completed: {} ({} truncated-but-truthful)",
+        ok_latencies_us.len(),
+        truncated
+    );
+    println!(
+        "latency:   p50 {:.1} ms, p99 {:.1} ms",
+        percentile_us(&ok_latencies_us, 50.0) as f64 / 1000.0,
+        percentile_us(&ok_latencies_us, 99.0) as f64 / 1000.0,
+    );
+    println!("shed:      {sheds} (503 + Retry-After)");
+    println!("io errors: {io_errors} (connect/read failures at the socket)");
+    if let Some(handle) = handle.as_mut() {
+        let cancelled = handle.drain(Duration::from_secs(5));
+        let state = handle.state();
+        let served = state.counters.served.load(std::sync::atomic::Ordering::Relaxed);
+        println!("server:    served {served}, cancelled at drain {cancelled}");
+    }
+    if !bad_frames.is_empty() {
+        return Err(format!(
+            "{} malformed frame(s), e.g.: {}",
+            bad_frames.len(),
+            bad_frames[0]
+        ));
+    }
+    if args.flag("expect-shed") && sheds == 0 {
+        return Err("expected sheds under forced-low quotas, but shed = 0".to_string());
+    }
     Ok(())
 }
 

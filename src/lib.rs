@@ -16,7 +16,9 @@
 //!   historization, search, lineage, synonyms, reports),
 //! * [`corpus`] — the synthetic banking-landscape generator,
 //! * [`relational`] — the fixed-schema relational baseline the paper argues
-//!   against.
+//!   against,
+//! * [`serve`] — the fault-hardened multi-tenant HTTP query server
+//!   (`mdwh serve`) over the snapshot core.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and experiment index.
@@ -26,4 +28,5 @@ pub use mdw_corpus as corpus;
 pub use mdw_rdf as rdf;
 pub use mdw_reason as reason;
 pub use mdw_relational as relational;
+pub use mdw_serve as serve;
 pub use mdw_sparql as sparql;

@@ -15,7 +15,9 @@
 
 use proptest::prelude::*;
 
-use metadata_warehouse::core::budget::{CancellationToken, QueryBudget};
+use metadata_warehouse::core::budget::{
+    CancellationToken, QueryBudget, TruncationReason, CHECK_INTERVAL,
+};
 use metadata_warehouse::core::ingest::Extract;
 use metadata_warehouse::core::lineage::LineageRequest;
 use metadata_warehouse::core::search::SearchRequest;
@@ -247,6 +249,103 @@ fn eight_thread_results_are_stable_across_32_runs() {
             "sparql run {run} diverged"
         );
     }
+}
+
+/// Cross-thread cancellation: a token cancelled from *another thread* in
+/// the middle of an 8-way parallel scan stops every `StepMeter` worker
+/// within one check interval of its own charges.
+///
+/// The bound is made flake-free by where the counters are read: `after` is
+/// sampled *after* `cancel()` returns (its `SeqCst` store is then visible
+/// to every worker's next interval check), so each of the 8 workers can
+/// charge strictly less than one `CHECK_INTERVAL` beyond it. Any charges
+/// racing between the store and the sample only shrink the observed delta.
+#[test]
+fn cross_thread_cancel_stops_all_step_meter_workers_within_one_interval() {
+    let mut w = chained_warehouse();
+    w.set_parallelism(policy(8));
+
+    // A heavy cross join (~550² pairs) that cannot plausibly finish before
+    // the canceller fires a few hundred steps in.
+    let sparql = SemMatch::new("{ ?a ?p ?b . ?c ?q ?d }").select(&["?a", "?c"]);
+    let token = CancellationToken::new();
+    let budget = QueryBudget::unlimited().with_cancellation(&token);
+    let observer = budget.clone(); // budgets share their atomic counters
+
+    let (result, after_cancel) = std::thread::scope(|scope| {
+        let w = &w;
+        let query = scope.spawn({
+            let budget = budget.clone();
+            let sparql = &sparql;
+            move || w.sem_match_with_budget(sparql, &budget).unwrap()
+        });
+        // Let the scan get properly under way, then pull the plug.
+        while observer.steps_charged() < CHECK_INTERVAL {
+            std::thread::yield_now();
+        }
+        token.cancel();
+        let after_cancel = observer.steps_charged();
+        (query.join().expect("query thread"), after_cancel)
+    });
+
+    assert_eq!(
+        result.completeness.reason(),
+        Some(TruncationReason::Cancelled),
+        "mid-scan cancellation must surface as a truthful Cancelled verdict"
+    );
+    let overshoot = observer.steps_charged().saturating_sub(after_cancel);
+    assert!(
+        overshoot < 8 * CHECK_INTERVAL,
+        "workers charged {overshoot} steps after cancellation; \
+         8 workers × one interval ({CHECK_INTERVAL}) is the ceiling"
+    );
+}
+
+/// The cancelled parallel scan's partial rows are a *prefix* of the full
+/// sequential answer — cancellation truncates, it never reorders or
+/// corrupts (the differential harness's contract, extended to the
+/// cancellation path).
+#[test]
+fn cancelled_parallel_rows_are_a_prefix_of_the_sequential_answer() {
+    let mut w = chained_warehouse();
+    let sparql = SemMatch::new("{ ?a ?p ?b . ?c ?q ?d }").select(&["?a", "?c"]);
+
+    w.set_parallelism(policy(1));
+    let full = w.sem_match(&sparql).unwrap();
+    assert!(full.completeness.is_complete());
+
+    w.set_parallelism(policy(8));
+    let token = CancellationToken::new();
+    let budget = QueryBudget::unlimited().with_cancellation(&token);
+    let observer = budget.clone();
+    let partial = std::thread::scope(|scope| {
+        let w = &w;
+        let query = scope.spawn({
+            let budget = budget.clone();
+            let sparql = &sparql;
+            move || w.sem_match_with_budget(sparql, &budget).unwrap()
+        });
+        while observer.steps_charged() < CHECK_INTERVAL {
+            std::thread::yield_now();
+        }
+        token.cancel();
+        query.join().expect("query thread")
+    });
+
+    assert_eq!(
+        partial.completeness.reason(),
+        Some(TruncationReason::Cancelled)
+    );
+    assert!(
+        partial.rows.len() < full.rows.len(),
+        "the cancelled run must actually have been cut short"
+    );
+    assert_eq!(partial.columns, full.columns);
+    assert_eq!(
+        partial.rows.as_slice(),
+        &full.rows[..partial.rows.len()],
+        "cancelled rows diverged from the sequential prefix"
+    );
 }
 
 /// The CI matrix entry point: with `MDW_PAR_THREADS` set, the env-derived

@@ -239,6 +239,45 @@ pub fn to_string_pretty<T: ToJson>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+fn write_compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, key);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes a value as compact single-line JSON text (the ndjson wire
+/// format: one value per line, no interior newlines).
+pub fn to_string<T: ToJson>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_json(), &mut out);
+    Ok(out)
+}
+
 /// Builds a [`Value`] from a JSON-like literal. Object values may be any
 /// expression convertible via [`ToJson`], a nested `{ … }` / `[ … ]`
 /// literal, or `null`.
@@ -304,6 +343,21 @@ mod tests {
         assert!(text.contains("\"count\": 3"));
         assert!(text.contains("\"a\": 1"));
         assert!(text.contains("\"nothing\": null"));
+    }
+
+    #[test]
+    fn compact_is_single_line() {
+        let doc = json!({
+            "rows": [1i64, 2i64],
+            "note": "line\nbreak",
+            "inner": {"ok": true},
+        });
+        let text = to_string(&doc).unwrap();
+        assert_eq!(
+            text,
+            "{\"rows\":[1,2],\"note\":\"line\\nbreak\",\"inner\":{\"ok\":true}}"
+        );
+        assert!(!text.contains('\n'));
     }
 
     #[test]

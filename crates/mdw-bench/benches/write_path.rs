@@ -1,0 +1,178 @@
+//! LSM write-path benchmarks: group-commit ingest throughput under
+//! concurrent readers, publish latency per committed batch, and the cost
+//! of draining compaction debt.
+//!
+//! The paper's warehouse ingests release drops in bulk; the LSM write path
+//! adds continuous ingest between releases. These benches answer the three
+//! operational questions that come with it: how fast can N concurrent
+//! writers stream triples when one fsync is amortized across a commit
+//! window (readers scanning all the while), how quickly does a committed
+//! batch become visible to new snapshots, and what does it cost to fold a
+//! stack of sealed runs back into a solid base.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mdw_rdf::journal::JournalOp;
+use mdw_rdf::lsm::{LsmConfig, LsmStore};
+use mdw_rdf::term::Term;
+
+const BATCH: usize = 64;
+const BATCHES_PER_WRITER: usize = 16;
+const MODEL: &str = "DWH_CURR";
+
+fn batch_ops(writer: usize, round: usize, batch: usize) -> Vec<JournalOp> {
+    (0..BATCH)
+        .map(|t| {
+            JournalOp::Insert(
+                Term::iri(format!("http://ex.org/wp/w{writer}r{round}b{batch}t{t}")),
+                Term::iri("http://ex.org/wp/p"),
+                Term::iri(format!("http://ex.org/wp/o{t}")),
+            )
+        })
+        .collect()
+}
+
+/// N writer threads stream batches through the group-commit window of a
+/// *durable* store (real journal, real fsyncs — the case group commit
+/// exists for) while two reader threads spin on published snapshots;
+/// throughput counts writer triples only. A small memtable keeps seals
+/// frequent, so per-publish refreeze cost stays bounded as writers scale.
+fn bench_group_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_path/group_commit");
+    group.sample_size(10);
+    for writers in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((writers * BATCHES_PER_WRITER * BATCH) as u64));
+        group.bench_with_input(BenchmarkId::new("writers", writers), &writers, |b, &writers| {
+            let mut round = 0usize;
+            b.iter(|| {
+                round += 1;
+                let dir = std::env::temp_dir()
+                    .join(format!("mdw-bench-wp-{}-{writers}", std::process::id()));
+                let _ = std::fs::remove_dir_all(&dir);
+                std::fs::create_dir_all(&dir).unwrap();
+                let (store, _) = LsmStore::open(
+                    &dir,
+                    LsmConfig { memtable_limit: 8192, ..LsmConfig::default() },
+                )
+                .unwrap();
+                let done = std::sync::atomic::AtomicBool::new(false);
+                std::thread::scope(|scope| {
+                    let store = &store;
+                    let done = &done;
+                    for r in 0..2 {
+                        scope.spawn(move || {
+                            let mut seen = 0usize;
+                            while !done.load(std::sync::atomic::Ordering::Acquire) {
+                                let snap = store.snapshot();
+                                if let Ok(g) = snap.model(MODEL) {
+                                    seen = seen.max(g.len());
+                                }
+                                std::thread::yield_now();
+                            }
+                            (r, seen)
+                        });
+                    }
+                    let writers_handles: Vec<_> = (0..writers)
+                        .map(|w| {
+                            scope.spawn(move || {
+                                for bch in 0..BATCHES_PER_WRITER {
+                                    store
+                                        .write_batch(MODEL, &batch_ops(w, round, bch))
+                                        .expect("bench write");
+                                }
+                            })
+                        })
+                        .collect();
+                    for handle in writers_handles {
+                        handle.join().unwrap();
+                    }
+                    done.store(true, std::sync::atomic::Ordering::Release);
+                });
+                let committed = store.metrics().committed_ops;
+                drop(store);
+                let _ = std::fs::remove_dir_all(&dir);
+                committed
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One committed batch, measured write→published: after `write_batch`
+/// returns, the next `snapshot()` must already expose the triples, so the
+/// iteration cost is exactly commit + publish.
+fn bench_publish_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_path/publish_latency");
+    group.sample_size(20);
+    for base in [0usize, 100_000] {
+        let store = LsmStore::in_memory(LsmConfig::default());
+        let mut seeded = 0usize;
+        while seeded < base {
+            let ops: Vec<JournalOp> = (0..512)
+                .map(|t| {
+                    JournalOp::Insert(
+                        Term::iri(format!("http://ex.org/seed/{}", seeded + t)),
+                        Term::iri("http://ex.org/wp/p"),
+                        Term::iri("http://ex.org/wp/o"),
+                    )
+                })
+                .collect();
+            store.write_batch(MODEL, &ops).unwrap();
+            seeded += 512;
+        }
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_with_input(BenchmarkId::new("base", base), &base, |b, _| {
+            let mut round = 0usize;
+            b.iter(|| {
+                round += 1;
+                let seq = store.write_batch(MODEL, &batch_ops(0, round, 0)).unwrap();
+                let snap = store.snapshot();
+                assert!(snap.watermark() >= seq, "publish must cover the commit");
+                snap.generation()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Building a stack of sealed runs and folding it back into a solid base:
+/// the debt curve the background compactor works against. The vendored
+/// criterion has no setup-excluded timing, so the iteration covers
+/// write + seal (the debt build-up) and the single `compact_once` that
+/// drains it — exactly one full debt cycle.
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_path/stack_and_fold");
+    group.sample_size(10);
+    for runs in [2usize, 4, 8] {
+        group.throughput(Throughput::Elements((runs * 1024) as u64));
+        group.bench_with_input(BenchmarkId::new("runs", runs), &runs, |b, &runs| {
+            b.iter(|| {
+                let store = LsmStore::in_memory(LsmConfig {
+                    auto_compact: false,
+                    ..LsmConfig::default()
+                });
+                for r in 0..runs {
+                    let ops: Vec<JournalOp> = (0..1024)
+                        .map(|t| {
+                            JournalOp::Insert(
+                                Term::iri(format!("http://ex.org/cd/r{r}t{t}")),
+                                Term::iri("http://ex.org/wp/p"),
+                                Term::iri("http://ex.org/wp/o"),
+                            )
+                        })
+                        .collect();
+                    store.write_batch(MODEL, &ops).unwrap();
+                    store.seal_now().unwrap();
+                }
+                assert_eq!(store.compaction_debt(), runs);
+                store.compact_once().unwrap();
+                assert_eq!(store.compaction_debt(), 0);
+                store.metrics().compactions
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_commit, bench_publish_latency, bench_compaction);
+criterion_main!(benches);

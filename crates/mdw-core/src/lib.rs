@@ -62,6 +62,7 @@ pub use governance::{who_can_access, AccessReport};
 pub use history::{History, VersionDiff, VersionRecord};
 pub use ingest::{
     Extract, ExtractOutcome, ExtractStatus, IngestReport, ResilientIngestReport,
+    StreamIngestReport, StreamOutcome, StreamStatus,
 };
 pub use lineage::{Direction, ImpactSummary, LineageRequest, LineageResult};
 pub use model::{Census, EdgeCategory, NodeKind};

@@ -507,8 +507,16 @@ fn distinct_type_objects(
         return graph.scan(pattern).map(|t| t.o).collect();
     }
     let chunks = policy.threads.max(1);
-    let mut runs = graph.base().index().run_partitions(pattern, chunks);
-    runs.extend(graph.derived().run_partitions(pattern, chunks));
+    // A stacked base degrades to one merged partition (see
+    // `FrozenGraph::scan_partitions`); solid bases split as before.
+    let mut runs = graph.base().scan_partitions(pattern, chunks);
+    runs.extend(
+        graph
+            .derived()
+            .run_partitions(pattern, chunks)
+            .into_iter()
+            .map(mdw_rdf::GraphScan::Run),
+    );
     // The items here are whole runs, so chunk by run count, not row count.
     let per_run =
         mdw_rdf::par::ParallelPolicy::new(policy.threads).with_min_partition_rows(1);

@@ -170,7 +170,7 @@ impl MetadataWarehouse {
         let mut journal = Journal::open(dir)?;
         let base = journal.next_seq().saturating_sub(1);
         let report = persist::save_snapshot(&self.store, dir, base)?;
-        journal.reset(base)?;
+        journal.rotate(base)?;
         self.durability = Some(Durability { dir: dir.to_path_buf(), journal });
         Ok(report)
     }
@@ -186,7 +186,10 @@ impl MetadataWarehouse {
     }
 
     /// Folds the journal into a fresh snapshot: write the whole store
-    /// atomically, then truncate the journal to just a base marker.
+    /// atomically, then rotate the journal down to just a base marker
+    /// (the rotate step is `journal::rotate`-failpoint-gated, so crash
+    /// drills can kill between snapshot publish and journal truncation —
+    /// replay over the new snapshot is idempotent either way).
     /// Returns `None` when the warehouse is not durable.
     pub fn checkpoint(&mut self) -> Result<Option<SaveReport>, MdwError> {
         let Some(d) = self.durability.as_mut() else {
@@ -194,7 +197,7 @@ impl MetadataWarehouse {
         };
         let base = d.journal.next_seq().saturating_sub(1);
         let report = persist::save_snapshot(&self.store, &d.dir, base)?;
-        d.journal.reset(base)?;
+        d.journal.rotate(base)?;
         Ok(Some(report))
     }
 

@@ -59,11 +59,23 @@ const FAILPOINTS: &[&str] = &[
     "journal::append::partial",
     "journal::append::uncommitted",
     "journal::sync",
+    "journal::rotate",
+    "journal::reset",
     "snapshot::model",
     "snapshot::manifest",
     "staging::bulk_load",
     "ingest::extract",
 ];
+
+/// Failpoints only the checkpoint path (snapshot + journal rotation)
+/// reaches; the drill attempts a checkpoint instead of an ingest for
+/// these.
+fn is_checkpoint_failpoint(fp: &str) -> bool {
+    matches!(
+        fp,
+        "snapshot::model" | "snapshot::manifest" | "journal::rotate" | "journal::reset"
+    )
+}
 
 /// The scripted crash drill: commit some extracts, arm one failpoint,
 /// attempt one more operation, "kill" the process (drop the warehouse
@@ -89,7 +101,7 @@ fn crash_drill(fp_index: usize, committed_extracts: u64, checkpoint_first: bool)
         // attempt errors, quarantines, or succeeds, the invariant below
         // must hold.
         failpoint::arm(fp, FailSpec::Once);
-        let attempt = if fp.starts_with("snapshot::") {
+        let attempt = if is_checkpoint_failpoint(fp) {
             w.checkpoint().map(|_| true)
         } else if fp == "ingest::extract" {
             w.ingest_resilient(
@@ -122,7 +134,7 @@ fn crash_drill(fp_index: usize, committed_extracts: u64, checkpoint_first: bool)
             // The operation was acknowledged → its triples are committed
             // too and must all be present.
             let mut expected = committed.clone();
-            if FAILPOINTS[fp_index % FAILPOINTS.len()].starts_with("snapshot::") {
+            if is_checkpoint_failpoint(fp) {
                 // checkpoint failure injected; no new triples involved.
                 assert_eq!(&after, &expected, "failpoint {fp}");
             } else {

@@ -61,6 +61,13 @@ impl QueryContext {
         &self.snapshot
     }
 
+    /// The durable journal high-water mark the pinned snapshot reflects —
+    /// readers use this to tell which group-committed writes they observe
+    /// (0 for snapshots not built by the journaled write path).
+    pub fn watermark(&self) -> u64 {
+        self.snapshot.watermark()
+    }
+
     /// The read-only dictionary view of the pinned generation.
     pub fn dict(&self) -> &Dictionary {
         self.snapshot.dict()

@@ -47,6 +47,16 @@ pub enum RdfError {
         /// The failpoint that fired.
         failpoint: String,
     },
+    /// A write was shed after stalling at the backpressure gate: compaction
+    /// debt exceeded its threshold and did not drain within the deadline.
+    /// Transient — the typed alternative to unbounded memory growth; retry
+    /// once compaction catches up.
+    Backpressure {
+        /// Run-stack depth (compaction debt) at shed time.
+        debt: usize,
+        /// How long the writer stalled before being shed, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl RdfError {
@@ -63,7 +73,10 @@ impl RdfError {
     /// True for failures worth retrying (environmental I/O and injected
     /// faults); false for corruption, validation, and logic errors.
     pub fn is_transient(&self) -> bool {
-        matches!(self, RdfError::Io { .. } | RdfError::Injected { .. })
+        matches!(
+            self,
+            RdfError::Io { .. } | RdfError::Injected { .. } | RdfError::Backpressure { .. }
+        )
     }
 }
 
@@ -85,6 +98,13 @@ impl fmt::Display for RdfError {
             }
             RdfError::Injected { failpoint } => {
                 write!(f, "injected fault at failpoint: {failpoint}")
+            }
+            RdfError::Backpressure { debt, waited_ms } => {
+                write!(
+                    f,
+                    "write shed by backpressure: compaction debt {debt} runs, \
+                     stalled {waited_ms} ms"
+                )
             }
         }
     }

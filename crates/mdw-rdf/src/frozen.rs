@@ -55,6 +55,14 @@ impl FrozenIndex {
     pub fn from_spo_rows(mut spo: Vec<Key>) -> Self {
         spo.sort_unstable();
         spo.dedup();
+        Self::from_sorted_spo_rows(spo)
+    }
+
+    /// Builds a frozen index from SPO rows that are already sorted and
+    /// duplicate-free — the compaction path produces exactly that (a k-way
+    /// merge emits SPO order), so the primary column's re-sort is skipped.
+    pub fn from_sorted_spo_rows(spo: Vec<Key>) -> Self {
+        debug_assert!(spo.windows(2).all(|w| w[0] < w[1]), "rows must be sorted and deduped");
         let mut pos: Vec<Key> = spo.iter().map(|&(s, p, o)| (p, o, s)).collect();
         let mut osp: Vec<Key> = spo.iter().map(|&(s, p, o)| (o, s, p)).collect();
         pos.sort_unstable();
@@ -217,77 +225,403 @@ impl DoubleEndedIterator for FrozenRun<'_> {
     }
 }
 
-/// An immutable snapshot of one named model: a frozen index plus lazily
-/// computed statistics. Shared by `Arc` between history versions, published
-/// store generations, and concurrent readers.
+/// One sealed LSM delta: triples added and triples tombstoned since the run
+/// below it. Both sides are full three-permutation [`FrozenIndex`]es so a
+/// merged scan can walk adds *and* tombstones in any routed permutation
+/// order. The two sides are disjoint by construction (sealing normalizes:
+/// an insert clears a pending tombstone and vice versa).
+#[derive(Debug, Default, Clone)]
+pub struct DeltaRun {
+    adds: FrozenIndex,
+    dels: FrozenIndex,
+}
+
+impl DeltaRun {
+    /// Wraps the two sides of a sealed delta.
+    pub fn new(adds: FrozenIndex, dels: FrozenIndex) -> Self {
+        debug_assert!(
+            adds.spo_rows().iter().all(|&k| !dels.contains(Triple::from_tuple(k))),
+            "a delta run's adds and tombstones must be disjoint"
+        );
+        DeltaRun { adds, dels }
+    }
+
+    /// The triples this run adds.
+    pub fn adds(&self) -> &FrozenIndex {
+        &self.adds
+    }
+
+    /// The triples this run tombstones.
+    pub fn dels(&self) -> &FrozenIndex {
+        &self.dels
+    }
+
+    /// True if the run neither adds nor deletes anything.
+    pub fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.dels.is_empty()
+    }
+
+    /// Adds + tombstones — the run's op count, not its net effect.
+    pub fn ops(&self) -> usize {
+        self.adds.len() + self.dels.len()
+    }
+
+    /// Approximate heap bytes of both sides.
+    pub fn approx_bytes(&self) -> usize {
+        self.adds.approx_bytes() + self.dels.approx_bytes()
+    }
+}
+
+/// The permuted comparison key of a triple — the order rows of that
+/// permutation's column sort in.
+fn perm_key(perm: Permutation, t: Triple) -> Key {
+    let (s, p, o) = t.as_tuple();
+    match perm {
+        Permutation::Spo => (s, p, o),
+        Permutation::Pos => (p, o, s),
+        Permutation::Osp => (o, s, p),
+    }
+}
+
+/// One layer of a k-way merge: the adds and tombstones of a single run,
+/// both already routed to the scan's permutation, with one-triple lookahead.
+#[derive(Debug, Clone)]
+struct LayerCursor<'a> {
+    adds: FrozenRun<'a>,
+    dels: FrozenRun<'a>,
+    next_add: Option<Triple>,
+    next_del: Option<Triple>,
+}
+
+impl<'a> LayerCursor<'a> {
+    fn new(mut adds: FrozenRun<'a>, mut dels: FrozenRun<'a>) -> Self {
+        let next_add = adds.next();
+        let next_del = dels.next();
+        LayerCursor { adds, dels, next_add, next_del }
+    }
+}
+
+/// A k-way merge over a solid base run plus N stacked delta runs, in the
+/// routed permutation's order — **byte-identical, order included, to the
+/// scan of a single run holding the compacted union** (the differential
+/// suite in `tests/lsm_merge.rs` proves this across run counts, overlap,
+/// and tombstones):
+///
+/// * each step takes the minimum permuted key across every layer's
+///   lookahead (adds *and* tombstones);
+/// * the **newest** layer touching that key decides: an add emits the
+///   triple, a tombstone suppresses it;
+/// * every layer holding the key advances past it, so duplicates collapse
+///   to one emission.
+///
+/// Layer count is the live run-stack depth (single digits under normal
+/// compaction debt), so the per-row linear minimum beats a heap.
+#[derive(Debug, Clone)]
+pub struct MergeScan<'a> {
+    /// Oldest first; the last layer is the newest and wins conflicts.
+    layers: Vec<LayerCursor<'a>>,
+    perm: Permutation,
+}
+
+impl<'a> MergeScan<'a> {
+    fn new(base: &'a FrozenIndex, deltas: &'a [Arc<DeltaRun>], pattern: TriplePattern) -> Self {
+        let perm = TripleIndex::route(&pattern);
+        let mut layers = Vec::with_capacity(deltas.len() + 1);
+        layers.push(LayerCursor::new(base.run(pattern), FrozenRun::empty()));
+        for delta in deltas {
+            layers.push(LayerCursor::new(delta.adds.run(pattern), delta.dels.run(pattern)));
+        }
+        MergeScan { layers, perm }
+    }
+}
+
+impl Iterator for MergeScan<'_> {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        loop {
+            // The minimum permuted key over every layer's lookahead.
+            let mut min: Option<Key> = None;
+            for c in &self.layers {
+                for t in [c.next_add, c.next_del].into_iter().flatten() {
+                    let k = perm_key(self.perm, t);
+                    if min.is_none_or(|m| k < m) {
+                        min = Some(k);
+                    }
+                }
+            }
+            let k = min?;
+            // Oldest→newest: the last layer touching `k` decides; every
+            // layer holding it advances past it.
+            let mut verdict: Option<(bool, Triple)> = None;
+            for c in &mut self.layers {
+                if let Some(t) = c.next_add {
+                    if perm_key(self.perm, t) == k {
+                        verdict = Some((true, t));
+                        c.next_add = c.adds.next();
+                    }
+                }
+                if let Some(t) = c.next_del {
+                    if perm_key(self.perm, t) == k {
+                        verdict = Some((false, t));
+                        c.next_del = c.dels.next();
+                    }
+                }
+            }
+            if let Some((true, t)) = verdict {
+                return Some(t);
+            }
+            // Tombstone won: the key is suppressed, keep scanning.
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Tombstones can suppress anything, so the lower bound is 0; the
+        // upper bound is every layer's remaining adds.
+        let upper = self
+            .layers
+            .iter()
+            .map(|c| c.adds.len() + usize::from(c.next_add.is_some()))
+            .sum();
+        (0, Some(upper))
+    }
+}
+
+/// A pattern scan over a [`FrozenGraph`]: the zero-allocation single-slice
+/// run when the graph is solid, or a k-way [`MergeScan`] when delta runs
+/// are stacked on top.
+#[derive(Debug, Clone)]
+pub enum GraphScan<'a> {
+    /// Solid graph: one contiguous column slice.
+    Run(FrozenRun<'a>),
+    /// Stacked graph: merged multi-run scan (dedup + tombstones applied).
+    Merged(MergeScan<'a>),
+}
+
+impl Iterator for GraphScan<'_> {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        match self {
+            GraphScan::Run(run) => run.next(),
+            GraphScan::Merged(m) => m.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            GraphScan::Run(run) => run.size_hint(),
+            GraphScan::Merged(m) => m.size_hint(),
+        }
+    }
+}
+
+/// An immutable snapshot of one named model: a solid frozen base run, any
+/// number of stacked delta runs sealed on top of it (the LSM write path),
+/// and lazily computed statistics. Shared by `Arc` between history
+/// versions, published store generations, and concurrent readers.
+///
+/// With no deltas (the common case for batch-built snapshots) every read
+/// path is exactly the old single-run fast path. With deltas, scans merge
+/// k runs at scan time — same order, dedup, tombstones applied — so a
+/// publish never re-sorts the base.
 #[derive(Debug, Default)]
 pub struct FrozenGraph {
-    index: FrozenIndex,
+    base: Arc<FrozenIndex>,
+    deltas: Vec<Arc<DeltaRun>>,
+    merged_len: OnceLock<usize>,
     stats: OnceLock<GraphStats>,
 }
 
 impl FrozenGraph {
-    /// Wraps a frozen index.
+    /// Wraps a frozen index as a solid (delta-free) graph.
     pub fn new(index: FrozenIndex) -> Self {
-        FrozenGraph { index, stats: OnceLock::new() }
+        Self::from_arc(Arc::new(index))
     }
 
-    /// The underlying columnar index.
+    /// Wraps an already-shared frozen index as a solid graph.
+    pub fn from_arc(base: Arc<FrozenIndex>) -> Self {
+        FrozenGraph {
+            base,
+            deltas: Vec::new(),
+            merged_len: OnceLock::new(),
+            stats: OnceLock::new(),
+        }
+    }
+
+    /// Assembles a stacked graph: a solid base plus sealed delta runs,
+    /// oldest first (the last delta is the newest and wins conflicts).
+    /// Empty deltas are dropped so the solid fast paths stay hot.
+    pub fn stacked(base: Arc<FrozenIndex>, deltas: Vec<Arc<DeltaRun>>) -> Self {
+        let deltas: Vec<_> = deltas.into_iter().filter(|d| !d.is_empty()).collect();
+        FrozenGraph { base, deltas, merged_len: OnceLock::new(), stats: OnceLock::new() }
+    }
+
+    /// The solid base index. Callers that need the *merged* view must use
+    /// [`scan`](Self::scan) / [`count_exact`](Self::count_exact) instead —
+    /// on a stacked graph the base alone does not see the delta runs.
     pub fn index(&self) -> &FrozenIndex {
-        &self.index
+        &self.base
     }
 
-    /// Pattern scan (zero-allocation contiguous slice).
-    pub fn scan(&self, pattern: TriplePattern) -> FrozenRun<'_> {
-        self.index.run(pattern)
+    /// The shared handle of the solid base index.
+    pub fn base_arc(&self) -> &Arc<FrozenIndex> {
+        &self.base
     }
 
-    /// All triples in SPO order.
-    pub fn iter(&self) -> FrozenRun<'_> {
-        self.index.iter()
+    /// The stacked delta runs, oldest first.
+    pub fn deltas(&self) -> &[Arc<DeltaRun>] {
+        &self.deltas
     }
 
-    /// Whether the triple is present.
+    /// True if delta runs are stacked on the base (merge paths active).
+    pub fn is_stacked(&self) -> bool {
+        !self.deltas.is_empty()
+    }
+
+    /// Pattern scan. Solid graphs return the zero-allocation contiguous
+    /// slice; stacked graphs return a k-way merged scan with identical
+    /// order, dedup, and tombstone semantics.
+    pub fn scan(&self, pattern: TriplePattern) -> GraphScan<'_> {
+        if self.deltas.is_empty() {
+            GraphScan::Run(self.base.run(pattern))
+        } else {
+            GraphScan::Merged(MergeScan::new(&self.base, &self.deltas, pattern))
+        }
+    }
+
+    /// All triples in SPO order (merged view).
+    pub fn iter(&self) -> GraphScan<'_> {
+        self.scan(TriplePattern::any())
+    }
+
+    /// Partitions a pattern scan into at most `chunks` disjoint scans for
+    /// parallel workers. A stacked graph cannot cheaply split a merged
+    /// stream, so it degrades honestly to a single merged partition —
+    /// parallelism falls back to 1 rather than risking order divergence.
+    pub fn scan_partitions(&self, pattern: TriplePattern, chunks: usize) -> Vec<GraphScan<'_>> {
+        if self.deltas.is_empty() {
+            self.base.run_partitions(pattern, chunks).into_iter().map(GraphScan::Run).collect()
+        } else {
+            vec![self.scan(pattern)]
+        }
+    }
+
+    /// Whether the triple is present in the merged view: the newest delta
+    /// touching it decides (tombstone → absent, add → present), falling
+    /// through to the base.
     pub fn contains(&self, t: Triple) -> bool {
-        self.index.contains(t)
+        for delta in self.deltas.iter().rev() {
+            if delta.dels.contains(t) {
+                return false;
+            }
+            if delta.adds.contains(t) {
+                return true;
+            }
+        }
+        self.base.contains(t)
     }
 
-    /// Number of triples.
+    /// Number of triples in the merged view. O(1) for solid graphs; a
+    /// stacked graph counts its merged scan once and caches (the graph is
+    /// immutable, so the count never changes).
     pub fn len(&self) -> usize {
-        self.index.len()
+        if self.deltas.is_empty() {
+            self.base.len()
+        } else {
+            *self.merged_len.get_or_init(|| self.iter().count())
+        }
     }
 
-    /// True if the graph holds no triples.
+    /// True if the merged view holds no triples.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.len() == 0
     }
 
-    /// Graph statistics, computed once and cached (the graph is immutable).
+    /// Exact number of merged-view matches for a pattern. O(log n) binary
+    /// search for solid graphs; a stacked graph pays a merged scan over
+    /// the pattern's range.
+    pub fn count_exact(&self, pattern: TriplePattern) -> usize {
+        if self.deltas.is_empty() {
+            self.base.count_exact(pattern)
+        } else {
+            self.scan(pattern).count()
+        }
+    }
+
+    /// A cheap upper bound on merged-view matches, capped at `cap`. Solid
+    /// graphs are exact; stacked graphs sum base + per-delta add counts
+    /// (each O(log n)) without paying for a merge — tombstones can only
+    /// shrink the true count, so this never under-estimates.
+    pub fn estimate_upto(&self, pattern: TriplePattern, cap: usize) -> usize {
+        let mut total = self.base.count_exact(pattern);
+        for delta in &self.deltas {
+            if total >= cap {
+                return cap;
+            }
+            total = total.saturating_add(delta.adds.count_exact(pattern));
+        }
+        total.min(cap)
+    }
+
+    /// Folds the base and every stacked delta into a single solid index —
+    /// the compaction step. The merged scan already emits strict SPO
+    /// order, so the primary column needs no re-sort.
+    pub fn compact(&self) -> FrozenIndex {
+        if self.deltas.is_empty() {
+            return (*self.base).clone();
+        }
+        let rows: Vec<Key> = self.iter().map(|t| t.as_tuple()).collect();
+        FrozenIndex::from_sorted_spo_rows(rows)
+    }
+
+    /// Graph statistics over the merged view, computed once and cached
+    /// (the graph is immutable).
     pub fn stats(&self) -> GraphStats {
         *self.stats.get_or_init(|| {
             let mut subjects = std::collections::HashSet::new();
             let mut predicates = std::collections::HashSet::new();
             let mut objects = std::collections::HashSet::new();
-            for &(s, p, o) in self.index.spo_rows() {
+            let mut edges = 0usize;
+            for t in self.iter() {
+                let (s, p, o) = t.as_tuple();
                 subjects.insert(s);
                 predicates.insert(p);
                 objects.insert(o);
+                edges += 1;
             }
             let nodes = subjects.union(&objects).count();
+            let approx_bytes = self.base.approx_bytes()
+                + self.deltas.iter().map(|d| d.approx_bytes()).sum::<usize>();
             GraphStats {
-                edges: self.index.len(),
+                edges,
                 nodes,
                 distinct_subjects: subjects.len(),
                 distinct_predicates: predicates.len(),
                 distinct_objects: objects.len(),
-                approx_bytes: self.index.approx_bytes(),
+                approx_bytes,
             }
         })
     }
 
-    /// Content checksum (see [`FrozenIndex::checksum`]).
+    /// Content checksum over the merged view — the same FNV-1a over SPO
+    /// rows as [`FrozenIndex::checksum`], so a stacked graph and its
+    /// [`compact`](Self::compact)ed equivalent hash identically.
     pub fn checksum(&self) -> u64 {
-        self.index.checksum()
+        if self.deltas.is_empty() {
+            return self.base.checksum();
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for t in self.iter() {
+            let (s, p, o) = t.as_tuple();
+            for v in [s, p, o] {
+                for b in v.to_le_bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
+        h
     }
 }
 
@@ -298,6 +632,7 @@ impl FrozenGraph {
 #[derive(Debug, Default, Clone)]
 pub struct FrozenStore {
     generation: u64,
+    watermark: u64,
     dict: Arc<Dictionary>,
     models: BTreeMap<String, Arc<FrozenGraph>>,
 }
@@ -309,12 +644,31 @@ impl FrozenStore {
         dict: Arc<Dictionary>,
         models: BTreeMap<String, Arc<FrozenGraph>>,
     ) -> Self {
-        FrozenStore { generation, dict, models }
+        FrozenStore { generation, watermark: 0, dict, models }
+    }
+
+    /// Stamps the durable high-water mark (last journal sequence whose
+    /// effects this snapshot contains). The LSM write path sets this at
+    /// every publish so readers can tell which commits they observe.
+    pub fn with_watermark(mut self, watermark: u64) -> Self {
+        self.watermark = watermark;
+        self
     }
 
     /// The publish-order generation number of this snapshot.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The durable journal high-water mark this snapshot reflects
+    /// (0 when the store was not built by a journaled write path).
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// All models, for write paths that rebuild or restack snapshots.
+    pub fn models(&self) -> &BTreeMap<String, Arc<FrozenGraph>> {
+        &self.models
     }
 
     /// The read-only dictionary view.

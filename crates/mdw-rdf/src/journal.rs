@@ -97,14 +97,17 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-fn render_term_line(op: &JournalOp) -> String {
+pub(crate) fn render_term_line(op: &JournalOp) -> String {
     match op {
         JournalOp::Insert(s, p, o) => format!("+ {s} {p} {o} .\n"),
         JournalOp::Remove(s, p, o) => format!("- {s} {p} {o} .\n"),
     }
 }
 
-fn parse_term_line(line: &str, context: &str) -> Result<(char, Term, Term, Term), RdfError> {
+pub(crate) fn parse_term_line(
+    line: &str,
+    context: &str,
+) -> Result<(char, Term, Term, Term), RdfError> {
     let (kind, rest) = line
         .split_once(' ')
         .ok_or_else(|| RdfError::corrupt(context, format!("malformed op line: {line:?}")))?;
@@ -220,6 +223,64 @@ impl Journal {
         self.file.sync_data().map_err(|e| RdfError::io("sync journal", e))?;
         self.next_seq = seq + 1;
         Ok(seq)
+    }
+
+    /// Appends a whole group of batches with **one** fsync — the group
+    /// commit primitive. Every batch gets its own sequence number and
+    /// commit marker, so recovery sees them as ordinary committed batches;
+    /// the single `sync_data` at the end is what amortizes the durability
+    /// cost across every writer in the window. On error *nothing* in the
+    /// group is considered committed: a torn group tail is truncated on
+    /// the next open/recover exactly like a torn single append.
+    pub fn append_batches(
+        &mut self,
+        batches: &[(&str, &[JournalOp])],
+    ) -> Result<Vec<u64>, RdfError> {
+        if batches.is_empty() {
+            return Ok(Vec::new());
+        }
+        failpoint::check("journal::append")?;
+        let mut buf = String::new();
+        let mut seqs = Vec::with_capacity(batches.len());
+        let mut seq = self.next_seq;
+        for (model, ops) in batches {
+            let start = buf.len();
+            buf.push_str(&format!("B {seq} {} {model}\n", ops.len()));
+            for op in *ops {
+                buf.push_str(&render_term_line(op));
+            }
+            let crc = crc32(&buf.as_bytes()[start..]);
+            buf.push_str(&format!("C {seq} {crc:08x}\n"));
+            seqs.push(seq);
+            seq += 1;
+        }
+
+        if failpoint::check("journal::append::partial").is_err() {
+            // Simulate a crash mid-group: half the buffer reaches the disk.
+            let half = &buf.as_bytes()[..buf.len() / 2];
+            let _ = self.file.write_all(half);
+            let _ = self.file.sync_data();
+            return Err(RdfError::Injected { failpoint: "journal::append::partial".into() });
+        }
+
+        self.file
+            .write_all(buf.as_bytes())
+            .map_err(|e| RdfError::io("append journal group", e))?;
+        failpoint::check("journal::sync")?;
+        self.file.sync_data().map_err(|e| RdfError::io("sync journal group", e))?;
+        self.next_seq = seq;
+        Ok(seqs)
+    }
+
+    /// Rotates the journal after its batches were made durable elsewhere
+    /// (sealed into a run file or folded into a snapshot): same effect as
+    /// [`reset`](Self::reset) behind its own failpoint, so the
+    /// kill-anywhere drill can crash between "run durable" and "journal
+    /// trimmed" and prove recovery tolerates the overlap (replaying a
+    /// batch already inside a run is idempotent).
+    pub fn rotate(&mut self, base: u64) -> Result<(), RdfError> {
+        failpoint::check("journal::rotate")?;
+        self.reset(base)
     }
 
     /// Resets the journal after a snapshot: the file is rewritten to hold
@@ -556,6 +617,73 @@ mod tests {
         drop(j);
         let j = Journal::open(&dir).unwrap();
         assert_eq!(j.next_seq(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_append_commits_every_batch_with_one_sync() {
+        let dir = temp_dir("group");
+        let mut j = Journal::open(&dir).unwrap();
+        let ops1 = sample_ops();
+        let ops2 = vec![JournalOp::Insert(iri("x"), iri("p"), iri("y"))];
+        let group: Vec<(&str, &[JournalOp])> =
+            vec![("m1", ops1.as_slice()), ("m2", ops2.as_slice()), ("m3", &[])];
+        let seqs = j.append_batches(&group).unwrap();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert_eq!(j.next_seq(), 4);
+        drop(j);
+
+        let scan = scan_file(&Journal::path_in(&dir)).unwrap();
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(scan.batches.len(), 3);
+        assert_eq!(scan.batches[0].model, "m1");
+        assert_eq!(scan.batches[0].ops, ops1);
+        assert_eq!(scan.batches[1].model, "m2");
+        assert_eq!(scan.batches[2].ops, vec![]);
+
+        // Interop: plain appends continue the sequence after a group.
+        let mut j = Journal::open(&dir).unwrap();
+        assert_eq!(j.append("m4", &ops2).unwrap(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_group_tail_loses_only_unacked_batches() {
+        let dir = temp_dir("group-torn");
+        let mut j = Journal::open(&dir).unwrap();
+        j.append("m", &sample_ops()).unwrap();
+        // A large first batch and a tiny second one, so the injected
+        // half-buffer cut deterministically lands inside the first batch.
+        let ops = sample_ops();
+        let group: Vec<(&str, &[JournalOp])> = vec![("a", ops.as_slice()), ("b", &[])];
+        failpoint::arm("journal::append::partial", failpoint::FailSpec::Once);
+        let err = j.append_batches(&group).unwrap_err();
+        assert!(matches!(err, RdfError::Injected { .. }));
+        assert_eq!(j.next_seq(), 2, "a failed group must not consume sequence numbers");
+        drop(j);
+        // Whatever prefix of the group hit the disk is torn tail; the one
+        // acked batch survives, and reopening heals the file.
+        let scan = scan_file(&Journal::path_in(&dir)).unwrap();
+        assert_eq!(scan.last_seq(), 1);
+        assert!(scan.torn_bytes > 0);
+        let j = Journal::open(&dir).unwrap();
+        assert_eq!(j.next_seq(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotate_is_reset_behind_a_failpoint() {
+        let dir = temp_dir("rotate");
+        let mut j = Journal::open(&dir).unwrap();
+        j.append("m", &sample_ops()).unwrap();
+        failpoint::arm("journal::rotate", failpoint::FailSpec::Once);
+        assert!(matches!(j.rotate(1), Err(RdfError::Injected { .. })));
+        // The failed rotate left the journal intact.
+        assert_eq!(scan_file(&Journal::path_in(&dir)).unwrap().batches.len(), 1);
+        j.rotate(1).unwrap();
+        let scan = scan_file(&Journal::path_in(&dir)).unwrap();
+        assert_eq!(scan.base_seq, 1);
+        assert!(scan.batches.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -48,6 +48,7 @@ pub mod failpoint;
 pub mod frozen;
 pub mod index;
 pub mod journal;
+pub mod lsm;
 pub mod par;
 pub mod persist;
 pub mod staging;
@@ -66,13 +67,15 @@ pub use dict::{Dictionary, TermId};
 pub use epoch::ArcCell;
 pub use error::RdfError;
 pub use failpoint::FailSpec;
-pub use frozen::{FrozenGraph, FrozenIndex, FrozenRun, FrozenStore};
+pub use frozen::{DeltaRun, FrozenGraph, FrozenIndex, FrozenRun, FrozenStore, GraphScan, MergeScan};
 pub use index::TripleIndex;
 pub use journal::{Journal, JournalBatch, JournalOp};
+pub use lsm::{LsmConfig, LsmMetrics, LsmOpenReport, LsmStore};
 pub use par::ParallelPolicy;
 pub use persist::{
-    fsck, load_store, recover, save_snapshot, save_store, FsckReport, RecoveryReport,
-    SaveReport, SnapshotInfo,
+    fsck, load_store, quarantine_orphan_runs, read_run_file, read_runs_manifest, recover,
+    save_frozen_snapshot, save_snapshot, save_store, write_run_file, write_runs_manifest,
+    FsckReport, RecoveryReport, RunData, RunEntry, RunsManifest, SaveReport, SnapshotInfo,
 };
 pub use staging::{LoadReport, StagingArea};
 pub use store::{Graph, GraphStats, Scan, SharedStore, Store, TripleSource};

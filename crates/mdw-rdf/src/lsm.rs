@@ -1,0 +1,1304 @@
+//! The LSM-style write path: memtable + stacked delta runs + group commit.
+//!
+//! [`SharedStore`](crate::store::SharedStore) re-freezes a whole model on
+//! every publish — right for nightly batch resyncs, wrong for sustained
+//! write traffic. [`LsmStore`] keeps writes cheap by layering them:
+//!
+//! ```text
+//! memtable         small live add/tombstone sets, re-frozen per publish
+//! sealed runs      N immutable DeltaRuns (run_<id>.ops on disk)
+//! solid base       one FrozenIndex per model (model_<G>_<i>.nt snapshot)
+//! ```
+//!
+//! Readers always see a published [`FrozenStore`] whose stacked
+//! [`FrozenGraph`]s merge all three layers at scan time — same order,
+//! dedup, and tombstone semantics as a single solid run (proven by the
+//! differential suite in `tests/lsm_merge.rs`).
+//!
+//! ## Group commit
+//!
+//! Writers enqueue batches under one mutex; the first writer to find no
+//! commit in flight becomes the **leader**, drains the whole queue, writes
+//! every batch to the journal with **one fsync**
+//! ([`Journal::append_batches`]), applies them to the memtable, publishes
+//! the next snapshot generation, and wakes the followers. Thousands of
+//! concurrent writers thus amortize one `fsync` per commit window.
+//!
+//! ## Crash consistency
+//!
+//! Every step is either atomic or journal-covered, and every seam carries
+//! a failpoint so the kill-anywhere drill (`tests/lsm_crash.rs`,
+//! `mdwh drill crash`) can prove the invariants:
+//!
+//! * **no acknowledged batch is ever lost** — a batch is acked only after
+//!   its journal fsync; seal, manifest swap, rotate, and compaction all
+//!   preserve replayability at every kill point;
+//! * **no torn run is ever loaded** — run files become live only via the
+//!   `runs.tsv` manifest swap, CRCs are verified on load, and unreferenced
+//!   files are quarantined, not parsed.
+//!
+//! Failpoints: `run::seal`, `run::seal::partial`, `run::seal::manifest`,
+//! `run::manifest`, `journal::rotate`, `compact::merge`,
+//! `compact::manifest`, plus the journal/snapshot points that already
+//! existed (`journal::append`, `journal::append::partial`,
+//! `journal::sync`, `snapshot::model`, `snapshot::manifest`).
+//!
+//! ## Backpressure
+//!
+//! When compaction debt (sealed-run depth) or memtable growth exceeds the
+//! configured stall thresholds, writers **stall with a deadline** on the
+//! debt condvar; if compaction does not catch up in time they are shed
+//! with the typed [`RdfError::Backpressure`] — bounded memory, observable
+//! degradation, never OOM.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::dict::Dictionary;
+use crate::epoch::ArcCell;
+use crate::error::RdfError;
+use crate::failpoint;
+use crate::frozen::{DeltaRun, FrozenGraph, FrozenIndex, FrozenStore};
+use crate::journal::{self, Journal, JournalOp};
+use crate::persist::{
+    self, load_snapshot, quarantine_orphan_runs, read_run_file, read_runs_manifest,
+    save_frozen_snapshot, write_run_file, write_runs_manifest, RunData, RunEntry, RunsManifest,
+    MANIFEST_FILE,
+};
+use crate::triple::Triple;
+
+/// Tuning knobs of the LSM write path. The defaults favor the mixed
+/// read/write bench shape: windows of a few thousand ops, single-digit run
+/// stacks, and a two-second stall budget before a typed shed.
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// Memtable ops (adds + tombstones) that trigger a run seal.
+    pub memtable_limit: usize,
+    /// Sealed-run depth that wakes the background compactor.
+    pub max_runs: usize,
+    /// Sealed-run depth at which writers stall (backpressure gate).
+    pub stall_runs: usize,
+    /// Memtable ops at which writers stall even without run debt (the
+    /// bound that keeps a failing seal path from growing memory forever).
+    pub stall_mem_ops: usize,
+    /// How long a stalled writer waits for compaction before being shed
+    /// with [`RdfError::Backpressure`].
+    pub stall_deadline: Duration,
+    /// Spawn the background compaction thread. Turn off for deterministic
+    /// tests that drive [`LsmStore::compact_once`] by hand.
+    pub auto_compact: bool,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            memtable_limit: 32_768,
+            max_runs: 4,
+            stall_runs: 8,
+            stall_mem_ops: 4 * 32_768,
+            stall_deadline: Duration::from_secs(2),
+            auto_compact: true,
+        }
+    }
+}
+
+/// What [`LsmStore::open`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LsmOpenReport {
+    /// Generation of the base snapshot loaded (`None` for a fresh dir).
+    pub snapshot_generation: Option<u64>,
+    /// Sealed runs loaded from the runs manifest.
+    pub runs_loaded: usize,
+    /// Runs listed in the manifest but already folded into the base
+    /// snapshot (crash between snapshot commit and runs-manifest swap);
+    /// dropped from the manifest, their files quarantined as orphans.
+    pub runs_already_folded: usize,
+    /// Committed journal batches replayed into the memtable.
+    pub replayed_batches: usize,
+    /// Orphaned run files moved into `quarantine/`.
+    pub quarantined: Vec<String>,
+    /// Highest durable journal sequence recovered.
+    pub last_seq: u64,
+}
+
+/// A point-in-time counter snapshot of the write path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LsmMetrics {
+    /// Group-commit windows completed (one fsync each).
+    pub commit_windows: u64,
+    /// Batches acknowledged durable.
+    pub committed_batches: u64,
+    /// Individual ops acknowledged durable.
+    pub committed_ops: u64,
+    /// Memtable seals that produced a run.
+    pub sealed_runs: u64,
+    /// Seal attempts that failed and will retry (data stays journaled).
+    pub seal_retries: u64,
+    /// Compactions that folded runs into the base.
+    pub compactions: u64,
+    /// Compaction attempts that failed and will retry.
+    pub compact_retries: u64,
+    /// Writers shed with a typed [`RdfError::Backpressure`].
+    pub sheds: u64,
+    /// Writers that stalled at the backpressure gate (shed or not).
+    pub stalls: u64,
+    /// Snapshot generations published.
+    pub publishes: u64,
+    /// Current compaction debt (sealed-run depth).
+    pub debt: usize,
+    /// Current memtable ops.
+    pub memtable_ops: usize,
+    /// Highest acknowledged journal sequence.
+    pub last_seq: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    commit_windows: AtomicU64,
+    committed_batches: AtomicU64,
+    committed_ops: AtomicU64,
+    sealed_runs: AtomicU64,
+    seal_retries: AtomicU64,
+    compactions: AtomicU64,
+    compact_retries: AtomicU64,
+    sheds: AtomicU64,
+    stalls: AtomicU64,
+    publishes: AtomicU64,
+}
+
+/// Locks ignoring poisoning (a panicked writer must not wedge the store;
+/// same policy as the parking_lot shim used elsewhere in the workspace).
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn pwait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+}
+
+fn pwait_for<'a, T>(
+    cv: &Condvar,
+    g: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    let (g, timeout) = cv
+        .wait_timeout(g, dur)
+        .unwrap_or_else(PoisonError::into_inner);
+    (g, timeout.timed_out())
+}
+
+/// The live memtable of one model: adds and tombstones, kept in sorted
+/// sets so publishing can freeze them without re-sorting the primary
+/// column.
+#[derive(Debug, Clone, Default)]
+struct MemDelta {
+    adds: BTreeSet<(u64, u64, u64)>,
+    dels: BTreeSet<(u64, u64, u64)>,
+}
+
+impl MemDelta {
+    fn ops(&self) -> usize {
+        self.adds.len() + self.dels.len()
+    }
+
+    fn insert(&mut self, t: Triple) {
+        let k = t.as_tuple();
+        self.dels.remove(&k);
+        self.adds.insert(k);
+    }
+
+    fn remove(&mut self, t: Triple) {
+        let k = t.as_tuple();
+        self.adds.remove(&k);
+        self.dels.insert(k);
+    }
+
+    fn freeze(&self) -> DeltaRun {
+        DeltaRun::new(
+            FrozenIndex::from_sorted_spo_rows(self.adds.iter().copied().collect()),
+            FrozenIndex::from_sorted_spo_rows(self.dels.iter().copied().collect()),
+        )
+    }
+
+    fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.dels.is_empty()
+    }
+}
+
+/// One sealed, immutable run (the in-memory face of a `run_<id>.ops`).
+#[derive(Debug, Clone)]
+struct SealedRun {
+    stem: String,
+    last_seq: u64,
+    deltas: BTreeMap<String, Arc<DeltaRun>>,
+}
+
+/// One writer's enqueued batch plus the slot its verdict lands in. Slots
+/// are filled and read while holding the state mutex, so no ordering
+/// subtleties.
+#[derive(Debug)]
+struct Pending {
+    model: String,
+    encoded: Vec<(bool, Triple)>,
+    raw: Vec<JournalOp>,
+    slot: Arc<Mutex<Option<Result<u64, RdfError>>>>,
+}
+
+#[derive(Debug)]
+struct WriterState {
+    dict: Dictionary,
+    /// Cached dictionary snapshot reused while no new term is interned.
+    dict_snap: Arc<Dictionary>,
+    /// Solid base per model.
+    base: BTreeMap<String, Arc<FrozenIndex>>,
+    /// Sealed runs, oldest first.
+    sealed: Vec<SealedRun>,
+    /// The live memtable.
+    mem: BTreeMap<String, MemDelta>,
+    mem_ops: usize,
+    /// On-disk run manifest mirror (empty for in-memory stores).
+    runs: RunsManifest,
+    journal: Option<Journal>,
+    /// Highest acknowledged-durable journal sequence.
+    last_seq: u64,
+    next_run_id: u64,
+    generation: u64,
+    pending: VecDeque<Pending>,
+    committing: bool,
+    compacting: bool,
+}
+
+impl WriterState {
+    fn debt_exceeded(&self, cfg: &LsmConfig) -> bool {
+        self.sealed.len() >= cfg.stall_runs || self.mem_ops >= cfg.stall_mem_ops
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    cfg: LsmConfig,
+    dir: Option<PathBuf>,
+    current: ArcCell<FrozenStore>,
+    state: Mutex<WriterState>,
+    /// Followers waiting for their slot / the next leader hand-off.
+    commit_cv: Condvar,
+    /// Writers stalled on compaction debt.
+    debt_cv: Condvar,
+    /// The background compactor's wake-up.
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+/// The LSM store: group-committed durable writes, lock-free snapshot
+/// reads, background compaction. See the module docs for the layering.
+#[derive(Debug)]
+pub struct LsmStore {
+    inner: Arc<Inner>,
+    compactor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LsmStore {
+    /// Opens (or creates) a durable LSM store in `dir`, recovering the
+    /// exact acknowledged state: base snapshot, then CRC-verified sealed
+    /// runs, then journal replay. Orphaned run files are quarantined,
+    /// torn listed runs refuse to load ([`RdfError::Corrupt`]).
+    pub fn open(dir: &Path, cfg: LsmConfig) -> Result<(LsmStore, LsmOpenReport), RdfError> {
+        std::fs::create_dir_all(dir).map_err(|e| RdfError::io("create store dir", e))?;
+        let mut report = LsmOpenReport::default();
+
+        // 1. Base snapshot.
+        let (mut dict, base, snap_seq) = if dir.join(MANIFEST_FILE).exists() {
+            let (store, info) = load_snapshot(dir)?;
+            report.snapshot_generation = Some(info.generation);
+            let mut base = BTreeMap::new();
+            for name in store.model_names() {
+                let g = store.model(name)?.freeze();
+                base.insert(name.to_string(), Arc::clone(g.base_arc()));
+            }
+            (store.dict().clone(), base, info.journal_seq)
+        } else {
+            (Dictionary::new(), BTreeMap::new(), 0)
+        };
+
+        // 2. Run stack. Entries already folded into the base snapshot (a
+        // crash landed between compaction's snapshot commit and its
+        // runs-manifest swap) are dropped from the manifest; their files
+        // then count as orphans and are quarantined below.
+        let mut sealed = Vec::new();
+        let mut runs = RunsManifest::default();
+        let mut next_run_id = 1u64;
+        if let Some(manifest) = read_runs_manifest(dir)? {
+            for entry in &manifest.entries {
+                if let Some(id) =
+                    entry.stem.strip_prefix("run_").and_then(|s| s.parse::<u64>().ok())
+                {
+                    next_run_id = next_run_id.max(id + 1);
+                }
+                if entry.last_seq <= snap_seq {
+                    report.runs_already_folded += 1;
+                    continue;
+                }
+                let data = read_run_file(dir, entry)?;
+                sealed.push(load_sealed_run(&mut dict, &entry.stem, &data));
+                runs.entries.push(entry.clone());
+            }
+            if report.runs_already_folded > 0 {
+                write_runs_manifest(dir, &runs)?;
+            }
+        }
+        report.runs_loaded = sealed.len();
+        report.quarantined = quarantine_orphan_runs(dir)?;
+
+        // 3. Journal replay into the memtable: committed batches past both
+        // the snapshot and the newest run. Batches a run already contains
+        // (overlap from a killed rotate) replay idempotently.
+        let mut mem: BTreeMap<String, MemDelta> = BTreeMap::new();
+        let runs_seq = runs.last_seq().max(snap_seq);
+        let mut last_seq = runs_seq;
+        let journal_path = Journal::path_in(dir);
+        if journal_path.exists() {
+            let scan = journal::scan_file(&journal_path)?;
+            for batch in &scan.batches {
+                if batch.seq <= runs_seq {
+                    continue;
+                }
+                apply_ops_to_mem(&mut dict, &mut mem, &batch.model, &batch.ops);
+                report.replayed_batches += 1;
+                last_seq = batch.seq;
+            }
+        }
+        report.last_seq = last_seq;
+        let journal = Journal::open(dir)?;
+
+        let store = Self::assemble(
+            cfg,
+            Some(dir.to_path_buf()),
+            dict,
+            base,
+            sealed,
+            mem,
+            runs,
+            Some(journal),
+            last_seq,
+            next_run_id,
+        );
+        Ok((store, report))
+    }
+
+    /// A volatile LSM store: same layering, merge, group-commit windows,
+    /// and backpressure — no files, no journal. Used by benches and tests.
+    pub fn in_memory(cfg: LsmConfig) -> LsmStore {
+        Self::assemble(
+            cfg,
+            None,
+            Dictionary::new(),
+            BTreeMap::new(),
+            Vec::new(),
+            BTreeMap::new(),
+            RunsManifest::default(),
+            None,
+            0,
+            1,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        cfg: LsmConfig,
+        dir: Option<PathBuf>,
+        dict: Dictionary,
+        base: BTreeMap<String, Arc<FrozenIndex>>,
+        sealed: Vec<SealedRun>,
+        mem: BTreeMap<String, MemDelta>,
+        runs: RunsManifest,
+        journal: Option<Journal>,
+        last_seq: u64,
+        next_run_id: u64,
+    ) -> LsmStore {
+        let mem_ops = mem.values().map(MemDelta::ops).sum();
+        let dict_snap = Arc::new(dict.clone());
+        let initial = Arc::new(FrozenStore::new(0, Arc::clone(&dict_snap), BTreeMap::new()));
+        let state = WriterState {
+            dict,
+            dict_snap,
+            base,
+            sealed,
+            mem,
+            mem_ops,
+            runs,
+            journal,
+            last_seq,
+            next_run_id,
+            generation: 0,
+            pending: VecDeque::new(),
+            committing: false,
+            compacting: false,
+        };
+        let inner = Arc::new(Inner {
+            cfg,
+            dir,
+            current: ArcCell::new(initial),
+            state: Mutex::new(state),
+            commit_cv: Condvar::new(),
+            debt_cv: Condvar::new(),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        {
+            let mut st = plock(&inner.state);
+            inner.publish_locked(&mut st);
+        }
+        let compactor = if inner.cfg.auto_compact {
+            let worker = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("mdw-lsm-compact".into())
+                    .spawn(move || worker.compact_loop())
+                    .expect("spawn compactor"),
+            )
+        } else {
+            None
+        };
+        LsmStore { inner, compactor }
+    }
+
+    /// The current published snapshot (lock-free load; stays valid and
+    /// immutable across later publishes).
+    pub fn snapshot(&self) -> Arc<FrozenStore> {
+        self.inner.current.load()
+    }
+
+    /// Group-commits one batch of ops against `model` and returns its
+    /// journal sequence once durable. Blocks for at most one commit window
+    /// (plus any backpressure stall); concurrent callers are batched
+    /// behind a single fsync. The model is created if absent. Sheds with
+    /// [`RdfError::Backpressure`] when compaction debt exceeds the stall
+    /// threshold past the deadline.
+    pub fn write_batch(&self, model: &str, ops: &[JournalOp]) -> Result<u64, RdfError> {
+        self.inner.write_batch(model, ops)
+    }
+
+    /// Runs one compaction step synchronously: folds every currently
+    /// sealed run into the solid base (and, when durable, into a new base
+    /// snapshot + runs-manifest swap). Returns `false` when there was
+    /// nothing to fold or another compaction was in flight.
+    pub fn compact_once(&self) -> Result<bool, RdfError> {
+        self.inner.compact_once()
+    }
+
+    /// Seals the current memtable into a run regardless of size. Mostly
+    /// for tests and drills; production sealing happens automatically at
+    /// `memtable_limit`.
+    pub fn seal_now(&self) -> Result<bool, RdfError> {
+        let inner = &self.inner;
+        let mut st = plock(&inner.state);
+        if st.mem_ops == 0 {
+            return Ok(false);
+        }
+        // Sealing is a leader-only action: wait out any window in flight.
+        while st.committing {
+            st = pwait(&inner.commit_cv, st);
+        }
+        st.committing = true;
+        let (mut st, sealed) = inner.seal_locked(st);
+        if sealed.is_ok() {
+            inner.publish_locked(&mut st);
+        }
+        st.committing = false;
+        let wake_compactor = st.sealed.len() > inner.cfg.max_runs;
+        drop(st);
+        inner.commit_cv.notify_all();
+        if wake_compactor {
+            inner.work_cv.notify_all();
+        }
+        sealed.map(|()| true)
+    }
+
+    /// Current compaction debt: the sealed-run depth.
+    pub fn compaction_debt(&self) -> usize {
+        plock(&self.inner.state).sealed.len()
+    }
+
+    /// A counter snapshot for observability and drills.
+    pub fn metrics(&self) -> LsmMetrics {
+        let c = &self.inner.counters;
+        let (debt, memtable_ops, last_seq) = {
+            let st = plock(&self.inner.state);
+            (st.sealed.len(), st.mem_ops, st.last_seq)
+        };
+        LsmMetrics {
+            commit_windows: c.commit_windows.load(Ordering::Relaxed),
+            committed_batches: c.committed_batches.load(Ordering::Relaxed),
+            committed_ops: c.committed_ops.load(Ordering::Relaxed),
+            sealed_runs: c.sealed_runs.load(Ordering::Relaxed),
+            seal_retries: c.seal_retries.load(Ordering::Relaxed),
+            compactions: c.compactions.load(Ordering::Relaxed),
+            compact_retries: c.compact_retries.load(Ordering::Relaxed),
+            sheds: c.sheds.load(Ordering::Relaxed),
+            stalls: c.stalls.load(Ordering::Relaxed),
+            publishes: c.publishes.load(Ordering::Relaxed),
+            debt,
+            memtable_ops,
+            last_seq,
+        }
+    }
+
+    /// Folds the whole store — base, sealed runs, memtable — into a plain
+    /// solid snapshot at the current sequence, leaving no sealed runs and
+    /// an empty memtable. The clean-shutdown / migration path (the result
+    /// loads with [`persist::load_store`] alone).
+    pub fn checkpoint(&self) -> Result<persist::SaveReport, RdfError> {
+        let inner = &self.inner;
+        let mut st = plock(&inner.state);
+        // Checkpoint owns both the commit window and the compaction slot.
+        while st.committing || st.compacting {
+            (st, _) = pwait_for(&inner.commit_cv, st, Duration::from_millis(20));
+        }
+        st.committing = true;
+        st.compacting = true;
+
+        let result = match inner.dir.clone() {
+            None => Err(RdfError::Io {
+                context: "checkpoint".into(),
+                message: "in-memory store has no directory".into(),
+            }),
+            Some(dir) => {
+                // Fold all three layers per model.
+                let mut names: BTreeSet<String> = st.base.keys().cloned().collect();
+                for run in &st.sealed {
+                    names.extend(run.deltas.keys().cloned());
+                }
+                names.extend(st.mem.keys().cloned());
+                let mut models = BTreeMap::new();
+                for name in &names {
+                    let base = st
+                        .base
+                        .get(name)
+                        .cloned()
+                        .unwrap_or_else(|| Arc::new(FrozenIndex::default()));
+                    let mut deltas: Vec<Arc<DeltaRun>> = st
+                        .sealed
+                        .iter()
+                        .filter_map(|run| run.deltas.get(name).cloned())
+                        .collect();
+                    if let Some(mem) = st.mem.get(name) {
+                        if !mem.is_empty() {
+                            deltas.push(Arc::new(mem.freeze()));
+                        }
+                    }
+                    let folded = Arc::new(FrozenGraph::stacked(base, deltas).compact());
+                    models.insert(name.clone(), folded);
+                }
+                let graphs: BTreeMap<String, Arc<FrozenGraph>> = models
+                    .iter()
+                    .map(|(n, idx)| {
+                        (n.clone(), Arc::new(FrozenGraph::from_arc(Arc::clone(idx))))
+                    })
+                    .collect();
+                let last_seq = st.last_seq;
+                let dict = st.dict.clone();
+                drop(st);
+                let saved = save_frozen_snapshot(&dict, &graphs, &dir, last_seq);
+                st = plock(&inner.state);
+                saved.map(|report| (dir, models, report))
+            }
+        };
+
+        let outcome = match result {
+            Err(e) => Err(e),
+            Ok((dir, models, report)) => {
+                st.base = models;
+                st.sealed.clear();
+                st.runs.entries.clear();
+                st.mem.clear();
+                st.mem_ops = 0;
+                let _ = write_runs_manifest(&dir, &st.runs);
+                let seq = st.last_seq;
+                if let Some(j) = st.journal.as_mut() {
+                    let _ = j.rotate(seq);
+                }
+                inner.publish_locked(&mut st);
+                Ok(report)
+            }
+        };
+        st.compacting = false;
+        st.committing = false;
+        drop(st);
+        inner.commit_cv.notify_all();
+        inner.debt_cv.notify_all();
+        outcome
+    }
+}
+
+impl Drop for LsmStore {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.work_cv.notify_all();
+        if let Some(handle) = self.compactor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Inner {
+    fn write_batch(&self, model: &str, ops: &[JournalOp]) -> Result<u64, RdfError> {
+        let mut st = plock(&self.state);
+
+        // Backpressure gate: stall with a deadline, then shed typed.
+        if st.debt_exceeded(&self.cfg) {
+            self.counters.stalls.fetch_add(1, Ordering::Relaxed);
+            let start = Instant::now();
+            while st.debt_exceeded(&self.cfg) {
+                let waited = start.elapsed();
+                let Some(remaining) = self.cfg.stall_deadline.checked_sub(waited) else {
+                    self.counters.sheds.fetch_add(1, Ordering::Relaxed);
+                    return Err(RdfError::Backpressure {
+                        debt: st.sealed.len(),
+                        waited_ms: waited.as_millis() as u64,
+                    });
+                };
+                self.work_cv.notify_all();
+                let timed_out;
+                (st, timed_out) = pwait_for(&self.debt_cv, st, remaining);
+                if timed_out && st.debt_exceeded(&self.cfg) {
+                    self.counters.sheds.fetch_add(1, Ordering::Relaxed);
+                    return Err(RdfError::Backpressure {
+                        debt: st.sealed.len(),
+                        waited_ms: start.elapsed().as_millis() as u64,
+                    });
+                }
+            }
+        }
+
+        // Validate and encode under the lock (the dictionary is the shared
+        // mutable id space). Invalid batches never reach the journal.
+        let mut encoded = Vec::with_capacity(ops.len());
+        for op in ops {
+            let (insert, s, p, o) = match op {
+                JournalOp::Insert(s, p, o) => (true, s, p, o),
+                JournalOp::Remove(s, p, o) => (false, s, p, o),
+            };
+            if insert {
+                if !s.is_subject_capable() {
+                    return Err(RdfError::InvalidTriple {
+                        reason: format!("literal subject: {s}"),
+                    });
+                }
+                if !p.is_iri() {
+                    return Err(RdfError::InvalidTriple {
+                        reason: format!("non-IRI predicate: {p}"),
+                    });
+                }
+            }
+            let t = Triple::new(st.dict.intern(s), st.dict.intern(p), st.dict.intern(o));
+            encoded.push((insert, t));
+        }
+
+        let slot = Arc::new(Mutex::new(None));
+        st.pending.push_back(Pending {
+            model: model.to_string(),
+            encoded,
+            raw: ops.to_vec(),
+            slot: Arc::clone(&slot),
+        });
+
+        loop {
+            if !st.committing && !st.pending.is_empty() {
+                st.committing = true;
+                st = self.commit_window(st);
+                st.committing = false;
+                self.commit_cv.notify_all();
+            }
+            if let Some(result) = plock(&slot).take() {
+                let wake_compactor = st.sealed.len() > self.cfg.max_runs;
+                drop(st);
+                if wake_compactor {
+                    self.work_cv.notify_all();
+                }
+                return result;
+            }
+            st = pwait(&self.commit_cv, st);
+        }
+    }
+
+    /// The leader's commit window: journal the whole pending queue with
+    /// one fsync, apply to the memtable, maybe seal, publish, and fill
+    /// every follower's slot. Runs with `committing == true`, so the
+    /// queue and memtable are the leader's alone even where the lock is
+    /// dropped for I/O.
+    fn commit_window<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, WriterState>,
+    ) -> MutexGuard<'a, WriterState> {
+        let group: Vec<Pending> = st.pending.drain(..).collect();
+        if group.is_empty() {
+            return st;
+        }
+
+        let seqs: Result<Vec<u64>, RdfError> = match st.journal.take() {
+            Some(mut j) => {
+                drop(st);
+                let result = {
+                    let refs: Vec<(&str, &[JournalOp])> = group
+                        .iter()
+                        .map(|p| (p.model.as_str(), p.raw.as_slice()))
+                        .collect();
+                    j.append_batches(&refs)
+                };
+                st = plock(&self.state);
+                st.journal = Some(j);
+                result
+            }
+            None => Ok((st.last_seq + 1..).take(group.len()).collect()),
+        };
+
+        match seqs {
+            Err(e) => {
+                // Nothing in the group was acked; every writer gets the
+                // typed failure and retries (or gives up) itself.
+                for p in &group {
+                    *plock(&p.slot) = Some(Err(e.clone()));
+                }
+            }
+            Ok(seqs) => {
+                let mut ops_committed = 0u64;
+                for (p, &seq) in group.iter().zip(&seqs) {
+                    let delta = st.mem.entry(p.model.clone()).or_default();
+                    let before = delta.ops();
+                    for &(insert, t) in &p.encoded {
+                        if insert {
+                            delta.insert(t);
+                        } else {
+                            delta.remove(t);
+                        }
+                    }
+                    let after = st.mem.get(&p.model).map_or(0, MemDelta::ops);
+                    st.mem_ops = st.mem_ops + after - before;
+                    ops_committed += p.encoded.len() as u64;
+                    st.last_seq = seq;
+                }
+                if st.mem_ops >= self.cfg.memtable_limit {
+                    // A failed seal is a retry, not a loss: the batches
+                    // are durable in the journal either way.
+                    let outcome;
+                    (st, outcome) = self.seal_locked(st);
+                    let _ = outcome;
+                }
+                self.publish_locked(&mut st);
+                for (p, seq) in group.iter().zip(seqs) {
+                    *plock(&p.slot) = Some(Ok(seq));
+                }
+                self.counters.commit_windows.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .committed_batches
+                    .fetch_add(group.len() as u64, Ordering::Relaxed);
+                self.counters.committed_ops.fetch_add(ops_committed, Ordering::Relaxed);
+            }
+        }
+        st
+    }
+
+    /// Seals the memtable into an immutable run: write `run_<id>.ops`,
+    /// swap `runs.tsv`, rotate the journal, clear the memtable. Each step
+    /// has a failpoint; a kill at any of them loses nothing (see module
+    /// docs). Requires `committing == true` (leader or `seal_now`).
+    fn seal_locked<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, WriterState>,
+    ) -> (MutexGuard<'a, WriterState>, Result<(), RdfError>) {
+        if st.mem_ops == 0 {
+            return (st, Ok(()));
+        }
+        let stem = format!("run_{}", st.next_run_id);
+        let last_seq = st.last_seq;
+
+        let entry = if let Some(dir) = self.dir.clone() {
+            // Render while locked (the dictionary must not move under us),
+            // write the run file unlocked (writers may keep enqueuing),
+            // swap the manifest locked (serialized against compaction).
+            let data = render_run(&st.dict, &st.mem, last_seq);
+            let ops = data.ops();
+            drop(st);
+            let written = write_run_file(&dir, &stem, &data);
+            st = plock(&self.state);
+            let sealed = written.and_then(|crc| {
+                let entry = RunEntry { stem: stem.clone(), last_seq, ops, crc };
+                let mut manifest = st.runs.clone();
+                manifest.entries.push(entry.clone());
+                failpoint::check("run::seal::manifest")?;
+                write_runs_manifest(&dir, &manifest)?;
+                Ok(entry)
+            });
+            match sealed {
+                Ok(entry) => Some(entry),
+                Err(e) => {
+                    self.counters.seal_retries.fetch_add(1, Ordering::Relaxed);
+                    return (st, Err(e));
+                }
+            }
+        } else {
+            None
+        };
+
+        // The run is live (or the store is volatile): move the memtable
+        // down a layer. From here on even a failed rotate loses nothing —
+        // replaying journal batches a run already holds is idempotent.
+        let deltas: BTreeMap<String, Arc<DeltaRun>> = st
+            .mem
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(m, d)| (m.clone(), Arc::new(d.freeze())))
+            .collect();
+        st.sealed.push(SealedRun { stem, last_seq, deltas });
+        if let Some(entry) = entry {
+            st.runs.entries.push(entry);
+        }
+        // Models must survive an empty memtable: pin their base entries.
+        let models: Vec<String> = st.mem.keys().cloned().collect();
+        for model in models {
+            st.base.entry(model).or_insert_with(|| Arc::new(FrozenIndex::default()));
+        }
+        st.mem.clear();
+        st.mem_ops = 0;
+        st.next_run_id += 1;
+        self.counters.sealed_runs.fetch_add(1, Ordering::Relaxed);
+
+        if st.journal.is_some() {
+            let mut j = st.journal.take().expect("checked");
+            drop(st);
+            let rotated = j.rotate(last_seq);
+            st = plock(&self.state);
+            st.journal = Some(j);
+            if rotated.is_err() {
+                // The journal still holds batches the run now covers;
+                // replay is idempotent and the next rotate trims them.
+                self.counters.seal_retries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        (st, Ok(()))
+    }
+
+    /// Publishes the next snapshot generation from the current layers.
+    /// Cheap by construction: base and sealed runs are shared Arcs, the
+    /// dictionary Arc is reused while no term was interned, and only the
+    /// memtable (bounded by `memtable_limit`) is frozen anew.
+    fn publish_locked(&self, st: &mut WriterState) {
+        if st.dict_snap.len() != st.dict.len() {
+            st.dict_snap = Arc::new(st.dict.clone());
+        }
+        let mut names: BTreeSet<&String> = st.base.keys().collect();
+        for run in &st.sealed {
+            names.extend(run.deltas.keys());
+        }
+        names.extend(st.mem.keys());
+
+        let mut models = BTreeMap::new();
+        for name in names {
+            let base = st
+                .base
+                .get(name)
+                .cloned()
+                .unwrap_or_else(|| Arc::new(FrozenIndex::default()));
+            let mut deltas: Vec<Arc<DeltaRun>> = st
+                .sealed
+                .iter()
+                .filter_map(|run| run.deltas.get(name).cloned())
+                .collect();
+            if let Some(mem) = st.mem.get(name) {
+                if !mem.is_empty() {
+                    deltas.push(Arc::new(mem.freeze()));
+                }
+            }
+            models.insert(name.clone(), Arc::new(FrozenGraph::stacked(base, deltas)));
+        }
+        st.generation += 1;
+        let snapshot = FrozenStore::new(st.generation, Arc::clone(&st.dict_snap), models)
+            .with_watermark(st.last_seq);
+        self.current.store(Arc::new(snapshot));
+        self.counters.publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn compact_loop(self: Arc<Self>) {
+        loop {
+            {
+                let mut st = plock(&self.state);
+                while !self.shutdown.load(Ordering::SeqCst)
+                    && st.sealed.len() <= self.cfg.max_runs
+                {
+                    // The timeout doubles as the retry cadence after a
+                    // failed compaction.
+                    (st, _) = pwait_for(&self.work_cv, st, Duration::from_millis(100));
+                }
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let _ = self.compact_once();
+        }
+    }
+
+    /// Folds every currently sealed run into the solid base. Durable
+    /// stores additionally commit a new base snapshot and swap the runs
+    /// manifest; a kill anywhere leaves either the old stack or the new
+    /// one. Failpoints: `compact::merge`, `compact::manifest` (plus the
+    /// snapshot points inside [`save_frozen_snapshot`]).
+    fn compact_once(&self) -> Result<bool, RdfError> {
+        // Snapshot the inputs.
+        let (fold, base, dict, folded_seq) = {
+            let mut st = plock(&self.state);
+            if st.sealed.is_empty() || st.compacting {
+                return Ok(false);
+            }
+            st.compacting = true;
+            let fold = st.sealed.clone();
+            let folded_seq = fold.last().expect("non-empty").last_seq;
+            (fold, st.base.clone(), st.dict.clone(), folded_seq)
+        };
+        let folded_stems: BTreeSet<&str> = fold.iter().map(|r| r.stem.as_str()).collect();
+
+        // Merge + snapshot-save without the lock: writers keep committing.
+        let merged = (|| -> Result<BTreeMap<String, Arc<FrozenIndex>>, RdfError> {
+            failpoint::check("compact::merge")?;
+            let mut names: BTreeSet<&String> = base.keys().collect();
+            for run in &fold {
+                names.extend(run.deltas.keys());
+            }
+            let mut new_base = BTreeMap::new();
+            for name in names {
+                let solid = base
+                    .get(name)
+                    .cloned()
+                    .unwrap_or_else(|| Arc::new(FrozenIndex::default()));
+                let deltas: Vec<Arc<DeltaRun>> =
+                    fold.iter().filter_map(|run| run.deltas.get(name).cloned()).collect();
+                let stacked = FrozenGraph::stacked(solid, deltas);
+                new_base.insert(name.clone(), Arc::new(stacked.compact()));
+            }
+            if let Some(dir) = &self.dir {
+                let models: BTreeMap<String, Arc<FrozenGraph>> = new_base
+                    .iter()
+                    .map(|(n, idx)| {
+                        (n.clone(), Arc::new(FrozenGraph::from_arc(Arc::clone(idx))))
+                    })
+                    .collect();
+                save_frozen_snapshot(&dict, &models, dir, folded_seq)?;
+            }
+            Ok(new_base)
+        })();
+
+        // The commit point — manifest swap, state swap, file deletion —
+        // happens under the lock, serialized against seal's manifest
+        // write (a concurrent seal must not resurrect folded entries).
+        let mut st = plock(&self.state);
+        let result = merged.and_then(|new_base| {
+            if let Some(dir) = &self.dir {
+                failpoint::check("compact::manifest")?;
+                let remaining = RunsManifest {
+                    entries: st
+                        .runs
+                        .entries
+                        .iter()
+                        .filter(|e| !folded_stems.contains(e.stem.as_str()))
+                        .cloned()
+                        .collect(),
+                };
+                write_runs_manifest(dir, &remaining)?;
+                // The manifest no longer references the folded runs:
+                // delete their files. Best effort — a kill here leaves
+                // orphans for quarantine, never damage.
+                for stem in &folded_stems {
+                    let _ = std::fs::remove_file(dir.join(format!("{stem}.ops")));
+                }
+            }
+            Ok(new_base)
+        });
+        st.compacting = false;
+        match result {
+            Err(e) => {
+                self.counters.compact_retries.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+            Ok(new_base) => {
+                st.base = new_base;
+                st.sealed.retain(|r| !folded_stems.contains(r.stem.as_str()));
+                st.runs.entries.retain(|e| !folded_stems.contains(e.stem.as_str()));
+                self.publish_locked(&mut st);
+                self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+                drop(st);
+                self.debt_cv.notify_all();
+                Ok(true)
+            }
+        }
+    }
+}
+
+/// Renders the memtable as a run-file payload (terms decoded through the
+/// dictionary, adds before tombstones per model).
+fn render_run(dict: &Dictionary, mem: &BTreeMap<String, MemDelta>, last_seq: u64) -> RunData {
+    let term = |id: u64| dict.term_unchecked(crate::dict::TermId(id)).clone();
+    let mut models = Vec::new();
+    for (name, delta) in mem {
+        if delta.is_empty() {
+            continue;
+        }
+        let mut ops = Vec::with_capacity(delta.ops());
+        for &(s, p, o) in &delta.adds {
+            ops.push(JournalOp::Insert(term(s), term(p), term(o)));
+        }
+        for &(s, p, o) in &delta.dels {
+            ops.push(JournalOp::Remove(term(s), term(p), term(o)));
+        }
+        models.push((name.clone(), ops));
+    }
+    RunData { last_seq, models }
+}
+
+/// Rebuilds a sealed run from its file payload, interning into `dict`.
+fn load_sealed_run(dict: &mut Dictionary, stem: &str, data: &RunData) -> SealedRun {
+    let mut deltas = BTreeMap::new();
+    for (model, ops) in &data.models {
+        let mut delta = MemDelta::default();
+        apply_ops_to_delta(dict, &mut delta, ops);
+        if !delta.is_empty() {
+            deltas.insert(model.clone(), Arc::new(delta.freeze()));
+        }
+    }
+    SealedRun { stem: stem.to_string(), last_seq: data.last_seq, deltas }
+}
+
+fn apply_ops_to_mem(
+    dict: &mut Dictionary,
+    mem: &mut BTreeMap<String, MemDelta>,
+    model: &str,
+    ops: &[JournalOp],
+) {
+    let delta = mem.entry(model.to_string()).or_default();
+    apply_ops_to_delta(dict, delta, ops);
+}
+
+fn apply_ops_to_delta(dict: &mut Dictionary, delta: &mut MemDelta, ops: &[JournalOp]) {
+    for op in ops {
+        match op {
+            JournalOp::Insert(s, p, o) => {
+                let t = Triple::new(dict.intern(s), dict.intern(p), dict.intern(o));
+                delta.insert(t);
+            }
+            JournalOp::Remove(s, p, o) => {
+                let t = Triple::new(dict.intern(s), dict.intern(p), dict.intern(o));
+                delta.remove(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mdw-lsm-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ins(s: &str, o: &str) -> JournalOp {
+        JournalOp::Insert(Term::iri(s), Term::iri("p"), Term::iri(o))
+    }
+
+    fn del(s: &str, o: &str) -> JournalOp {
+        JournalOp::Remove(Term::iri(s), Term::iri("p"), Term::iri(o))
+    }
+
+    fn model_len(store: &LsmStore, model: &str) -> usize {
+        store.snapshot().model(model).map_or(0, |g| g.len())
+    }
+
+    fn test_cfg() -> LsmConfig {
+        LsmConfig { auto_compact: false, ..LsmConfig::default() }
+    }
+
+    #[test]
+    fn in_memory_write_read_roundtrip() {
+        let store = LsmStore::in_memory(test_cfg());
+        let seq = store.write_batch("m", &[ins("a", "b"), ins("a", "c")]).unwrap();
+        assert_eq!(seq, 1, "sequences are per batch, not per op");
+        assert_eq!(model_len(&store, "m"), 2);
+        store.write_batch("m", &[del("a", "b")]).unwrap();
+        assert_eq!(model_len(&store, "m"), 1);
+        let snap = store.snapshot();
+        let g = snap.model("m").unwrap();
+        let dict = snap.dict();
+        let only = g.iter().next().unwrap();
+        assert_eq!(dict.term(only.o).unwrap(), &Term::iri("c"));
+    }
+
+    #[test]
+    fn durable_reopen_recovers_acked_writes() {
+        let dir = temp_dir("reopen");
+        {
+            let (store, report) = LsmStore::open(&dir, test_cfg()).unwrap();
+            assert_eq!(report, LsmOpenReport::default());
+            store.write_batch("m", &[ins("a", "b")]).unwrap();
+            store.write_batch("m", &[ins("a", "c"), del("a", "b")]).unwrap();
+        }
+        let (store, report) = LsmStore::open(&dir, test_cfg()).unwrap();
+        assert_eq!(report.replayed_batches, 2);
+        assert_eq!(report.last_seq, 2);
+        assert_eq!(model_len(&store, "m"), 1);
+        assert_eq!(store.snapshot().watermark(), 2);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seal_rolls_memtable_into_run_and_reopen_loads_it() {
+        let dir = temp_dir("seal");
+        {
+            let (store, _) = LsmStore::open(&dir, test_cfg()).unwrap();
+            store.write_batch("m", &[ins("a", "b"), ins("a", "c")]).unwrap();
+            assert!(store.seal_now().unwrap());
+            assert_eq!(store.compaction_debt(), 1);
+            // Post-seal writes land in a fresh memtable.
+            store.write_batch("m", &[del("a", "b"), ins("a", "d")]).unwrap();
+            assert_eq!(model_len(&store, "m"), 2);
+        }
+        assert!(dir.join("run_1.ops").exists());
+        let (store, report) = LsmStore::open(&dir, test_cfg()).unwrap();
+        assert_eq!(report.runs_loaded, 1);
+        assert_eq!(report.replayed_batches, 1, "post-rotate journal batch");
+        assert_eq!(model_len(&store, "m"), 2);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_folds_runs_and_deletes_their_files() {
+        let dir = temp_dir("compact");
+        let (store, _) = LsmStore::open(&dir, test_cfg()).unwrap();
+        store.write_batch("m", &[ins("a", "b")]).unwrap();
+        store.seal_now().unwrap();
+        store.write_batch("m", &[ins("a", "c"), del("a", "b")]).unwrap();
+        store.seal_now().unwrap();
+        assert_eq!(store.compaction_debt(), 2);
+        assert!(store.compact_once().unwrap());
+        assert_eq!(store.compaction_debt(), 0);
+        assert_eq!(model_len(&store, "m"), 1);
+        assert!(!store.snapshot().model("m").unwrap().is_stacked());
+        assert!(!dir.join("run_1.ops").exists());
+        assert!(!dir.join("run_2.ops").exists());
+        // Reopen sees the compacted base, no runs, nothing to replay.
+        drop(store);
+        let (store, report) = LsmStore::open(&dir, test_cfg()).unwrap();
+        assert_eq!(report.runs_loaded, 0);
+        assert_eq!(report.replayed_batches, 0);
+        assert_eq!(model_len(&store, "m"), 1);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backpressure_sheds_typed_after_deadline() {
+        let cfg = LsmConfig {
+            stall_runs: 1,
+            stall_deadline: Duration::from_millis(30),
+            auto_compact: false,
+            ..LsmConfig::default()
+        };
+        let store = LsmStore::in_memory(cfg);
+        store.write_batch("m", &[ins("a", "b")]).unwrap();
+        store.seal_now().unwrap();
+        let err = store.write_batch("m", &[ins("a", "c")]).unwrap_err();
+        assert!(matches!(err, RdfError::Backpressure { debt: 1, .. }), "got {err:?}");
+        assert!(err.is_transient());
+        let m = store.metrics();
+        assert_eq!(m.sheds, 1);
+        assert_eq!(m.stalls, 1);
+        // Compaction drains the debt; the retried write goes through.
+        store.compact_once().unwrap();
+        store.write_batch("m", &[ins("a", "c")]).unwrap();
+        assert_eq!(model_len(&store, "m"), 2);
+    }
+
+    #[test]
+    fn concurrent_writers_all_acked_and_grouped() {
+        let store = Arc::new(LsmStore::in_memory(test_cfg()));
+        let threads = 8;
+        let batches = 16;
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for b in 0..batches {
+                        store
+                            .write_batch("m", &[ins(&format!("s{w}"), &format!("o{b}"))])
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let m = store.metrics();
+        assert_eq!(m.committed_batches, (threads * batches) as u64);
+        assert_eq!(model_len(&store, "m"), threads * batches);
+        assert_eq!(m.last_seq, (threads * batches) as u64);
+    }
+
+    #[test]
+    fn auto_compactor_drains_debt_in_background() {
+        let dir = temp_dir("auto");
+        let cfg = LsmConfig { memtable_limit: 4, max_runs: 1, ..LsmConfig::default() };
+        let (store, _) = LsmStore::open(&dir, cfg).unwrap();
+        for i in 0..32 {
+            store.write_batch("m", &[ins("s", &format!("o{i}"))]).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while store.compaction_debt() > 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(store.compaction_debt() <= 1, "compactor never drained");
+        assert!(store.metrics().compactions >= 1);
+        assert_eq!(model_len(&store, "m"), 32);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_folds_everything_into_solid_snapshot() {
+        let dir = temp_dir("checkpoint");
+        let (store, _) = LsmStore::open(&dir, test_cfg()).unwrap();
+        store.write_batch("m", &[ins("a", "b")]).unwrap();
+        store.seal_now().unwrap();
+        store.write_batch("m", &[ins("a", "c")]).unwrap();
+        let report = store.checkpoint().unwrap();
+        assert_eq!(report.models, vec![("m".to_string(), 2)]);
+        assert_eq!(store.compaction_debt(), 0);
+        drop(store);
+        // The checkpointed dir loads as a plain solid store.
+        let solid = persist::load_store(&dir).unwrap();
+        assert_eq!(solid.model("m").unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_ops_rejected_before_journal() {
+        let store = LsmStore::in_memory(test_cfg());
+        let bad = JournalOp::Insert(
+            Term::plain("lit"),
+            Term::iri("p"),
+            Term::iri("o"),
+        );
+        assert!(matches!(
+            store.write_batch("m", &[bad]).unwrap_err(),
+            RdfError::InvalidTriple { .. }
+        ));
+        assert_eq!(store.metrics().committed_batches, 0);
+    }
+}

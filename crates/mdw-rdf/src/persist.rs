@@ -35,18 +35,29 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use std::collections::BTreeMap;
+
+use crate::dict::Dictionary;
 use crate::error::RdfError;
 use crate::failpoint;
 use crate::frozen::{FrozenGraph, FrozenIndex};
 use crate::journal::{self, Journal, JournalOp};
-use crate::store::Store;
+use crate::store::{Graph, Store};
 use crate::triple::Triple;
 use crate::turtle;
 
 /// File name of the snapshot manifest inside a store directory.
 pub const MANIFEST_FILE: &str = "manifest.tsv";
 
+/// File name of the LSM runs manifest inside a store directory.
+pub const RUNS_FILE: &str = "runs.tsv";
+
+/// Directory quarantined (orphaned) run files are moved into.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
 const MANIFEST_MAGIC: &str = "#mdw-snapshot v2";
+const RUNS_MAGIC: &str = "#mdw-runs v1";
+const RUN_MAGIC: &str = "MDWR1";
 
 /// What a save wrote.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -199,6 +210,38 @@ pub fn save_snapshot(
     dir: &Path,
     journal_seq: u64,
 ) -> Result<SaveReport, RdfError> {
+    let models: Vec<(&str, &Graph)> = store
+        .model_names()
+        .into_iter()
+        .map(|name| Ok((name, store.model(name)?)))
+        .collect::<Result<_, RdfError>>()?;
+    save_snapshot_parts(dir, journal_seq, store.dict(), &models)
+}
+
+/// Saves an already-frozen model set — the compaction path, which holds
+/// `Arc<FrozenGraph>`s rather than a mutable [`Store`]. Same atomicity and
+/// failpoints as [`save_snapshot`]. Each graph is serialized through its
+/// *merged* view, so stacked delta runs are folded into the files written.
+pub fn save_frozen_snapshot(
+    dict: &Dictionary,
+    models: &BTreeMap<String, Arc<FrozenGraph>>,
+    dir: &Path,
+    journal_seq: u64,
+) -> Result<SaveReport, RdfError> {
+    let graphs: Vec<(String, Graph)> = models
+        .iter()
+        .map(|(name, g)| (name.clone(), Graph::from_frozen(Arc::clone(g))))
+        .collect();
+    let refs: Vec<(&str, &Graph)> = graphs.iter().map(|(n, g)| (n.as_str(), g)).collect();
+    save_snapshot_parts(dir, journal_seq, dict, &refs)
+}
+
+fn save_snapshot_parts(
+    dir: &Path,
+    journal_seq: u64,
+    dict: &Dictionary,
+    graphs: &[(&str, &Graph)],
+) -> Result<SaveReport, RdfError> {
     fs::create_dir_all(dir).map_err(|e| RdfError::io("create store dir", e))?;
     let generation = match snapshot_info(dir) {
         Ok(Some(info)) => info.generation + 1,
@@ -210,11 +253,10 @@ pub fn save_snapshot(
     let mut manifest = format!("{MANIFEST_MAGIC} gen={generation} journal_seq={journal_seq}\n");
     let mut models = Vec::new();
     let mut live: BTreeSet<String> = BTreeSet::new();
-    for (i, name) in store.model_names().into_iter().enumerate() {
+    for (i, (name, graph)) in graphs.iter().enumerate() {
         failpoint::check("snapshot::model")?;
         let stem = format!("model_{generation}_{i}");
-        let graph = store.model(name)?;
-        let text = turtle::graph_to_ntriples(graph, store.dict());
+        let text = turtle::graph_to_ntriples(graph, dict);
         write_atomic(&dir.join(format!("{stem}.nt")), text.as_bytes(), "model file")?;
         manifest.push_str(&format!(
             "{stem}\t{}\t{:08x}\t{name}\n",
@@ -427,6 +469,240 @@ pub fn recover(dir: &Path) -> Result<(Store, RecoveryReport), RdfError> {
     Ok((store, report))
 }
 
+// ---------------------------------------------------------------------------
+// LSM run files and the runs manifest
+//
+// The LSM write path seals its memtable into immutable run files:
+//
+// ```text
+// <dir>/run_<id>.ops       one sealed delta run (adds + tombstones)
+// <dir>/runs.tsv           the runs manifest (the run-stack commit point)
+// <dir>/quarantine/        orphaned run files moved aside by fsck/open
+// ```
+//
+// A run file is line-oriented like the journal: a `MDWR1` header, then one
+// `M <model> <nops>` section per model followed by `+`/`-` op lines. Its
+// CRC-32 lives in `runs.tsv`, so a run is *live* only once the manifest
+// swap commits — the same single-commit-point discipline as the snapshot
+// manifest. A run file present on disk but absent from `runs.tsv` is an
+// orphan (a seal or compaction killed between file write and manifest
+// swap) and is quarantined, never loaded. A *listed* run failing its CRC
+// is real corruption and refuses to load.
+
+/// One run recorded in the runs manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunEntry {
+    /// File stem (`run_<id>`).
+    pub stem: String,
+    /// Highest journal sequence folded into this run.
+    pub last_seq: u64,
+    /// Total ops (adds + tombstones) in the run.
+    pub ops: usize,
+    /// CRC-32 of the run file bytes.
+    pub crc: u32,
+}
+
+/// The on-disk run stack, oldest first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunsManifest {
+    /// Live runs, oldest first.
+    pub entries: Vec<RunEntry>,
+}
+
+impl RunsManifest {
+    /// The highest journal sequence any live run contains.
+    pub fn last_seq(&self) -> u64 {
+        self.entries.last().map_or(0, |e| e.last_seq)
+    }
+}
+
+/// Reads the runs manifest, or `None` when the store has no run stack.
+pub fn read_runs_manifest(dir: &Path) -> Result<Option<RunsManifest>, RdfError> {
+    let path = dir.join(RUNS_FILE);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let text = fs::read_to_string(&path).map_err(|e| RdfError::io("read runs manifest", e))?;
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(header) if header.trim() == RUNS_MAGIC => {}
+        other => {
+            return Err(RdfError::corrupt(
+                RUNS_FILE,
+                format!("bad runs header: {other:?}"),
+            ))
+        }
+    }
+    let mut manifest = RunsManifest::default();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(4, '\t').collect();
+        let entry = match parts.as_slice() {
+            [stem, last_seq, ops, crc] => {
+                match (last_seq.parse::<u64>(), ops.parse::<usize>(), u32::from_str_radix(crc, 16))
+                {
+                    (Ok(l), Ok(n), Ok(x)) => {
+                        Some(RunEntry { stem: stem.to_string(), last_seq: l, ops: n, crc: x })
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        manifest.entries.push(entry.ok_or_else(|| RdfError::Parse {
+            line: lineno + 2,
+            message: format!("malformed runs manifest line: {line:?}"),
+        })?);
+    }
+    Ok(Some(manifest))
+}
+
+/// Atomically replaces the runs manifest — the commit point for every run
+/// seal and compaction. Failpoint: `run::manifest`.
+pub fn write_runs_manifest(dir: &Path, manifest: &RunsManifest) -> Result<(), RdfError> {
+    failpoint::check("run::manifest")?;
+    let mut text = format!("{RUNS_MAGIC}\n");
+    for e in &manifest.entries {
+        text.push_str(&format!("{}\t{}\t{}\t{:08x}\n", e.stem, e.last_seq, e.ops, e.crc));
+    }
+    write_atomic(&dir.join(RUNS_FILE), text.as_bytes(), "runs manifest")?;
+    sync_dir(dir);
+    Ok(())
+}
+
+/// The payload of one sealed run: per-model op lists (inserts and
+/// tombstone removes), plus the journal high-water mark it covers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunData {
+    /// Highest journal sequence folded into the run.
+    pub last_seq: u64,
+    /// `(model, ops)` sections, in file order.
+    pub models: Vec<(String, Vec<JournalOp>)>,
+}
+
+impl RunData {
+    /// Total op count across all models.
+    pub fn ops(&self) -> usize {
+        self.models.iter().map(|(_, ops)| ops.len()).sum()
+    }
+}
+
+/// Writes one sealed run file atomically and returns the CRC-32 that must
+/// be recorded in the runs manifest for the run to become live.
+/// Failpoints: `run::seal` (before any byte), `run::seal::partial` (half
+/// the file reaches the final path — the torn-run case a CRC must catch).
+pub fn write_run_file(dir: &Path, stem: &str, data: &RunData) -> Result<u32, RdfError> {
+    failpoint::check("run::seal")?;
+    let mut text = format!("{RUN_MAGIC} run={stem} last_seq={}\n", data.last_seq);
+    for (model, ops) in &data.models {
+        text.push_str(&format!("M {model} {}\n", ops.len()));
+        for op in ops {
+            text.push_str(&journal::render_term_line(op));
+        }
+    }
+    let path = dir.join(format!("{stem}.ops"));
+    if failpoint::check("run::seal::partial").is_err() {
+        // Simulate a non-atomic filesystem tearing the run file: half the
+        // bytes land at the final path. The CRC in the manifest (never
+        // written for this run) and the orphan quarantine protect readers.
+        let _ = fs::write(&path, &text.as_bytes()[..text.len() / 2]);
+        return Err(RdfError::Injected { failpoint: "run::seal::partial".into() });
+    }
+    write_atomic(&path, text.as_bytes(), "run file")?;
+    sync_dir(dir);
+    Ok(journal::crc32(text.as_bytes()))
+}
+
+/// Reads a sealed run file, verifying its CRC against the manifest entry.
+/// A mismatch (torn or damaged run) is [`RdfError::Corrupt`] — a run that
+/// cannot prove itself whole is never loaded.
+pub fn read_run_file(dir: &Path, entry: &RunEntry) -> Result<RunData, RdfError> {
+    let file = format!("{}.ops", entry.stem);
+    let text = fs::read_to_string(dir.join(&file))
+        .map_err(|e| RdfError::io(format!("read run file {file}"), e))?;
+    let actual = journal::crc32(text.as_bytes());
+    if actual != entry.crc {
+        return Err(RdfError::corrupt(
+            &file,
+            format!("checksum mismatch: manifest {:08x}, file {actual:08x}", entry.crc),
+        ));
+    }
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| RdfError::corrupt(&file, "empty run file".to_string()))?;
+    let last_seq = header
+        .strip_prefix(RUN_MAGIC)
+        .and_then(|rest| {
+            rest.split_whitespace()
+                .find_map(|f| f.strip_prefix("last_seq="))
+                .and_then(|s| s.parse::<u64>().ok())
+        })
+        .ok_or_else(|| RdfError::corrupt(&file, format!("bad run header: {header:?}")))?;
+    let mut data = RunData { last_seq, models: Vec::new() };
+    let mut lines = lines.peekable();
+    while let Some(line) = lines.next() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (model, nops) = line
+            .strip_prefix("M ")
+            .and_then(|rest| rest.rsplit_once(' '))
+            .and_then(|(m, n)| n.parse::<usize>().ok().map(|n| (m.to_string(), n)))
+            .ok_or_else(|| {
+                RdfError::corrupt(&file, format!("expected model section, got {line:?}"))
+            })?;
+        let mut ops = Vec::with_capacity(nops);
+        for _ in 0..nops {
+            let op_line = lines.next().ok_or_else(|| {
+                RdfError::corrupt(&file, format!("model {model}: truncated op list"))
+            })?;
+            match journal::parse_term_line(op_line, &file)? {
+                ('+', s, p, o) => ops.push(JournalOp::Insert(s, p, o)),
+                ('-', s, p, o) => ops.push(JournalOp::Remove(s, p, o)),
+                _ => unreachable!("parse_term_line yields + or -"),
+            }
+        }
+        data.models.push((model, ops));
+    }
+    Ok(data)
+}
+
+/// Moves every `run_*.ops` file that the runs manifest does not reference
+/// into `<dir>/quarantine/`, returning the quarantined file names. These
+/// are the leftovers of a seal or compaction killed between run-file write
+/// and manifest swap: provably unreferenced (the manifest is the commit
+/// point), so the open reports them instead of failing — but never loads
+/// or silently deletes them.
+pub fn quarantine_orphan_runs(dir: &Path) -> Result<Vec<String>, RdfError> {
+    let listed: BTreeSet<String> = read_runs_manifest(dir)?
+        .map(|m| m.entries.iter().map(|e| format!("{}.ops", e.stem)).collect())
+        .unwrap_or_default();
+    let mut quarantined = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else { return Ok(quarantined) };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("run_") && name.ends_with(".ops")) || listed.contains(&name) {
+            continue;
+        }
+        let qdir = dir.join(QUARANTINE_DIR);
+        fs::create_dir_all(&qdir).map_err(|e| RdfError::io("create quarantine dir", e))?;
+        let mut target = qdir.join(&name);
+        let mut attempt = 0u32;
+        while target.exists() {
+            attempt += 1;
+            target = qdir.join(format!("{name}.{attempt}"));
+        }
+        fs::rename(entry.path(), &target)
+            .map_err(|e| RdfError::io(format!("quarantine orphan run {name}"), e))?;
+        quarantined.push(name);
+    }
+    quarantined.sort();
+    Ok(quarantined)
+}
+
 /// One model's verdict in an [`FsckReport`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FsckModel {
@@ -451,6 +727,10 @@ pub struct FsckReport {
     pub committed_batches: usize,
     /// Bytes of torn (recoverable) journal tail.
     pub torn_bytes: u64,
+    /// Live LSM runs listed in the runs manifest.
+    pub run_entries: usize,
+    /// Orphaned run files moved into `quarantine/` by this check.
+    pub quarantined_runs: Vec<String>,
     /// Problems found; empty means the directory is consistent. A torn
     /// journal tail is listed here too (recovery fixes it).
     pub issues: Vec<String>,
@@ -463,10 +743,14 @@ impl FsckReport {
     }
 }
 
-/// Checks a store directory without modifying it: manifest shape, model
-/// file checksums, journal record checksums and tail state. Returns
-/// `Err` only for environment-level I/O failures; integrity findings are
-/// reported in the [`FsckReport`].
+/// Checks a store directory: manifest shape, model file checksums, journal
+/// record checksums and tail state, LSM run CRCs. Mostly read-only — the
+/// one repair it performs is moving *orphaned* run files (present on disk,
+/// absent from `runs.tsv`; the residue of a compaction killed between
+/// merge-write and manifest swap) into `quarantine/`, reporting them
+/// instead of letting a later open trip over them. Returns `Err` only for
+/// environment-level I/O failures; integrity findings are reported in the
+/// [`FsckReport`].
 pub fn fsck(dir: &Path) -> Result<FsckReport, RdfError> {
     let mut report = FsckReport::default();
     let manifest_path = dir.join(MANIFEST_FILE);
@@ -505,6 +789,32 @@ pub fn fsck(dir: &Path) -> Result<FsckReport, RdfError> {
             Err(e) => report.issues.push(format!("journal: {e}")),
         }
     }
+    // LSM run stack: verify every listed run's CRC, then quarantine any
+    // run file the manifest does not reference.
+    match read_runs_manifest(dir) {
+        Ok(Some(runs)) => {
+            report.run_entries = runs.entries.len();
+            for entry in &runs.entries {
+                if let Err(e) = read_run_file(dir, entry) {
+                    report.issues.push(format!("run {}: {e}", entry.stem));
+                }
+            }
+        }
+        Ok(None) => {}
+        Err(e) => report.issues.push(format!("runs manifest: {e}")),
+    }
+    match quarantine_orphan_runs(dir) {
+        Ok(quarantined) => {
+            for name in &quarantined {
+                report
+                    .issues
+                    .push(format!("run {name}: orphaned (moved to {QUARANTINE_DIR}/)"));
+            }
+            report.quarantined_runs = quarantined;
+        }
+        Err(e) => report.issues.push(format!("quarantine: {e}")),
+    }
+
     if report.snapshot.is_none() && !journal_path.exists() && !dir.exists() {
         report.issues.push("store directory does not exist".to_string());
     }
@@ -815,6 +1125,139 @@ mod tests {
         assert!(store.model_names().is_empty());
         assert_eq!(report.snapshot_generation, None);
         assert_eq!(report.last_seq, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn sample_run(last_seq: u64) -> RunData {
+        RunData {
+            last_seq,
+            models: vec![
+                (
+                    "DWH_CURR".to_string(),
+                    vec![
+                        JournalOp::Insert(
+                            Term::iri("http://ex.org/r"),
+                            Term::iri("http://ex.org/p"),
+                            Term::plain("a literal with \"quotes\"\nand newline"),
+                        ),
+                        JournalOp::Remove(
+                            Term::iri("http://ex.org/gone"),
+                            Term::iri("http://ex.org/p"),
+                            Term::integer(7),
+                        ),
+                    ],
+                ),
+                ("EMPTY".to_string(), vec![]),
+            ],
+        }
+    }
+
+    #[test]
+    fn run_file_round_trip_via_manifest() {
+        let dir = temp_dir("runs");
+        fs::create_dir_all(&dir).unwrap();
+        let data = sample_run(5);
+        let crc = write_run_file(&dir, "run_1", &data).unwrap();
+        let manifest = RunsManifest {
+            entries: vec![RunEntry { stem: "run_1".into(), last_seq: 5, ops: data.ops(), crc }],
+        };
+        write_runs_manifest(&dir, &manifest).unwrap();
+
+        let read_back = read_runs_manifest(&dir).unwrap().unwrap();
+        assert_eq!(read_back, manifest);
+        assert_eq!(read_back.last_seq(), 5);
+        let loaded = read_run_file(&dir, &read_back.entries[0]).unwrap();
+        assert_eq!(loaded, data);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_listed_run_is_corrupt_never_loaded() {
+        let dir = temp_dir("runs-torn");
+        fs::create_dir_all(&dir).unwrap();
+        let data = sample_run(3);
+        let crc = write_run_file(&dir, "run_1", &data).unwrap();
+        let manifest = RunsManifest {
+            entries: vec![RunEntry { stem: "run_1".into(), last_seq: 3, ops: data.ops(), crc }],
+        };
+        write_runs_manifest(&dir, &manifest).unwrap();
+        // Tear the file: drop its tail.
+        let path = dir.join("run_1.ops");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let err = read_run_file(&dir, &manifest.entries[0]).unwrap_err();
+        assert!(matches!(err, RdfError::Corrupt { .. }), "{err}");
+        let report = fsck(&dir).unwrap();
+        assert!(report.issues.iter().any(|i| i.contains("run_1")), "{:?}", report.issues);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_run_is_quarantined_not_fatal() {
+        let dir = temp_dir("runs-orphan");
+        fs::create_dir_all(&dir).unwrap();
+        // A committed run stack of one...
+        let data = sample_run(2);
+        let crc = write_run_file(&dir, "run_1", &data).unwrap();
+        write_runs_manifest(
+            &dir,
+            &RunsManifest {
+                entries: vec![RunEntry {
+                    stem: "run_1".into(),
+                    last_seq: 2,
+                    ops: data.ops(),
+                    crc,
+                }],
+            },
+        )
+        .unwrap();
+        // ...plus an orphan: a seal that died before its manifest swap
+        // (here: a torn one, the worst case).
+        failpoint::arm("run::seal::partial", FailSpec::Once);
+        assert!(write_run_file(&dir, "run_2", &sample_run(4)).is_err());
+        assert!(dir.join("run_2.ops").exists());
+
+        let report = fsck(&dir).unwrap();
+        assert_eq!(report.quarantined_runs, vec!["run_2.ops".to_string()]);
+        assert!(!dir.join("run_2.ops").exists());
+        assert!(dir.join(QUARANTINE_DIR).join("run_2.ops").exists());
+        // The live run is untouched; a second fsck is clean.
+        assert!(dir.join("run_1.ops").exists());
+        let again = fsck(&dir).unwrap();
+        assert!(again.quarantined_runs.is_empty());
+        assert!(again.clean(), "{:?}", again.issues);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_frozen_snapshot_folds_stacked_deltas() {
+        use crate::frozen::DeltaRun;
+        let dir = temp_dir("frozen-save");
+        let mut dict = Dictionary::default();
+        let a = dict.intern(&Term::iri("http://ex.org/a")).raw();
+        let p = dict.intern(&Term::iri("http://ex.org/p")).raw();
+        let b = dict.intern(&Term::iri("http://ex.org/b")).raw();
+        let c = dict.intern(&Term::iri("http://ex.org/c")).raw();
+        let base = Arc::new(FrozenIndex::from_spo_rows(vec![(a, p, b)]));
+        // Delta: add (a p c), tombstone (a p b).
+        let delta = Arc::new(DeltaRun::new(
+            FrozenIndex::from_spo_rows(vec![(a, p, c)]),
+            FrozenIndex::from_spo_rows(vec![(a, p, b)]),
+        ));
+        let mut models = BTreeMap::new();
+        models.insert(
+            "M".to_string(),
+            Arc::new(FrozenGraph::stacked(base, vec![delta])),
+        );
+        let report = save_frozen_snapshot(&dict, &models, &dir, 9).unwrap();
+        assert_eq!(report.total(), 1);
+        assert_eq!(report.journal_seq, 9);
+
+        let loaded = load_store(&dir).unwrap();
+        let lines = model_lines(&loaded, "M");
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("/c"), "{lines:?}");
         fs::remove_dir_all(&dir).unwrap();
     }
 

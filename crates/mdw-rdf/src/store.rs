@@ -23,7 +23,7 @@ use parking_lot::Mutex;
 use crate::dict::{Dictionary, TermId};
 use crate::epoch::ArcCell;
 use crate::error::RdfError;
-use crate::frozen::{FrozenGraph, FrozenIndex, FrozenRun, FrozenStore};
+use crate::frozen::{FrozenGraph, FrozenIndex, FrozenRun, FrozenStore, GraphScan, MergeScan};
 use crate::index::{IndexScan, TripleIndex};
 use crate::term::Term;
 use crate::triple::{Triple, TriplePattern};
@@ -64,14 +64,25 @@ pub enum Scan<'a> {
     Live(IndexScan<'a>),
     /// One contiguous frozen column slice.
     Run(FrozenRun<'a>),
-    /// Base-then-derived concatenation (the entailed view; the two runs are
-    /// disjoint by construction, so the union is duplicate-free).
+    /// A k-way merged scan over a stacked frozen graph (LSM delta runs).
+    Merged(MergeScan<'a>),
+    /// Base-then-derived concatenation (the entailed view; the two sides
+    /// are disjoint by construction, so the union is duplicate-free).
     Chained {
-        /// Asserted triples.
-        first: FrozenRun<'a>,
+        /// Asserted triples (merged view of the base graph).
+        first: GraphScan<'a>,
         /// Derived triples.
         second: FrozenRun<'a>,
     },
+}
+
+impl<'a> From<GraphScan<'a>> for Scan<'a> {
+    fn from(scan: GraphScan<'a>) -> Self {
+        match scan {
+            GraphScan::Run(run) => Scan::Run(run),
+            GraphScan::Merged(m) => Scan::Merged(m),
+        }
+    }
 }
 
 impl Iterator for Scan<'_> {
@@ -81,6 +92,7 @@ impl Iterator for Scan<'_> {
         match self {
             Scan::Live(it) => it.next(),
             Scan::Run(run) => run.next(),
+            Scan::Merged(m) => m.next(),
             Scan::Chained { first, second } => first.next().or_else(|| second.next()),
         }
     }
@@ -89,8 +101,13 @@ impl Iterator for Scan<'_> {
         match self {
             Scan::Live(_) => (0, None),
             Scan::Run(run) => run.size_hint(),
+            Scan::Merged(m) => m.size_hint(),
             Scan::Chained { first, second } => {
-                (first.len() + second.len(), Some(first.len() + second.len()))
+                let (lo, hi) = first.size_hint();
+                (
+                    lo + second.len(),
+                    hi.map(|h| h + second.len()),
+                )
             }
         }
     }
@@ -170,13 +187,22 @@ impl Graph {
         }
     }
 
-    /// Inserts an encoded triple; `true` if it was new.
+    /// Inserts an encoded triple; `true` if it was new. A duplicate insert
+    /// is a no-op that leaves the cached frozen form (and a shared frozen
+    /// representation) intact, so the next publish can reuse its Arcs.
     pub fn insert(&mut self, t: Triple) -> bool {
+        if self.contains(t) {
+            return false;
+        }
         self.live_mut().insert(t)
     }
 
-    /// Removes an encoded triple; `true` if it was present.
+    /// Removes an encoded triple; `true` if it was present. Removing an
+    /// absent triple is a no-op that does not invalidate the frozen cache.
     pub fn remove(&mut self, t: Triple) -> bool {
+        if !self.contains(t) {
+            return false;
+        }
         self.live_mut().remove(t)
     }
 
@@ -205,7 +231,7 @@ impl Graph {
     pub fn scan(&self, pattern: TriplePattern) -> Scan<'_> {
         match &self.repr {
             Repr::Live { index, .. } => Scan::Live(index.scan(pattern)),
-            Repr::Frozen(f) => Scan::Run(f.scan(pattern)),
+            Repr::Frozen(f) => f.scan(pattern).into(),
         }
     }
 
@@ -283,7 +309,7 @@ impl TripleSource for Graph {
     fn estimate(&self, pattern: TriplePattern, cap: usize) -> usize {
         match &self.repr {
             Repr::Live { index, .. } => index.count(pattern, Some(cap)),
-            Repr::Frozen(f) => f.index().count_exact(pattern).min(cap),
+            Repr::Frozen(f) => f.estimate_upto(pattern, cap),
         }
     }
 
@@ -294,7 +320,7 @@ impl TripleSource for Graph {
 
 impl TripleSource for FrozenGraph {
     fn scan_pattern(&self, pattern: TriplePattern) -> Scan<'_> {
-        Scan::Run(self.scan(pattern))
+        self.scan(pattern).into()
     }
 
     fn contains_triple(&self, t: Triple) -> bool {
@@ -302,7 +328,7 @@ impl TripleSource for FrozenGraph {
     }
 
     fn estimate(&self, pattern: TriplePattern, cap: usize) -> usize {
-        self.index().count_exact(pattern).min(cap)
+        self.estimate_upto(pattern, cap)
     }
 
     fn len_triples(&self) -> usize {
@@ -479,6 +505,22 @@ impl Store {
         self.freeze_as(prev.generation() + 1, Some(prev.dict_arc()))
     }
 
+    /// Freezes as the successor generation of `prev` — unless nothing
+    /// changed, in which case `None`: the per-model frozen caches and the
+    /// dictionary all resolved to `prev`'s own Arcs, so a new generation
+    /// would be byte-identical and the publish can be skipped entirely.
+    pub fn freeze_next(&self, prev: &FrozenStore) -> Option<FrozenStore> {
+        let next = self.freeze_with(prev);
+        let unchanged = Arc::ptr_eq(next.dict_arc(), prev.dict_arc())
+            && next.models().len() == prev.models().len()
+            && next
+                .models()
+                .iter()
+                .zip(prev.models())
+                .all(|((an, ag), (bn, bg))| an == bn && Arc::ptr_eq(ag, bg));
+        if unchanged { None } else { Some(next) }
+    }
+
     fn freeze_as(&self, generation: u64, prev_dict: Option<&Arc<Dictionary>>) -> FrozenStore {
         let dict = match prev_dict {
             Some(d) if d.len() == self.dict.len() => Arc::clone(d),
@@ -532,12 +574,17 @@ impl SharedStore {
     }
 
     /// Runs a closure with exclusive write access, then freezes and
-    /// publishes the next generation.
+    /// publishes the next generation. If the closure mutated nothing (every
+    /// model's frozen cache and the dictionary are unchanged), the publish
+    /// is a no-op: the current generation's Arcs stay in place and no
+    /// re-sort or re-freeze work happens.
     pub fn write<R>(&self, f: impl FnOnce(&mut Store) -> R) -> R {
         let mut store = self.writer.lock();
         let result = f(&mut store);
         let prev = self.current.load();
-        self.current.store(Arc::new(store.freeze_with(&prev)));
+        if let Some(next) = store.freeze_next(&prev) {
+            self.current.store(Arc::new(next));
+        }
         result
     }
 }
@@ -706,6 +753,49 @@ mod tests {
         assert!(!Arc::ptr_eq(&f1, &f3), "mutation must invalidate the cache");
         assert_eq!(f1.len(), 1);
         assert_eq!(f3.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_frozen_cache() {
+        let mut s = store_with_model();
+        s.insert("DWH_CURR", &Term::iri("a"), &Term::iri("p"), &Term::iri("b"))
+            .unwrap();
+        let f1 = s.model("DWH_CURR").unwrap().freeze();
+        // A duplicate insert and a no-op remove are not mutations: the
+        // cached frozen snapshot must survive them.
+        assert!(!s
+            .insert("DWH_CURR", &Term::iri("a"), &Term::iri("p"), &Term::iri("b"))
+            .unwrap());
+        let absent = Triple::new(TermId(9001), TermId(9002), TermId(9003));
+        assert!(!s.model_mut("DWH_CURR").unwrap().remove(absent));
+        let f2 = s.model("DWH_CURR").unwrap().freeze();
+        assert!(Arc::ptr_eq(&f1, &f2), "no-op mutations must not clear the freeze cache");
+    }
+
+    #[test]
+    fn noop_write_publish_reuses_generation() {
+        let shared = SharedStore::new(store_with_model());
+        shared.write(|s| {
+            s.insert("DWH_CURR", &Term::iri("a"), &Term::iri("p"), &Term::iri("b"))
+                .unwrap();
+        });
+        let before = shared.snapshot();
+        // Duplicate insert: nothing changes, so the publish must be a
+        // no-op reusing the exact same snapshot Arc (no re-sort, no new
+        // generation).
+        shared.write(|s| {
+            s.insert("DWH_CURR", &Term::iri("a"), &Term::iri("p"), &Term::iri("b"))
+                .unwrap();
+        });
+        let after = shared.snapshot();
+        assert!(Arc::ptr_eq(&before, &after), "no-op write must republish the same Arc");
+        assert_eq!(before.generation(), after.generation());
+        // A real mutation still advances the generation.
+        shared.write(|s| {
+            s.insert("DWH_CURR", &Term::iri("a"), &Term::iri("p"), &Term::iri("c"))
+                .unwrap();
+        });
+        assert!(shared.snapshot().generation() > after.generation());
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Kill-anywhere crash drills for the LSM write path.
+//!
+//! Every step the write path takes on disk — group journal append, fsync,
+//! run-file write (whole and torn), runs-manifest swap, journal rotation,
+//! compaction merge, compaction manifest swap, checkpoint snapshot — has a
+//! failpoint. These tests arm each one in turn, drive writes until the
+//! fault fires, "kill the process" by dropping the store right there, and
+//! reopen from disk alone. Two invariants must hold at *every* kill point:
+//!
+//! 1. **No acknowledged batch is lost.** A `write_batch` that returned a
+//!    sequence number is durable: all of its triples are present after
+//!    recovery, and the recovered watermark covers its sequence.
+//! 2. **No torn state is surfaced.** The recovered triple count is an
+//!    exact multiple of the batch size (batches are atomic), recovery
+//!    never resurrects more batches than were attempted, and a run file
+//!    that fails its CRC is refused — never half-loaded.
+
+use std::path::PathBuf;
+
+use mdw_rdf::failpoint::{self, FailSpec};
+use mdw_rdf::journal::JournalOp;
+use mdw_rdf::lsm::{LsmConfig, LsmStore};
+use mdw_rdf::term::Term;
+use mdw_rdf::triple::Triple;
+
+/// Batch size every drill writes with; recovery checks count % BATCH == 0.
+const BATCH: usize = 2;
+const MODEL: &str = "m";
+
+/// Every write-path failpoint reachable from `write_batch`/`compact_once`.
+const WRITE_PATH_FAILPOINTS: &[&str] = &[
+    "journal::append",
+    "journal::append::partial",
+    "journal::sync",
+    "run::seal",
+    "run::seal::partial",
+    "run::seal::manifest",
+    "run::manifest",
+    "journal::rotate",
+    "compact::merge",
+    "compact::manifest",
+];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mdw-lsm-crash-{}-{}",
+        tag.replace("::", "-"),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn subject(b: usize, t: usize) -> Term {
+    Term::iri(format!("http://ex.org/crash/b{b}t{t}"))
+}
+
+fn batch_ops(b: usize) -> Vec<JournalOp> {
+    (0..BATCH)
+        .map(|t| {
+            JournalOp::Insert(
+                subject(b, t),
+                Term::iri("http://ex.org/crash/p"),
+                Term::iri("http://ex.org/crash/o"),
+            )
+        })
+        .collect()
+}
+
+/// Small memtable so seals (and therefore runs, manifests, rotations, and
+/// compactions) happen every couple of batches.
+fn drill_cfg() -> LsmConfig {
+    LsmConfig {
+        memtable_limit: 4,
+        max_runs: 2,
+        auto_compact: false,
+        ..LsmConfig::default()
+    }
+}
+
+/// Reopens `dir` and checks both recovery invariants.
+fn verify_recovery(dir: &PathBuf, acked: &[(usize, u64)], attempted: usize, point: &str) {
+    let (store, report) = LsmStore::open(dir, drill_cfg())
+        .unwrap_or_else(|e| panic!("{point}: reopen after kill failed: {e}"));
+    let snap = store.snapshot();
+    let max_seq = acked.iter().map(|&(_, s)| s).max().unwrap_or(0);
+    assert!(
+        snap.watermark() >= max_seq,
+        "{point}: recovered watermark {} < max acked seq {max_seq} (report {report:?})",
+        snap.watermark()
+    );
+    if acked.is_empty() {
+        return;
+    }
+    let graph = snap
+        .model(MODEL)
+        .unwrap_or_else(|e| panic!("{point}: model lost after recovery: {e}"));
+    for &(b, seq) in acked {
+        for t in 0..BATCH {
+            let term = subject(b, t);
+            let present = snap.dict().lookup(&term).is_some_and(|s| {
+                let p = snap.dict().lookup(&Term::iri("http://ex.org/crash/p"));
+                let o = snap.dict().lookup(&Term::iri("http://ex.org/crash/o"));
+                matches!((p, o), (Some(p), Some(o)) if graph.contains(Triple::new(s, p, o)))
+            });
+            assert!(
+                present,
+                "{point}: acked batch b{b} (seq {seq}) lost triple t{t} \
+                 (report {report:?})"
+            );
+        }
+    }
+    assert_eq!(
+        graph.len() % BATCH,
+        0,
+        "{point}: recovered {} triples — torn batch surfaced",
+        graph.len()
+    );
+    assert!(
+        graph.len() / BATCH <= attempted,
+        "{point}: recovered {} batches, more than the {attempted} attempted",
+        graph.len() / BATCH
+    );
+}
+
+/// Drives writes (with explicit compaction) until the armed fault fires,
+/// kills there, recovers, and verifies. Returns true if the fault was
+/// actually consumed during the drive.
+fn kill_and_recover_at(point: &str) -> bool {
+    let dir = temp_dir(point);
+    failpoint::reset();
+    let (store, _) = LsmStore::open(&dir, drill_cfg()).unwrap();
+    failpoint::arm(point, FailSpec::Once);
+
+    let mut acked: Vec<(usize, u64)> = Vec::new();
+    let mut attempted = 0usize;
+    let mut fault_seen = false;
+    for b in 0..24 {
+        attempted += 1;
+        match store.write_batch(MODEL, &batch_ops(b)) {
+            Ok(seq) => acked.push((b, seq)),
+            Err(_) => {
+                // The kill moment: an unacknowledged batch.
+                fault_seen = true;
+                break;
+            }
+        }
+        // A seal failure never fails the already-committed batch; it shows
+        // up as a retry counter. That is also a kill moment.
+        if store.metrics().seal_retries > 0 {
+            fault_seen = true;
+            break;
+        }
+        if store.compaction_debt() >= 2 {
+            match store.compact_once() {
+                Ok(_) => {}
+                Err(_) => {
+                    fault_seen = true;
+                    break;
+                }
+            }
+        }
+    }
+    // Kill: drop with whatever half-finished state the fault left behind.
+    drop(store);
+    failpoint::reset();
+    verify_recovery(&dir, &acked, attempted, point);
+    let _ = std::fs::remove_dir_all(&dir);
+    fault_seen
+}
+
+#[test]
+fn kill_at_every_write_path_failpoint_loses_nothing() {
+    for point in WRITE_PATH_FAILPOINTS {
+        kill_and_recover_at(point);
+    }
+}
+
+#[test]
+fn the_workload_actually_reaches_the_fatal_failpoints() {
+    // The sweep above is only meaningful if the drive really trips the
+    // faults. Points whose failures surface to the driver must have fired;
+    // rotation faults are absorbed silently by design (rotation is
+    // redundant work — replay is idempotent), so they are exempt.
+    for point in ["journal::append", "journal::append::partial", "journal::sync", "run::seal", "run::seal::partial", "compact::merge", "compact::manifest"] {
+        assert!(
+            kill_and_recover_at(point),
+            "drive never consumed the armed fault at {point}"
+        );
+    }
+}
+
+#[test]
+fn kill_during_checkpoint_snapshot_loses_nothing() {
+    for point in ["snapshot::model", "snapshot::manifest"] {
+        let dir = temp_dir(point);
+        failpoint::reset();
+        let (store, _) = LsmStore::open(&dir, drill_cfg()).unwrap();
+        let mut acked = Vec::new();
+        for b in 0..6 {
+            acked.push((b, store.write_batch(MODEL, &batch_ops(b)).unwrap()));
+        }
+        failpoint::arm(point, FailSpec::Once);
+        store
+            .checkpoint()
+            .expect_err("armed snapshot failpoint must surface");
+        drop(store);
+        failpoint::reset();
+        verify_recovery(&dir, &acked, 6, point);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn torn_listed_run_is_refused_not_half_loaded() {
+    let dir = temp_dir("torn-run");
+    failpoint::reset();
+    let cfg = drill_cfg();
+    let (store, _) = LsmStore::open(&dir, cfg.clone()).unwrap();
+    for b in 0..4 {
+        store.write_batch(MODEL, &batch_ops(b)).unwrap();
+    }
+    let metrics = store.metrics();
+    assert!(metrics.sealed_runs > 0, "workload must seal at least one run");
+    drop(store);
+
+    // Tear the newest sealed run file behind the manifest's back.
+    let run_file = (1..=metrics.sealed_runs)
+        .map(|i| dir.join(format!("run_{i}.ops")))
+        .filter(|p| p.exists())
+        .next_back()
+        .expect("a sealed run file on disk");
+    let bytes = std::fs::read(&run_file).unwrap();
+    std::fs::write(&run_file, &bytes[..bytes.len() / 2]).unwrap();
+
+    // A manifest-listed run that fails verification is corruption: refuse
+    // to open rather than serve a half-run.
+    let err = LsmStore::open(&dir, cfg).expect_err("torn listed run must refuse to load");
+    assert!(
+        matches!(err, mdw_rdf::RdfError::Corrupt { .. }),
+        "expected Corrupt, got {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unlisted_torn_run_is_quarantined_on_open() {
+    // An orphan (file present, not in the manifest — a kill between run
+    // write and manifest swap) must be quarantined, not loaded and not
+    // fatal.
+    let dir = temp_dir("orphan-run");
+    failpoint::reset();
+    let (store, _) = LsmStore::open(&dir, drill_cfg()).unwrap();
+    let mut acked = Vec::new();
+    for b in 0..3 {
+        acked.push((b, store.write_batch(MODEL, &batch_ops(b)).unwrap()));
+    }
+    drop(store);
+    std::fs::write(dir.join("run_99.ops"), b"half a run, no trailer").unwrap();
+    let (store, report) = LsmStore::open(&dir, drill_cfg()).unwrap();
+    assert!(
+        report.quarantined.iter().any(|q| q.contains("run_99")),
+        "orphan run not quarantined: {report:?}"
+    );
+    assert!(!dir.join("run_99.ops").exists());
+    drop(store);
+    verify_recovery(&dir, &acked, 3, "orphan-run");
+    let _ = std::fs::remove_dir_all(&dir);
+}

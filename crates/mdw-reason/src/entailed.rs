@@ -75,8 +75,9 @@ impl TripleSource for EntailedGraph<'_> {
     }
 
     fn estimate(&self, pattern: TriplePattern, cap: usize) -> usize {
-        // Exact on both frozen sides: four binary searches, no iteration.
-        (self.base.index().count_exact(pattern) + self.derived.count_exact(pattern)).min(cap)
+        // Binary searches on both frozen sides; a stacked base answers with
+        // its cheap merged-view upper bound instead of paying a merge.
+        (self.base.estimate_upto(pattern, cap) + self.derived.count_exact(pattern)).min(cap)
     }
 
     fn len_triples(&self) -> usize {

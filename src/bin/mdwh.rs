@@ -32,10 +32,11 @@ use metadata_warehouse::core::search::SearchRequest;
 use metadata_warehouse::core::warehouse::MetadataWarehouse;
 use metadata_warehouse::corpus::{generate, CorpusConfig, Scale};
 use metadata_warehouse::rdf::failpoint;
-use metadata_warehouse::rdf::journal::Journal;
+use metadata_warehouse::rdf::journal::{Journal, JournalOp};
+use metadata_warehouse::rdf::lsm::{LsmConfig, LsmStore};
 use metadata_warehouse::rdf::persist::{self, load_store, save_store};
 use metadata_warehouse::rdf::vocab;
-use metadata_warehouse::rdf::Term;
+use metadata_warehouse::rdf::{FailSpec, RdfError, Term};
 use metadata_warehouse::serve::{client, serve, signal, ServerConfig};
 use metadata_warehouse::sparql::SemMatch;
 
@@ -72,6 +73,9 @@ const USAGE: &str = "usage:
   mdwh drill wire [--addr HOST:PORT] [--connections N] [--requests N]
                   [--quota N] [--tenants N] [--max-conns N] [--deadline-ms MS]
                   [--no-admission] [--expect-shed]
+  mdwh drill crash [--writers N] [--readers N] [--batches N] [--batch-size N]
+                   [--failpoint NAME] [--memtable N] [--stall-runs N]
+                   [--stall-deadline-ms MS]
 
 Serving: `mdwh serve` answers GET /search?q=, /lineage?item=, /sparql?query=
 as streamed ndjson; X-Deadline-Ms / X-Max-Rows / X-Tenant headers map to a
@@ -102,7 +106,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--scale", "--out", "--seed", "--store", "--area", "--class", "--depth", "--rule-filter",
     "--inject", "--deadline-ms", "--max-rows", "--max-steps", "--threads", "--requests",
     "--quota", "--writes", "--addr", "--connections", "--max-conns", "--drain-grace-ms",
-    "--tenants",
+    "--tenants", "--writers", "--readers", "--batches", "--batch-size", "--failpoint",
+    "--memtable", "--stall-runs", "--stall-deadline-ms",
 ];
 
 fn parse_args(args: &[String]) -> Args {
@@ -528,8 +533,11 @@ fn cmd_drill(args: &Args) -> Result<(), String> {
     match args.positional.first().map(String::as_str) {
         Some("overload") => drill_overload(args),
         Some("wire") => drill_wire(args),
-        Some(other) => Err(format!("unknown drill: {other} (available: overload, wire)")),
-        None => Err("drill needs a drill name: overload or wire".to_string()),
+        Some("crash") => drill_crash(args),
+        Some(other) => Err(format!(
+            "unknown drill: {other} (available: overload, wire, crash)"
+        )),
+        None => Err("drill needs a drill name: overload, wire, or crash".to_string()),
     }
 }
 
@@ -1033,6 +1041,315 @@ fn drill_wire(args: &Args) -> Result<(), String> {
         return Err("expected sheds under forced-low quotas, but shed = 0".to_string());
     }
     Ok(())
+}
+
+/// Every write-path failpoint the crash drill kills at, in commit order:
+/// journal append/sync, run seal (file, partial write, manifest swap),
+/// standalone manifest writes, journal rotation, and the two compaction
+/// commit points.
+const CRASH_FAILPOINTS: &[&str] = &[
+    "journal::append",
+    "journal::append::partial",
+    "journal::sync",
+    "run::seal",
+    "run::seal::partial",
+    "run::seal::manifest",
+    "run::manifest",
+    "journal::rotate",
+    "compact::merge",
+    "compact::manifest",
+];
+
+/// `mdwh drill crash`: the kill-anywhere write-path drill. For each
+/// failpoint in [`CRASH_FAILPOINTS`], races `--writers` group-committing
+/// writer threads (and `--readers` snapshot readers) against an injected
+/// fault at that point, "crashes" by dropping the store, then reopens and
+/// verifies the two LSM invariants: every *acknowledged* batch is fully
+/// recovered, and the recovered triple count is an exact multiple of the
+/// batch size (an atomic-batch check — a torn run or half-replayed batch
+/// would break it). Backpressure sheds are retried a few times, then
+/// counted as typed sheds — never as losses.
+fn drill_crash(args: &Args) -> Result<(), String> {
+    let writers: usize = parse_or(args, "writers", 4)?;
+    let writers = writers.max(1);
+    let readers: usize = parse_or(args, "readers", 2)?;
+    let batches: usize = parse_or(args, "batches", 24)?;
+    let batch_size: usize = parse_or(args, "batch-size", 8)?;
+    let batch_size = batch_size.max(1);
+    let memtable: usize = parse_or(args, "memtable", 64)?;
+    let stall_runs: usize = parse_or(args, "stall-runs", 8)?;
+    let stall_deadline_ms: u64 = parse_or(args, "stall-deadline-ms", 2000)?;
+
+    let points: Vec<&'static str> = match args.option("failpoint") {
+        Some(name) => match CRASH_FAILPOINTS.iter().find(|p| **p == name) {
+            Some(p) => vec![p],
+            None => {
+                return Err(format!(
+                    "unknown crash failpoint: {name} (available: {})",
+                    CRASH_FAILPOINTS.join(", ")
+                ))
+            }
+        },
+        None => CRASH_FAILPOINTS.to_vec(),
+    };
+
+    eprintln!(
+        "crash drill: {writers} writer(s) × {batches} batch(es) of {batch_size}, \
+         {readers} reader(s), memtable {memtable}, kill at {} failpoint(s)",
+        points.len()
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    for point in &points {
+        let verdict = drill_crash_round(
+            point,
+            writers,
+            readers,
+            batches,
+            batch_size,
+            memtable,
+            stall_runs,
+            stall_deadline_ms,
+        )?;
+        if let Some(problem) = verdict {
+            failures.push(format!("{point}: {problem}"));
+        }
+    }
+    failpoint::reset_global();
+    if failures.is_empty() {
+        println!(
+            "crash drill: {} failpoint(s) survived — no acked batch lost, \
+             no torn batch surfaced",
+            points.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "crash drill FAILED at {} failpoint(s):\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ))
+    }
+}
+
+/// One crash-drill round: returns `Ok(None)` when the invariants held,
+/// `Ok(Some(problem))` when recovery lost or tore data.
+#[allow(clippy::too_many_arguments)]
+fn drill_crash_round(
+    point: &str,
+    writers: usize,
+    readers: usize,
+    batches: usize,
+    batch_size: usize,
+    memtable: usize,
+    stall_runs: usize,
+    stall_deadline_ms: u64,
+) -> Result<Option<String>, String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const MODEL: &str = "DRILL_CRASH";
+    let dir = std::env::temp_dir().join(format!(
+        "mdwh-crash-{}-{}",
+        point.replace("::", "-"),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+
+    let cfg = LsmConfig {
+        memtable_limit: memtable,
+        max_runs: 2,
+        stall_runs,
+        stall_mem_ops: 4 * memtable,
+        stall_deadline: Duration::from_millis(stall_deadline_ms),
+        auto_compact: true,
+    };
+    // Global scope: the fault must be visible to whichever writer thread
+    // wins the commit-window leadership and to the background compactor,
+    // not just to the arming thread.
+    failpoint::reset_global();
+    failpoint::arm_global(point, FailSpec::Once);
+
+    let (store, _) = LsmStore::open(&dir, cfg.clone()).map_err(|e| e.to_string())?;
+    let done = AtomicBool::new(false);
+    let mut acked: Vec<(usize, usize, u64)> = Vec::new();
+    let (mut faulted, mut shed) = (0u64, 0u64);
+    let mut reader_problems: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let store = &store;
+        let done = &done;
+        let worker_handles: Vec<_> = (0..writers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut acked = Vec::new();
+                    let (mut faulted, mut shed) = (0u64, 0u64);
+                    for b in 0..batches {
+                        let ops: Vec<JournalOp> = (0..batch_size)
+                            .map(|t| {
+                                JournalOp::Insert(
+                                    Term::iri(format!("http://ex.org/crash/w{w}b{b}t{t}")),
+                                    Term::iri("http://ex.org/crash/p"),
+                                    Term::iri("http://ex.org/crash/o"),
+                                )
+                            })
+                            .collect();
+                        let mut stalls = 0;
+                        loop {
+                            match store.write_batch(MODEL, &ops) {
+                                Ok(seq) => {
+                                    acked.push((w, b, seq));
+                                    break;
+                                }
+                                Err(RdfError::Backpressure { .. }) if stalls < 5 => {
+                                    stalls += 1;
+                                    std::thread::sleep(Duration::from_millis(10));
+                                }
+                                Err(RdfError::Backpressure { .. }) => {
+                                    shed += 1;
+                                    break;
+                                }
+                                Err(_) => {
+                                    // The injected kill (or its I/O shadow):
+                                    // the batch is NOT acknowledged.
+                                    faulted += 1;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    (acked, faulted, shed)
+                })
+            })
+            .collect();
+        let reader_handles: Vec<_> = (0..readers)
+            .map(|r| {
+                scope.spawn(move || {
+                    let mut problems = Vec::new();
+                    let (mut last_generation, mut last_watermark) = (0u64, 0u64);
+                    while !done.load(Ordering::Acquire) {
+                        let snap = store.snapshot();
+                        if snap.generation() < last_generation {
+                            problems.push(format!(
+                                "reader {r}: generation went backwards \
+                                 ({last_generation} -> {})",
+                                snap.generation()
+                            ));
+                            break;
+                        }
+                        if snap.watermark() < last_watermark {
+                            problems.push(format!(
+                                "reader {r}: watermark went backwards \
+                                 ({last_watermark} -> {})",
+                                snap.watermark()
+                            ));
+                            break;
+                        }
+                        last_generation = snap.generation();
+                        last_watermark = snap.watermark();
+                        if let Ok(g) = snap.model(MODEL) {
+                            // Published snapshots never expose a torn batch.
+                            if g.len() % batch_size != 0 {
+                                problems.push(format!(
+                                    "reader {r}: observed {} triples, not a \
+                                     multiple of batch size {batch_size}",
+                                    g.len()
+                                ));
+                                break;
+                            }
+                        }
+                        std::thread::yield_now();
+                    }
+                    problems
+                })
+            })
+            .collect();
+        for handle in worker_handles {
+            let (a, f, s) = handle.join().expect("crash-drill writer panicked");
+            acked.extend(a);
+            faulted += f;
+            shed += s;
+        }
+        done.store(true, Ordering::Release);
+        for handle in reader_handles {
+            reader_problems.extend(handle.join().expect("crash-drill reader panicked"));
+        }
+    });
+
+    // The "kill": drop the store with whatever half-finished seal or
+    // compaction the fault left behind, then recover from disk alone.
+    drop(store);
+    failpoint::reset_global();
+
+    let (recovered, report) = LsmStore::open(&dir, LsmConfig { auto_compact: false, ..cfg })
+        .map_err(|e| format!("reopen after {point}: {e}"))?;
+    let snap = recovered.snapshot();
+    let max_acked_seq = acked.iter().map(|(_, _, s)| *s).max().unwrap_or(0);
+
+    let mut problem = None;
+    if !reader_problems.is_empty() {
+        problem = Some(reader_problems.join("; "));
+    } else if snap.watermark() < max_acked_seq {
+        problem = Some(format!(
+            "recovered watermark {} < max acked seq {max_acked_seq}",
+            snap.watermark()
+        ));
+    } else if !acked.is_empty() {
+        match snap.model(MODEL) {
+            Err(e) => problem = Some(format!("model lost: {e}")),
+            Ok(graph) => {
+                let mut lost = Vec::new();
+                for (w, b, seq) in &acked {
+                    let whole = (0..batch_size).all(|t| {
+                        let term = Term::iri(format!("http://ex.org/crash/w{w}b{b}t{t}"));
+                        let (Some(s), Some(p), Some(o)) = (
+                            snap.dict().lookup(&term),
+                            snap.dict().lookup(&Term::iri("http://ex.org/crash/p")),
+                            snap.dict().lookup(&Term::iri("http://ex.org/crash/o")),
+                        ) else {
+                            return false;
+                        };
+                        graph.contains(metadata_warehouse::rdf::Triple::new(s, p, o))
+                    });
+                    if !whole {
+                        lost.push(format!("w{w}b{b} (seq {seq})"));
+                    }
+                }
+                if !lost.is_empty() {
+                    problem = Some(format!("acked batches lost: {}", lost.join(", ")));
+                } else if graph.len() % batch_size != 0 {
+                    problem = Some(format!(
+                        "recovered {} triples, not a multiple of batch size \
+                         {batch_size} (torn batch)",
+                        graph.len()
+                    ));
+                } else if graph.len() / batch_size > writers * batches {
+                    problem = Some(format!(
+                        "recovered {} batches, more than the {} attempted",
+                        graph.len() / batch_size,
+                        writers * batches
+                    ));
+                }
+            }
+        }
+    }
+
+    println!(
+        "{point:<26} acked {}/{} shed {shed} faulted {faulted} | reopen: runs {}, \
+         folded {}, replayed {}, quarantined {} | {}",
+        acked.len(),
+        writers * batches,
+        report.runs_loaded,
+        report.runs_already_folded,
+        report.replayed_batches,
+        report.quarantined.len(),
+        match &problem {
+            None => "all acked recovered".to_string(),
+            Some(p) => format!("FAILED: {p}"),
+        }
+    );
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(problem)
 }
 
 fn percentile_us(sorted: &[u64], pct: f64) -> u64 {

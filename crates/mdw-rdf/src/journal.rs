@@ -29,6 +29,20 @@
 //! replay skips batches at or below it. Failpoints exercised here:
 //! `journal::append`, `journal::append::partial`,
 //! `journal::append::uncommitted`, `journal::sync`.
+//!
+//! ## Failed appends poison the handle, the next append heals it
+//!
+//! An append that fails after touching the file leaves the on-disk state
+//! uncertain: a torn record (failed `write_all`), or a fully written but
+//! unsynced one (failed `sync_data`). Appending more records blindly after
+//! either would be corruption — committed data after a tear makes recovery
+//! refuse the whole journal, and re-issuing the sequence numbers of an
+//! unsynced-but-present record produces duplicate committed sequences.
+//! So every such failure marks the handle *poisoned*, and the next append
+//! first [`heal`](Journal::heal)s: re-scan the file, truncate the torn
+//! tail exactly like [`Journal::open`] does, and re-derive `next_seq`
+//! from the on-disk committed state (never backwards). If healing itself
+//! fails the journal stays poisoned and keeps rejecting appends.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
@@ -141,6 +155,10 @@ pub struct Journal {
     path: PathBuf,
     file: File,
     next_seq: u64,
+    /// Set when a failed append may have left the file in an uncertain
+    /// state (torn record, or written-but-unsynced record). Cleared by a
+    /// successful [`heal`](Self::heal) or [`reset`](Self::reset).
+    poisoned: bool,
 }
 
 impl Journal {
@@ -179,7 +197,37 @@ impl Journal {
             file.set_len(keep).map_err(|e| RdfError::io("truncate torn journal tail", e))?;
         }
         file.seek(SeekFrom::End(0)).map_err(|e| RdfError::io("seek journal end", e))?;
-        Ok(Journal { path, file, next_seq: scan.last_seq() + 1 })
+        Ok(Journal { path, file, next_seq: scan.last_seq() + 1, poisoned: false })
+    }
+
+    /// Restores a consistent append position after a failed append left
+    /// the on-disk state uncertain: re-scan the file, truncate any torn
+    /// tail (exactly as [`open`](Self::open) would), reposition at the
+    /// end, and re-derive `next_seq` from the on-disk committed state.
+    /// `next_seq` never moves backwards, so a fully written but unsynced
+    /// group can never make a later window re-issue its sequence numbers.
+    fn heal(&mut self) -> Result<(), RdfError> {
+        let scan = scan_file(&self.path)?;
+        if scan.torn_bytes > 0 {
+            let keep = scan.file_bytes - scan.torn_bytes;
+            self.file
+                .set_len(keep)
+                .map_err(|e| RdfError::io("truncate torn journal tail", e))?;
+        }
+        self.file.seek(SeekFrom::End(0)).map_err(|e| RdfError::io("seek journal end", e))?;
+        self.next_seq = self.next_seq.max(scan.last_seq() + 1);
+        if scan.file_bytes == scan.torn_bytes {
+            // Nothing survived the truncation (a torn header from a failed
+            // reset, or an emptied file): rewrite a header that preserves
+            // the sequence position.
+            let header = format!("{MAGIC} base={}\n", self.next_seq - 1);
+            self.file
+                .write_all(header.as_bytes())
+                .and_then(|()| self.file.sync_data())
+                .map_err(|e| RdfError::io("rewrite journal header", e))?;
+        }
+        self.poisoned = false;
+        Ok(())
     }
 
     /// The sequence number the next append will use.
@@ -188,9 +236,13 @@ impl Journal {
     }
 
     /// Appends one batch and fsyncs; returns its sequence number. On error
-    /// nothing is considered committed (a partial record is truncated on
-    /// the next open/recover).
+    /// nothing is considered committed: the handle is poisoned and the
+    /// next append heals the file (truncating any partial record) before
+    /// writing anything new.
     pub fn append(&mut self, model: &str, ops: &[JournalOp]) -> Result<u64, RdfError> {
+        if self.poisoned {
+            self.heal()?;
+        }
         failpoint::check("journal::append")?;
         let seq = self.next_seq;
         let mut body = format!("B {seq} {} {model}\n", ops.len());
@@ -204,23 +256,35 @@ impl Journal {
             let half = &body.as_bytes()[..body.len() / 2];
             let _ = self.file.write_all(half);
             let _ = self.file.sync_data();
+            self.poisoned = true;
             return Err(RdfError::Injected { failpoint: "journal::append::partial".into() });
         }
         if failpoint::check("journal::append::uncommitted").is_err() {
             // Simulate a crash after the ops but before the commit marker.
             let _ = self.file.write_all(body.as_bytes());
             let _ = self.file.sync_data();
+            self.poisoned = true;
             return Err(RdfError::Injected {
                 failpoint: "journal::append::uncommitted".into(),
             });
         }
 
-        self.file
+        if let Err(e) = self
+            .file
             .write_all(body.as_bytes())
             .and_then(|()| self.file.write_all(commit.as_bytes()))
-            .map_err(|e| RdfError::io("append journal record", e))?;
-        failpoint::check("journal::sync")?;
-        self.file.sync_data().map_err(|e| RdfError::io("sync journal", e))?;
+        {
+            self.poisoned = true;
+            return Err(RdfError::io("append journal record", e));
+        }
+        if let Err(e) = failpoint::check("journal::sync") {
+            self.poisoned = true;
+            return Err(e);
+        }
+        if let Err(e) = self.file.sync_data() {
+            self.poisoned = true;
+            return Err(RdfError::io("sync journal", e));
+        }
         self.next_seq = seq + 1;
         Ok(seq)
     }
@@ -230,14 +294,19 @@ impl Journal {
     /// commit marker, so recovery sees them as ordinary committed batches;
     /// the single `sync_data` at the end is what amortizes the durability
     /// cost across every writer in the window. On error *nothing* in the
-    /// group is considered committed: a torn group tail is truncated on
-    /// the next open/recover exactly like a torn single append.
+    /// group is considered committed: the handle is poisoned and the next
+    /// append heals the file first, so a torn group tail is truncated (and
+    /// an unsynced group's sequence numbers are never re-issued) before
+    /// any later window reaches the disk.
     pub fn append_batches(
         &mut self,
         batches: &[(&str, &[JournalOp])],
     ) -> Result<Vec<u64>, RdfError> {
         if batches.is_empty() {
             return Ok(Vec::new());
+        }
+        if self.poisoned {
+            self.heal()?;
         }
         failpoint::check("journal::append")?;
         let mut buf = String::new();
@@ -260,14 +329,22 @@ impl Journal {
             let half = &buf.as_bytes()[..buf.len() / 2];
             let _ = self.file.write_all(half);
             let _ = self.file.sync_data();
+            self.poisoned = true;
             return Err(RdfError::Injected { failpoint: "journal::append::partial".into() });
         }
 
-        self.file
-            .write_all(buf.as_bytes())
-            .map_err(|e| RdfError::io("append journal group", e))?;
-        failpoint::check("journal::sync")?;
-        self.file.sync_data().map_err(|e| RdfError::io("sync journal group", e))?;
+        if let Err(e) = self.file.write_all(buf.as_bytes()) {
+            self.poisoned = true;
+            return Err(RdfError::io("append journal group", e));
+        }
+        if let Err(e) = failpoint::check("journal::sync") {
+            self.poisoned = true;
+            return Err(e);
+        }
+        if let Err(e) = self.file.sync_data() {
+            self.poisoned = true;
+            return Err(RdfError::io("sync journal group", e));
+        }
         self.next_seq = seq;
         Ok(seqs)
     }
@@ -285,17 +362,25 @@ impl Journal {
 
     /// Resets the journal after a snapshot: the file is rewritten to hold
     /// only a header with `base` (all batches ≤ `base` live in the
-    /// snapshot now).
+    /// snapshot now). A success also clears any poisoning — the rewrite
+    /// replaces whatever uncertain state a failed append left behind. A
+    /// failure mid-rewrite poisons the handle instead (the file may be
+    /// truncated or headerless), so the next append heals it first.
     pub fn reset(&mut self, base: u64) -> Result<(), RdfError> {
         failpoint::check("journal::reset")?;
         let header = format!("{MAGIC} base={base}\n");
-        self.file
+        if let Err(e) = self
+            .file
             .set_len(0)
             .and_then(|()| self.file.seek(SeekFrom::Start(0)).map(|_| ()))
             .and_then(|()| self.file.write_all(header.as_bytes()))
             .and_then(|()| self.file.sync_data())
-            .map_err(|e| RdfError::io("reset journal", e))?;
+        {
+            self.poisoned = true;
+            return Err(RdfError::io("reset journal", e));
+        }
         self.next_seq = base + 1;
+        self.poisoned = false;
         Ok(())
     }
 
@@ -684,6 +769,46 @@ mod tests {
         let scan = scan_file(&Journal::path_in(&dir)).unwrap();
         assert_eq!(scan.base_seq, 1);
         assert!(scan.batches.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_handle_heals_before_next_append() {
+        let dir = temp_dir("poison-heal");
+        let mut j = Journal::open(&dir).unwrap();
+        j.append("m", &sample_ops()).unwrap();
+        failpoint::arm("journal::append::partial", failpoint::FailSpec::Once);
+        assert!(j.append("m", &sample_ops()).is_err());
+        // Keeping the same handle must not corrupt the journal: the next
+        // append first truncates the torn tail, so committed data never
+        // lands after an uncommitted record (which scan would refuse).
+        let seq = j
+            .append("m", &[JournalOp::Insert(iri("x"), iri("p"), iri("y"))])
+            .unwrap();
+        assert_eq!(seq, 2);
+        let scan = scan_file(&Journal::path_in(&dir)).unwrap();
+        assert_eq!(scan.batches.len(), 2);
+        assert_eq!(scan.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unsynced_group_never_reissues_sequence_numbers() {
+        let dir = temp_dir("poison-sync");
+        let mut j = Journal::open(&dir).unwrap();
+        let ops = sample_ops();
+        let group: Vec<(&str, &[JournalOp])> = vec![("a", ops.as_slice()), ("b", &[])];
+        // The group is fully written (valid commit markers) but the fsync
+        // fails: unacked, yet present on disk.
+        failpoint::arm("journal::sync", failpoint::FailSpec::Once);
+        assert!(j.append_batches(&group).is_err());
+        // Healing must advance the sequence past the on-disk records, so
+        // the retry cannot produce duplicate committed sequence numbers.
+        let seqs = j.append_batches(&group).unwrap();
+        assert_eq!(seqs, vec![3, 4]);
+        let scan = scan_file(&Journal::path_in(&dir)).unwrap();
+        let got: Vec<u64> = scan.batches.iter().map(|b| b.seq).collect();
+        assert_eq!(got, vec![1, 2, 3, 4]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

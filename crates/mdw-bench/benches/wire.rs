@@ -4,9 +4,10 @@
 //!
 //! Two questions:
 //!
-//! 1. **Roundtrip cost** — what does the wire add over an in-process query?
-//!    (`roundtrip_*`: one connection, one request, strict frame-verifying
-//!    client.)
+//! 1. **Roundtrip cost** — what does the wire add over an in-process query,
+//!    and what does HTTP/1.1 keep-alive claw back? (`roundtrip_*`: strict
+//!    frame-verifying client, connect-per-request vs one persistent
+//!    connection.)
 //! 2. **Overload shape** — under a concurrent burst, what do admission
 //!    quotas buy? Each configuration prints a characterization line with
 //!    p50/p99 latency and the shed count, mirroring `mdwh drill wire`.
@@ -43,6 +44,17 @@ fn roundtrip(addr: SocketAddr) -> usize {
         Duration::from_secs(10),
     )
     .expect("roundtrip");
+    assert_eq!(resp.status, 200);
+    assert!(resp.complete_frame, "frame must verify complete");
+    resp.lines().len()
+}
+
+/// The same roundtrip on a persistent keep-alive connection: no connect,
+/// no teardown, one frame per request on a socket that stays open.
+fn roundtrip_keepalive(conn: &mut client::WireConn) -> usize {
+    let resp = conn
+        .get("/search?q=customer", &[("X-Deadline-Ms", DEADLINE_MS.to_string())])
+        .expect("keep-alive roundtrip");
     assert_eq!(resp.status, 200);
     assert!(resp.complete_frame, "frame must verify complete");
     resp.lines().len()
@@ -124,6 +136,11 @@ fn bench_wire(c: &mut Criterion) {
         let addr = server.addr();
         group.throughput(Throughput::Elements(1));
         group.bench_function("roundtrip_search", |b| b.iter(|| roundtrip(addr)));
+        let mut conn =
+            client::WireConn::connect(addr, Duration::from_secs(10)).expect("keep-alive connect");
+        group.bench_function("roundtrip_search_keepalive", |b| {
+            b.iter(|| roundtrip_keepalive(&mut conn))
+        });
     }
 
     group.throughput(Throughput::Elements(BURST as u64));

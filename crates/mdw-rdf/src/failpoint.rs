@@ -179,6 +179,13 @@ pub fn hit_count(name: &str) -> u64 {
     REGISTRY.with(|r| r.borrow().get(name).map_or(0, |a| a.hits))
 }
 
+/// [`hit_count`] for the process-global scope: how often a globally armed
+/// failpoint has been checked (from any thread); 0 if not armed (including
+/// once an exhausted `Once`/`Times` arming is removed).
+pub fn hit_count_global(name: &str) -> u64 {
+    GLOBAL_REGISTRY.lock().unwrap().get(name).map_or(0, |a| a.hits)
+}
+
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E3779B97F4A7C15);
     let mut z = *state;

@@ -121,6 +121,140 @@ pub fn post(
     parse_response(&raw)
 }
 
+/// A persistent keep-alive connection: many requests, one socket, each
+/// response judged by the same strict parser. The drill uses a pool of
+/// these to hold thousands of connections open; [`frame_length`] tells it
+/// where each response frame ends so the next request can reuse the socket.
+pub struct WireConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl WireConn {
+    /// Connects with `timeout` applied to the connect and every read/write.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<WireConn, WireError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let _ = stream.set_nodelay(true);
+        Ok(WireConn { stream, buf: Vec::new() })
+    }
+
+    /// Sends one GET without `Connection: close` and reads exactly one
+    /// response frame, leaving the socket open for the next request.
+    pub fn get(&mut self, target: &str, headers: &[(&str, String)]) -> Result<WireResponse, WireError> {
+        self.request("GET", target, headers)
+    }
+
+    /// Sends one request and reads one frame (keep-alive).
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, String)],
+    ) -> Result<WireResponse, WireError> {
+        self.send(method, target, headers)?;
+        self.read_frame()
+    }
+
+    /// Writes one request without reading the response — the pipelining
+    /// half. The storm drill sends on *every* connection first, so the
+    /// server sees all requests at once, then collects frames with
+    /// [`WireConn::read_frame`] one connection at a time.
+    pub fn send(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, String)],
+    ) -> Result<(), WireError> {
+        let mut request = format!("{method} {target} HTTP/1.1\r\nHost: mdw\r\n");
+        for (name, value) in headers {
+            request.push_str(name);
+            request.push_str(": ");
+            request.push_str(value);
+            request.push_str("\r\n");
+        }
+        if method == "POST" {
+            request.push_str("Content-Length: 0\r\n");
+        }
+        request.push_str("\r\n");
+        self.stream.write_all(request.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads exactly one response frame for a previously [`send`]-issued
+    /// request, leaving any pipelined surplus buffered for the next call.
+    ///
+    /// [`send`]: WireConn::send
+    pub fn read_frame(&mut self) -> Result<WireResponse, WireError> {
+        let mut scratch = [0u8; 8192];
+        loop {
+            if let Some(len) = frame_length(&self.buf) {
+                let frame: Vec<u8> = self.buf.drain(..len).collect();
+                return parse_response(&frame);
+            }
+            let got = self.stream.read(&mut scratch)?;
+            if got == 0 {
+                if self.buf.is_empty() {
+                    return Err(WireError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )));
+                }
+                // Whatever arrived before the close gets the strict verdict
+                // (a cut frame parses as incomplete, never as complete).
+                let frame = std::mem::take(&mut self.buf);
+                return parse_response(&frame);
+            }
+            self.buf.extend_from_slice(&scratch[..got]);
+        }
+    }
+}
+
+/// Incremental frame detector: how many bytes at the start of `raw` form
+/// one complete response frame (head + fully-delimited body), or `None` if
+/// more bytes are needed. The keep-alive client splits its stream on this.
+pub fn frame_length(raw: &[u8]) -> Option<usize> {
+    let head_end = find_head_end(raw)?;
+    let body_start = head_end + 4;
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+    let mut chunked = false;
+    let mut content_length: Option<usize> = None;
+    for line in head.split("\r\n").skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                chunked = true;
+            } else if name == "content-length" {
+                content_length = value.parse().ok();
+            }
+        }
+    }
+    if chunked {
+        let mut at = body_start;
+        loop {
+            let rest = raw.get(at..)?;
+            let line_end = rest.windows(2).position(|w| w == b"\r\n")?;
+            let size =
+                usize::from_str_radix(std::str::from_utf8(&rest[..line_end]).ok()?.trim(), 16)
+                    .ok()?;
+            at += line_end + 2;
+            if size == 0 {
+                // Terminal chunk: the frame ends at its final CRLF.
+                return (raw.get(at..at + 2)? == b"\r\n").then_some(at + 2);
+            }
+            at += size + 2;
+            if at > raw.len() {
+                return None;
+            }
+        }
+    } else {
+        let total = body_start + content_length?;
+        (raw.len() >= total).then_some(total)
+    }
+}
+
 /// Parses raw response bytes, judging frame completeness strictly.
 pub fn parse_response(raw: &[u8]) -> Result<WireResponse, WireError> {
     let head_end = find_head_end(raw).ok_or(WireError::BadFrame("no header terminator"))?;
@@ -233,6 +367,24 @@ mod tests {
         for cut in 47..full.len() - 1 {
             let resp = parse_response(&full[..cut]).unwrap();
             assert!(!resp.complete_frame, "cut at {cut} parsed as complete");
+        }
+    }
+
+    #[test]
+    fn frame_length_finds_the_boundary_incrementally() {
+        let fixed = b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nok\nHTTP/1.1 ...";
+        let frame_end = fixed.len() - "HTTP/1.1 ...".len();
+        assert_eq!(frame_length(fixed), Some(frame_end));
+        for cut in 0..frame_end {
+            assert_eq!(frame_length(&fixed[..cut]), None, "cut at {cut}");
+        }
+
+        let chunked = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+                        8\r\n{\"a\":1}\n\r\n0\r\n\r\nleftover";
+        let frame_end = chunked.len() - "leftover".len();
+        assert_eq!(frame_length(chunked), Some(frame_end));
+        for cut in 0..frame_end {
+            assert_eq!(frame_length(&chunked[..cut]), None, "cut at {cut}");
         }
     }
 

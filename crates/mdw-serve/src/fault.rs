@@ -30,6 +30,10 @@ pub const WRITE_RESET: &str = "wire::write::reset";
 /// Failpoint name: fail the next `accept()` (checked by the listener loop,
 /// not this wrapper).
 pub const ACCEPT: &str = "wire::accept";
+/// Failpoint name: simulate accept itself erroring (EMFILE-shaped storm) —
+/// the event loop answers with listener backoff, not a hot spin. Checked by
+/// the accept path, not this wrapper.
+pub const ACCEPT_ERROR: &str = "wire::accept::error";
 
 fn tripped(name: &str) -> bool {
     failpoint::check(name).is_err()

@@ -1,17 +1,22 @@
-//! A minimal HTTP/1.1 subset: request parsing with hard size limits and a
-//! chunked-transfer response writer.
+//! A minimal HTTP/1.1 subset: incremental request parsing with hard size
+//! limits and a chunked-transfer response writer.
 //!
 //! The server speaks just enough HTTP for curl and load generators:
-//! one request per connection (`Connection: close` on every response),
-//! GET/POST, headers, and percent-encoded query strings. Responses with
-//! bodies of unknown length use `Transfer-Encoding: chunked`, which gives
-//! the wire a crucial property for fault tolerance: a response is only
-//! *complete* when the terminal `0\r\n\r\n` chunk arrives, so a connection
-//! killed mid-body can never be mistaken for a full answer. The chaos suite
-//! leans on exactly this frame discipline.
+//! GET/POST, headers, percent-encoded query strings, and HTTP/1.1
+//! keep-alive. The parser is **incremental** — [`parse_head`] is fed a
+//! growing buffer and says "need more bytes" until the blank line arrives —
+//! because the event-driven transport ([`crate::server`]) never blocks on a
+//! socket: bytes arrive when the readiness loop says so, and a request head
+//! that outgrows its bounded buffer is rejected with `431` instead of
+//! growing until OOM. Responses with bodies of unknown length use
+//! `Transfer-Encoding: chunked`, which gives the wire a crucial property
+//! for fault tolerance: a response is only *complete* when the terminal
+//! `0\r\n\r\n` chunk arrives, so a connection killed mid-body can never be
+//! mistaken for a full answer. The chaos suite leans on exactly this frame
+//! discipline.
 
 use std::collections::BTreeMap;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 
 /// Longest accepted request line (method + target + version).
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -19,6 +24,11 @@ pub const MAX_REQUEST_LINE: usize = 8 * 1024;
 pub const MAX_HEADERS: usize = 64;
 /// Longest accepted single header line.
 pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Hard cap on the whole request head (request line + all headers). A head
+/// that exceeds this without reaching its blank line is rejected with
+/// `431 Request Header Fields Too Large`; the read buffer never grows past
+/// it.
+pub const MAX_HEAD: usize = 16 * 1024;
 /// Largest request body the server will read (and discard).
 pub const MAX_BODY: usize = 64 * 1024;
 
@@ -33,6 +43,13 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Header name → value, names lower-cased.
     pub headers: BTreeMap<String, String>,
+    /// Declared `Content-Length` (0 when absent) — the connection drains
+    /// this many bytes before the next head can start.
+    pub content_length: usize,
+    /// Whether the client may reuse the connection: HTTP/1.1 defaults to
+    /// keep-alive, HTTP/1.0 to close, and an explicit `Connection` header
+    /// overrides either way.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -50,7 +67,8 @@ impl Request {
     }
 }
 
-/// Why a request could not be parsed. Maps to a `400` (or `413`) response.
+/// Why a request could not be parsed. Maps to a `400`, `413`, or `431`
+/// response.
 #[derive(Debug)]
 pub enum ParseError {
     /// The socket failed or timed out while reading the head.
@@ -59,8 +77,21 @@ pub enum ParseError {
     UnexpectedEof,
     /// The head was malformed (bad request line, header, or encoding).
     Malformed(&'static str),
-    /// The request exceeded a size limit.
+    /// The declared body exceeded [`MAX_BODY`] (→ `413`).
     TooLarge(&'static str),
+    /// The request line or headers exceeded their bounds (→ `431`).
+    HeadTooLarge(&'static str),
+}
+
+impl ParseError {
+    /// The status code this parse failure maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::TooLarge(_) => 413,
+            ParseError::HeadTooLarge(_) => 431,
+            _ => 400,
+        }
+    }
 }
 
 impl std::fmt::Display for ParseError {
@@ -70,6 +101,7 @@ impl std::fmt::Display for ParseError {
             ParseError::UnexpectedEof => f.write_str("connection closed mid-request"),
             ParseError::Malformed(what) => write!(f, "malformed request: {what}"),
             ParseError::TooLarge(what) => write!(f, "request too large: {what}"),
+            ParseError::HeadTooLarge(what) => write!(f, "request head too large: {what}"),
         }
     }
 }
@@ -78,39 +110,6 @@ impl From<io::Error> for ParseError {
     fn from(e: io::Error) -> Self {
         ParseError::Io(e)
     }
-}
-
-/// Reads one line (up to CRLF or LF), enforcing `limit` bytes.
-fn read_line<R: BufRead>(
-    reader: &mut R,
-    limit: usize,
-    what: &'static str,
-) -> Result<String, ParseError> {
-    let mut line = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte)? {
-            0 => {
-                if line.is_empty() {
-                    return Err(ParseError::UnexpectedEof);
-                }
-                break;
-            }
-            _ => {
-                if byte[0] == b'\n' {
-                    break;
-                }
-                line.push(byte[0]);
-                if line.len() > limit {
-                    return Err(ParseError::TooLarge(what));
-                }
-            }
-        }
-    }
-    if line.last() == Some(&b'\r') {
-        line.pop();
-    }
-    String::from_utf8(line).map_err(|_| ParseError::Malformed("non-utf8 header bytes"))
 }
 
 /// Percent-decodes a URL component; `+` becomes a space in query values.
@@ -156,14 +155,64 @@ fn parse_query(raw: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Parses one request head from `stream` and drains any declared body (so
-/// the connection is clean for the response even on POSTs).
-pub fn parse_request<S: Read>(stream: S) -> Result<Request, ParseError> {
-    let mut reader = BufReader::new(stream);
-    let request_line = read_line(&mut reader, MAX_REQUEST_LINE, "request line")?;
+/// Finds the end of the head in `buf`: the byte offset just past the first
+/// empty line. Lines end at `\n`; a trailing `\r` is stripped. Returns
+/// `None` when the blank line has not arrived yet.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut line_start = 0;
+    for (i, b) in buf.iter().enumerate() {
+        if *b == b'\n' {
+            let mut line_len = i - line_start;
+            if line_len > 0 && buf[i - 1] == b'\r' {
+                line_len -= 1;
+            }
+            if line_len == 0 {
+                return Some(i + 1);
+            }
+            line_start = i + 1;
+        }
+    }
+    None
+}
+
+/// Incremental head parse. Feed the bytes received so far:
+///
+/// * `Ok(Some((request, consumed)))` — a full head was parsed; `consumed`
+///   bytes (through the blank line) belong to it. Any remainder is the
+///   body and/or a pipelined next request.
+/// * `Ok(None)` — no blank line yet; read more. The caller's buffer is
+///   bounded: once `buf.len()` passes [`MAX_HEAD`] this returns
+///   `HeadTooLarge` instead, so a drip-feeding client cannot grow it
+///   forever.
+/// * `Err(…)` — the head is malformed or over a limit; the connection gets
+///   an error response and closes.
+pub fn parse_head(buf: &[u8]) -> Result<Option<(Request, usize)>, ParseError> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD {
+            return Err(ParseError::HeadTooLarge("head"));
+        }
+        // An over-long first line is rejected before its terminator shows
+        // up — a request line alone must fit MAX_REQUEST_LINE.
+        if !buf.contains(&b'\n') && buf.len() > MAX_REQUEST_LINE {
+            return Err(ParseError::HeadTooLarge("request line"));
+        }
+        return Ok(None);
+    };
+    if head_end > MAX_HEAD {
+        return Err(ParseError::HeadTooLarge("head"));
+    }
+    let head =
+        std::str::from_utf8(&buf[..head_end]).map_err(|_| ParseError::Malformed("non-utf8 head"))?;
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+
+    let request_line = lines.next().ok_or(ParseError::Malformed("empty head"))?;
+    if request_line.len() > MAX_REQUEST_LINE {
+        return Err(ParseError::HeadTooLarge("request line"));
+    }
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
+        .filter(|m| !m.is_empty())
         .ok_or(ParseError::Malformed("empty request line"))?
         .to_ascii_uppercase();
     let target = parts.next().ok_or(ParseError::Malformed("missing target"))?;
@@ -177,13 +226,15 @@ pub fn parse_request<S: Read>(stream: S) -> Result<Request, ParseError> {
     };
 
     let mut headers = BTreeMap::new();
-    loop {
-        let line = read_line(&mut reader, MAX_HEADER_LINE, "header line")?;
+    for line in lines {
         if line.is_empty() {
             break;
         }
+        if line.len() > MAX_HEADER_LINE {
+            return Err(ParseError::HeadTooLarge("header line"));
+        }
         if headers.len() >= MAX_HEADERS {
-            return Err(ParseError::TooLarge("too many headers"));
+            return Err(ParseError::HeadTooLarge("too many headers"));
         }
         let (name, value) = line
             .split_once(':')
@@ -191,31 +242,65 @@ pub fn parse_request<S: Read>(stream: S) -> Result<Request, ParseError> {
         headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
     }
 
-    if let Some(length) = headers.get("content-length") {
-        let length: usize = length
-            .parse()
-            .map_err(|_| ParseError::Malformed("bad content-length"))?;
-        if length > MAX_BODY {
-            return Err(ParseError::TooLarge("body"));
-        }
-        let mut remaining = length;
-        let mut sink = [0u8; 1024];
-        while remaining > 0 {
-            let want = remaining.min(sink.len());
-            let got = reader.read(&mut sink[..want])?;
-            if got == 0 {
-                return Err(ParseError::UnexpectedEof);
+    let content_length = match headers.get("content-length") {
+        Some(v) => {
+            let length: usize = v.parse().map_err(|_| ParseError::Malformed("bad content-length"))?;
+            if length > MAX_BODY {
+                return Err(ParseError::TooLarge("body"));
             }
-            remaining -= got;
+            length
         }
-    }
+        None => 0,
+    };
+    let keep_alive = match headers.get("connection").map(|v| v.to_ascii_lowercase()) {
+        Some(v) if v.contains("close") => false,
+        Some(v) if v.contains("keep-alive") => true,
+        _ => version.starts_with("HTTP/1.1"),
+    };
 
-    Ok(Request {
-        method,
-        path: percent_decode(path_raw, false),
-        query: parse_query(query_raw),
-        headers,
-    })
+    Ok(Some((
+        Request {
+            method,
+            path: percent_decode(path_raw, false),
+            query: parse_query(query_raw),
+            headers,
+            content_length,
+            keep_alive,
+        },
+        head_end,
+    )))
+}
+
+/// Blocking convenience over [`parse_head`]: reads from `stream` until one
+/// full head arrives and drains the declared body (so the connection is
+/// clean for the response even on POSTs). Used by unit tests and simple
+/// callers; the server itself feeds [`parse_head`] from its event loop.
+pub fn parse_request<S: Read>(mut stream: S) -> Result<Request, ParseError> {
+    let mut buf = Vec::new();
+    let mut scratch = [0u8; 4096];
+    let (request, consumed) = loop {
+        match parse_head(&buf)? {
+            Some(done) => break done,
+            None => {
+                let got = stream.read(&mut scratch)?;
+                if got == 0 {
+                    return Err(ParseError::UnexpectedEof);
+                }
+                buf.extend_from_slice(&scratch[..got]);
+            }
+        }
+    };
+    // Drain the body: bytes already buffered count toward it.
+    let mut remaining = request.content_length.saturating_sub(buf.len() - consumed);
+    while remaining > 0 {
+        let want = remaining.min(scratch.len());
+        let got = stream.read(&mut scratch[..want])?;
+        if got == 0 {
+            return Err(ParseError::UnexpectedEof);
+        }
+        remaining -= got;
+    }
+    Ok(request)
 }
 
 /// The human phrase for the status codes the server emits.
@@ -226,10 +311,20 @@ pub fn status_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
+    }
+}
+
+fn connection_header(keep_alive: bool) -> &'static str {
+    if keep_alive {
+        "keep-alive"
+    } else {
+        "close"
     }
 }
 
@@ -239,14 +334,16 @@ pub fn status_phrase(status: u16) -> &'static str {
 pub fn write_response<W: Write>(
     w: &mut W,
     status: u16,
+    keep_alive: bool,
     extra_headers: &[(&str, String)],
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nConnection: close\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {} {}\r\nConnection: {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         status,
         status_phrase(status),
+        connection_header(keep_alive),
         content_type,
         body.len()
     );
@@ -267,13 +364,15 @@ pub fn write_response<W: Write>(
 pub fn start_chunked<W: Write>(
     w: &mut W,
     status: u16,
+    keep_alive: bool,
     extra_headers: &[(&str, String)],
     content_type: &str,
 ) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nConnection: close\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\n",
+        "HTTP/1.1 {} {}\r\nConnection: {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\n",
         status,
         status_phrase(status),
+        connection_header(keep_alive),
         content_type,
     );
     for (name, value) in extra_headers {
@@ -305,6 +404,18 @@ pub fn finish_chunks<W: Write>(w: &mut W) -> io::Result<()> {
     w.flush()
 }
 
+/// Appends one chunk frame (`size\r\npayload\r\n`) to a buffer — the
+/// event-driven streamer's building block: frames are staged in the
+/// connection's bounded write buffer and leave via the readiness loop.
+pub fn push_chunk(out: &mut Vec<u8>, payload: &[u8]) {
+    if payload.is_empty() {
+        return;
+    }
+    out.extend_from_slice(format!("{:x}\r\n", payload.len()).as_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(b"\r\n");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +434,32 @@ mod tests {
         assert_eq!(req.query_param("flag"), Some(""));
         assert_eq!(req.header("x-tenant"), Some("risk"));
         assert_eq!(req.header("X-Tenant"), Some("risk"));
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_header_overrides_the_version_default() {
+        let close = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(!parse_request(&close[..]).unwrap().keep_alive);
+        let ten = b"GET / HTTP/1.0\r\n\r\n";
+        assert!(!parse_request(&ten[..]).unwrap().keep_alive);
+        let ten_ka = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        assert!(parse_request(&ten_ka[..]).unwrap().keep_alive);
+    }
+
+    #[test]
+    fn incremental_parse_waits_for_the_blank_line() {
+        let raw = b"GET /x HTTP/1.1\r\nHost: a\r\n\r\ntrailing";
+        // Every strict prefix before the blank line: need more bytes.
+        for cut in 0..raw.len() - 9 {
+            assert!(
+                parse_head(&raw[..cut]).unwrap().is_none(),
+                "cut at {cut} should be incomplete"
+            );
+        }
+        let (req, consumed) = parse_head(raw).unwrap().unwrap();
+        assert_eq!(req.path, "/x");
+        assert_eq!(consumed, raw.len() - 8, "body bytes are not consumed");
     }
 
     #[test]
@@ -331,17 +468,50 @@ mod tests {
         let req = parse_request(&raw[..]).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/admin/drain");
+        assert_eq!(req.content_length, 5);
     }
 
     #[test]
-    fn rejects_oversized_request_lines() {
+    fn rejects_oversized_request_lines_with_431() {
         let mut raw = b"GET /".to_vec();
         raw.extend(std::iter::repeat(b'a').take(MAX_REQUEST_LINE + 10));
         raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
-        assert!(matches!(
-            parse_request(&raw[..]),
-            Err(ParseError::TooLarge(_))
-        ));
+        let err = parse_request(&raw[..]).unwrap_err();
+        assert!(matches!(err, ParseError::HeadTooLarge(_)), "{err}");
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn rejects_oversized_heads_at_the_boundary() {
+        // A head that stays under MAX_HEAD parses; one line more tips it
+        // over and must be rejected even though no blank line arrived.
+        let mut head = b"GET / HTTP/1.1\r\n".to_vec();
+        let filler = b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+        while head.len() + filler.len() <= MAX_HEAD {
+            head.extend_from_slice(filler);
+        }
+        // Still incomplete (no blank line), not yet over the cap…
+        assert!(parse_head(&head).unwrap().is_none());
+        // …but the next filler line pushes past MAX_HEAD: reject, bounded.
+        head.extend_from_slice(filler);
+        let err = parse_head(&head).unwrap_err();
+        assert_eq!(err.status(), 431, "{err}");
+
+        // Too many headers is also a 431, even under the byte cap.
+        let mut many = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..=MAX_HEADERS {
+            many.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        many.extend_from_slice(b"\r\n");
+        assert_eq!(parse_head(&many).unwrap_err().status(), 431);
+    }
+
+    #[test]
+    fn oversized_bodies_stay_413() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let err = parse_head(raw.as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::TooLarge(_)));
+        assert_eq!(err.status(), 413);
     }
 
     #[test]
@@ -362,15 +532,35 @@ mod tests {
     #[test]
     fn chunked_frames_are_well_formed() {
         let mut out = Vec::new();
-        start_chunked(&mut out, 200, &[], "application/x-ndjson").unwrap();
+        start_chunked(&mut out, 200, false, &[], "application/x-ndjson").unwrap();
         write_chunk(&mut out, b"{\"a\":1}\n").unwrap();
         write_chunk(&mut out, b"").unwrap(); // skipped, not a terminator
         write_chunk(&mut out, b"{\"b\":2}\n").unwrap();
         finish_chunks(&mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Connection: close"));
         assert!(text.contains("Transfer-Encoding: chunked"));
         assert!(text.contains("8\r\n{\"a\":1}\n\r\n"));
         assert!(text.ends_with("0\r\n\r\n"));
+    }
+
+    #[test]
+    fn push_chunk_matches_write_chunk() {
+        let mut pushed = Vec::new();
+        push_chunk(&mut pushed, b"{\"a\":1}\n");
+        push_chunk(&mut pushed, b"");
+        let mut written = Vec::new();
+        write_chunk(&mut written, b"{\"a\":1}\n").unwrap();
+        write_chunk(&mut written, b"").unwrap();
+        assert_eq!(pushed, written);
+    }
+
+    #[test]
+    fn keep_alive_responses_advertise_it() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, true, &[], "text/plain", b"ok\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive"), "{text}");
     }
 }

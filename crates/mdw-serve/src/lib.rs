@@ -3,9 +3,13 @@
 //! The paper's warehouse is a shared bank-wide *service*: SODA-style search
 //! frontends, lineage tools, and ad-hoc SPARQL consumers all query one
 //! graph concurrently. This crate is that front door — a long-lived
-//! HTTP/1.1 server (hand-rolled subset over [`std::net::TcpListener`];
-//! no new dependencies) that pushes the robustness machinery of the
-//! substrate over the wire, where real failures live:
+//! HTTP/1.1 server (hand-rolled subset, no new dependencies) on an
+//! event-driven core: a single epoll/poll event loop ([`epoll`], [`server`])
+//! owns every nonblocking socket, each connection is an explicit state
+//! machine ([`conn`]) with bounded buffers and per-state deadlines, and a
+//! small worker pool executes queries so connections are decoupled from
+//! threads. It pushes the robustness machinery of the substrate over the
+//! wire, where real failures live:
 //!
 //! * **Budgets reach the socket** — `X-Deadline-Ms` / `X-Max-Rows` become a
 //!   [`QueryBudget`](mdw_rdf::budget::QueryBudget); response bytes are
@@ -14,23 +18,31 @@
 //! * **Admission is per tenant** ([`tenant`]) — `X-Tenant` maps to a
 //!   bounded FIFO gate; overload sheds `503 + Retry-After` scaled by queue
 //!   depth.
+//! * **Slow clients cannot park resources** ([`conn`]) — a head-read
+//!   deadline defeats slowloris drip-feeders, a write-stall deadline
+//!   defeats readers that stop reading mid-stream, and idle keep-alive
+//!   connections are reaped; every firing is counted and visible in
+//!   `GET /admin/stats`.
 //! * **The wire can be killed deterministically** ([`fault`]) — the
-//!   substrate's failpoint registry extends to reads, writes, and accepts,
-//!   so a chaos suite can cut every seam and assert no deadlock, no leaked
-//!   permit, no half-frame that parses as complete ([`client`] is the
-//!   strict judge of that).
+//!   substrate's failpoint registry extends to reads, writes, accepts, and
+//!   accept storms, so a chaos suite can cut every seam and assert no
+//!   deadlock, no leaked permit, no half-frame that parses as complete
+//!   ([`client`] is the strict judge of that).
 //! * **Shutdown is a first-class path** ([`drain`], [`signal`]) — SIGTERM
-//!   stops the intake, lets in-flight requests finish until the drain
-//!   grace, then cancels stragglers, which still return valid truncated
-//!   prefixes.
+//!   stops the intake, reaps parked keep-alive connections, lets in-flight
+//!   requests finish until the drain grace, then cancels stragglers, which
+//!   still return valid truncated prefixes.
 //!
-//! The handler core ([`router`]) is generic over `Read + Write`, so every
+//! The connection machine is transport-agnostic and the blocking driver
+//! ([`conn::handle_connection`]) is generic over `Read + Write`, so every
 //! one of those behaviors is tested without a socket, on one thread,
 //! deterministically.
 
 pub mod chaos;
 pub mod client;
+pub mod conn;
 pub mod drain;
+pub mod epoll;
 pub mod fault;
 pub mod http;
 pub mod router;
@@ -38,7 +50,8 @@ pub mod server;
 pub mod signal;
 pub mod tenant;
 
+pub use conn::handle_connection;
 pub use drain::DrainController;
-pub use router::{handle_connection, ConnOutcome};
+pub use router::ConnOutcome;
 pub use server::{serve, Counters, ServeState, ServerConfig, ServerHandle};
 pub use tenant::TenantGates;

@@ -1,26 +1,35 @@
-//! Request routing: parse → admit → budget → query → stream.
+//! Request routing, split along the event-driven transport's seam:
 //!
-//! The handler is generic over any [`Read`]`+`[`Write`] stream, which is
-//! the crate's keystone for determinism: the chaos suite drives a whole
-//! request through an in-memory duplex on the test thread — thread-local
-//! failpoints and all — while production hands in a [`std::net::TcpStream`]
-//! wrapped in a [`FaultStream`](crate::fault::FaultStream).
+//! * [`prepare`] runs **on the event loop** and must never block: it maps a
+//!   parsed request either to a ready-to-stage [`StagedResponse`] (health,
+//!   stats, admin, 404/405) or to a [`QueryJob`] for the worker pool.
+//! * [`QueryJob::run`] runs **on a worker thread** and may block: drain
+//!   check, per-tenant admission (bounded FIFO wait), budget construction,
+//!   the chaos pauses, and the query itself. It returns either a fixed
+//!   response (errors, sheds) or a [`RowStreamer`].
+//! * [`RowStreamer`] runs **back on the event loop**, interleaved with
+//!   socket readiness: each step charges the budget (deadline, byte cap,
+//!   drain cancellation) *before* appending one row's chunk frame to the
+//!   connection's bounded write buffer, then a truthful summary and the
+//!   chunk terminator. It holds the request's admission permit and
+//!   in-flight registration until the frame is complete, so drain and the
+//!   permit audit see streaming requests as live.
 //!
 //! Responses stream as chunked `application/x-ndjson`: one JSON object per
 //! row, then exactly one `{"summary": …}` line, then the chunk terminator.
-//! The budget is charged **before** each row's bytes leave the socket, so
-//! the byte cap reflects what the client actually received, and the summary
-//! truthfully reports any truncation (budget, byte cap, deadline, drain
-//! cancellation). A frame missing its summary or terminator is *detectably*
-//! incomplete — that, not luck, is what the wire-failure model rests on.
+//! A frame missing its summary or terminator is *detectably* incomplete —
+//! that, not luck, is what the wire-failure model rests on.
+//!
+//! The legacy blocking entry point ([`handle_connection`]) drives the same
+//! state machine over any `Read + Write` stream on the calling thread —
+//! the chaos suite's determinism keystone.
 
-use std::io::{Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use mdw_core::admission::QueryClass;
+use mdw_core::admission::{Permit, QueryClass};
 use mdw_core::error::MdwError;
 use mdw_core::lineage::LineageRequest;
 use mdw_core::search::SearchRequest;
@@ -33,10 +42,12 @@ use mdw_sparql::SemMatch;
 use serde_json::{json, Value};
 
 use crate::chaos;
-use crate::fault::FaultStream;
-use crate::http::{self, ParseError, Request};
+use crate::drain::InFlightGuard;
+use crate::http::{self, Request};
 use crate::server::ServeState;
 use crate::tenant::DEFAULT_TENANT;
+
+pub use crate::conn::handle_connection;
 
 /// Delay point: armed by drain tests to hold a request right before its
 /// query runs.
@@ -45,12 +56,14 @@ pub const PAUSE_BEFORE_QUERY: &str = "serve::before_query";
 /// finishing and its rows streaming out.
 pub const PAUSE_BEFORE_ROWS: &str = "serve::before_rows";
 
-/// How one connection ended — the accept loop's bookkeeping signal.
+/// How one connection ended — the transport's bookkeeping signal. With
+/// keep-alive a connection may carry many requests; this reports the last
+/// notable thing that happened on it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConnOutcome {
     /// A response frame was completed (including error responses).
     Served,
-    /// The request never parsed (bad head, timeout, reset).
+    /// A request never parsed (bad head, timeout, reset, oversized).
     BadRequest,
     /// The wire died mid-response; the frame is detectably incomplete.
     WireError,
@@ -58,197 +71,280 @@ pub enum ConnOutcome {
     Panicked,
 }
 
-/// Serves exactly one request from `stream`, with wire fault injection and
-/// panic isolation. Never panics outward; never leaks a permit or an
-/// in-flight registration (both are RAII and released during unwind).
-pub fn handle_connection<S: Read + Write>(state: &Arc<ServeState>, stream: S) -> ConnOutcome {
-    let mut stream = FaultStream::new(stream);
-    let outcome = catch_unwind(AssertUnwindSafe(|| handle_request(state, &mut stream)));
-    match outcome {
-        Ok(outcome) => outcome,
-        Err(_) => {
-            state.counters.panics.fetch_add(1, Ordering::Relaxed);
-            // Best effort: if the head already went out this produces junk
-            // past a started frame, which chunked framing keeps detectable.
-            let _ = http::write_response(
-                &mut stream,
-                500,
-                &[],
-                "application/json",
-                b"{\"error\":\"internal server error\"}\n",
-            );
-            ConnOutcome::Panicked
+/// A fixed-length response, fully decided, ready for the connection to
+/// encode into its write buffer.
+pub struct StagedResponse {
+    /// The status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// The complete body.
+    pub body: Vec<u8>,
+    /// Extra headers (e.g. `Retry-After`).
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Bump the `served` counter when this response finishes flushing.
+    pub count_served: bool,
+    /// Count a failed flush as a wire error (routed responses do; responses
+    /// to unparseable requests do not — the peer was already broken).
+    pub count_wire_error: bool,
+    /// Force the connection closed after this response regardless of the
+    /// request's keep-alive wish.
+    pub close: bool,
+    /// What the connection's outcome becomes once this response lands.
+    pub outcome: ConnOutcome,
+}
+
+impl StagedResponse {
+    fn routed(status: u16, content_type: &'static str, body: Vec<u8>) -> Self {
+        StagedResponse {
+            status,
+            content_type,
+            body,
+            extra_headers: Vec::new(),
+            count_served: true,
+            count_wire_error: true,
+            close: false,
+            outcome: ConnOutcome::Served,
+        }
+    }
+
+    fn error_json(status: u16, message: &str) -> Self {
+        let body = format!("{{\"error\":{}}}\n", json_string(message)).into_bytes();
+        StagedResponse::routed(status, "application/json", body)
+    }
+
+    /// The response to a request that never parsed: best-effort, counted as
+    /// nothing, always closes (the connection's framing is untrustworthy).
+    pub fn parse_error(status: u16, message: &str) -> Self {
+        StagedResponse {
+            count_served: false,
+            count_wire_error: false,
+            close: true,
+            outcome: ConnOutcome::BadRequest,
+            ..StagedResponse::error_json(status, message)
+        }
+    }
+
+    /// The `500` attempted after a handler panic (counted as nothing; the
+    /// `panics` counter is bumped where the unwind is caught).
+    pub fn panic_response() -> Self {
+        StagedResponse {
+            count_served: false,
+            count_wire_error: false,
+            close: true,
+            outcome: ConnOutcome::Panicked,
+            ..StagedResponse::error_json(500, "internal server error")
+        }
+    }
+
+    /// The inline `503` for connections past the capacity bound.
+    pub fn capacity_shed() -> Self {
+        StagedResponse {
+            extra_headers: vec![("Retry-After", "1".to_string())],
+            count_served: false,
+            count_wire_error: false,
+            close: true,
+            ..StagedResponse::error_json(503, "server at connection capacity")
         }
     }
 }
 
-fn handle_request<S: Read + Write>(state: &Arc<ServeState>, stream: &mut S) -> ConnOutcome {
-    let request = match http::parse_request(&mut *stream) {
-        Ok(request) => request,
-        Err(e) => {
-            let status = match e {
-                ParseError::TooLarge(_) => 413,
-                _ => 400,
-            };
-            let body = format!("{{\"error\":{}}}\n", json_string(&e.to_string()));
-            let _ = http::write_response(stream, status, &[], "application/json", body.as_bytes());
-            return ConnOutcome::BadRequest;
-        }
-    };
-    route(state, &request, stream)
+/// What [`prepare`] decided about a request.
+pub enum Prepared {
+    /// Answer immediately from the event loop.
+    Fixed(StagedResponse),
+    /// Hand to the worker pool; the result comes back asynchronously.
+    Query(QueryJob),
 }
 
-fn route<S: Write>(state: &Arc<ServeState>, request: &Request, stream: &mut S) -> ConnOutcome {
+/// Routes a parsed request. Runs on the event loop: no blocking, no query
+/// work — anything that can wait goes into a [`QueryJob`].
+pub fn prepare(state: &Arc<ServeState>, request: &Request) -> Prepared {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => fixed(state, stream, 200, "text/plain", b"ok\n"),
+        ("GET", "/healthz") => {
+            Prepared::Fixed(StagedResponse::routed(200, "text/plain", b"ok\n".to_vec()))
+        }
         ("GET", "/stats") => {
-            let body = format!("{}\n", stats_json(state));
-            fixed(state, stream, 200, "application/json", body.as_bytes())
+            let body = format!("{}\n", stats_json(state)).into_bytes();
+            Prepared::Fixed(StagedResponse::routed(200, "application/json", body))
+        }
+        ("GET", "/admin/stats") => {
+            let body = format!("{}\n", admin_stats_json(state)).into_bytes();
+            Prepared::Fixed(StagedResponse::routed(200, "application/json", body))
         }
         ("POST", "/admin/drain") => {
             state.request_drain();
-            fixed(state, stream, 202, "application/json", b"{\"draining\":true}\n")
+            Prepared::Fixed(StagedResponse::routed(
+                202,
+                "application/json",
+                b"{\"draining\":true}\n".to_vec(),
+            ))
         }
         ("GET", "/search") | ("GET", "/lineage") | ("GET", "/sparql") => {
-            query_endpoint(state, request, stream)
+            let class = match request.path.as_str() {
+                "/search" => QueryClass::Search,
+                "/lineage" => QueryClass::Lineage,
+                _ => QueryClass::Sparql,
+            };
+            Prepared::Query(QueryJob { request: request.clone(), class })
         }
-        (_, "/healthz" | "/stats" | "/search" | "/lineage" | "/sparql" | "/admin/drain") => fixed(
-            state,
-            stream,
-            405,
-            "application/json",
-            b"{\"error\":\"method not allowed\"}\n",
-        ),
-        _ => fixed(state, stream, 404, "application/json", b"{\"error\":\"no such endpoint\"}\n"),
+        (
+            _,
+            "/healthz" | "/stats" | "/search" | "/lineage" | "/sparql" | "/admin/drain"
+            | "/admin/stats",
+        ) => Prepared::Fixed(StagedResponse::error_json(405, "method not allowed")),
+        _ => Prepared::Fixed(StagedResponse::error_json(404, "no such endpoint")),
     }
 }
 
-fn fixed<S: Write>(
-    state: &ServeState,
-    stream: &mut S,
-    status: u16,
-    content_type: &str,
-    body: &[u8],
-) -> ConnOutcome {
-    match http::write_response(stream, status, &[], content_type, body) {
-        Ok(()) => {
-            state.counters.served.fetch_add(1, Ordering::Relaxed);
-            ConnOutcome::Served
-        }
+/// A query request, parked until a worker picks it up. Everything blocking
+/// or slow lives in [`QueryJob::run`].
+pub struct QueryJob {
+    request: Request,
+    class: QueryClass,
+}
+
+/// What a worker hands back to the connection.
+pub enum JobResult {
+    /// A fixed response (errors, sheds, not-found …).
+    Fixed(StagedResponse),
+    /// A successful query: stream rows under budget.
+    Stream(RowStreamer),
+}
+
+/// Runs `job` with panic containment: an unwinding handler becomes a `500`
+/// and a bumped `panics` counter, and every RAII guard (permit, in-flight
+/// registration) is released during the unwind. Workers and the blocking
+/// driver both go through here.
+pub fn execute_job(state: &Arc<ServeState>, job: QueryJob) -> JobResult {
+    match catch_unwind(AssertUnwindSafe(|| job.run(state))) {
+        Ok(result) => result,
         Err(_) => {
-            state.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
-            ConnOutcome::WireError
+            state.counters.panics.fetch_add(1, Ordering::Relaxed);
+            JobResult::Fixed(StagedResponse::panic_response())
         }
     }
 }
 
-fn overloaded_response<S: Write>(
-    state: &ServeState,
-    stream: &mut S,
-    retry_after: Duration,
-    detail: &str,
-) -> ConnOutcome {
+/// The storm valve's shed: the event loop found the worker queue full at
+/// dispatch time. A plain `503` — truthful, complete-framed, keep-alive —
+/// built without touching the (possibly blocking) admission gate.
+pub(crate) fn queue_full_shed(state: &ServeState) -> JobResult {
+    JobResult::Fixed(overloaded(
+        state,
+        Duration::from_secs(1),
+        "worker queue full",
+    ))
+}
+
+fn overloaded(state: &ServeState, retry_after: Duration, detail: &str) -> StagedResponse {
     state.counters.sheds.fetch_add(1, Ordering::Relaxed);
     // Retry-After is whole seconds; round up so the hint never understates.
     let secs = retry_after.as_secs() + u64::from(retry_after.subsec_nanos() > 0);
-    let headers = [("Retry-After", secs.max(1).to_string())];
     let body = format!(
         "{{\"error\":\"overloaded\",\"detail\":{},\"retry_after_ms\":{}}}\n",
         json_string(detail),
         retry_after.as_millis()
     );
-    match http::write_response(stream, 503, &headers, "application/json", body.as_bytes()) {
-        Ok(()) => ConnOutcome::Served,
-        Err(_) => {
-            state.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
-            ConnOutcome::WireError
-        }
+    StagedResponse {
+        status: 503,
+        content_type: "application/json",
+        body: body.into_bytes(),
+        extra_headers: vec![("Retry-After", secs.max(1).to_string())],
+        count_served: false,
+        count_wire_error: true,
+        close: false,
+        outcome: ConnOutcome::Served,
     }
 }
 
-fn query_endpoint<S: Write>(state: &ServeState, request: &Request, stream: &mut S) -> ConnOutcome {
-    let class = match request.path.as_str() {
-        "/search" => QueryClass::Search,
-        "/lineage" => QueryClass::Lineage,
-        _ => QueryClass::Sparql,
-    };
+impl QueryJob {
+    /// The blocking half of a query request: drain check → tenant admission
+    /// → budget → chaos pauses → query. Returns a fixed error/shed response
+    /// or a [`RowStreamer`] carrying the admission permit and in-flight
+    /// registration.
+    fn run(self, state: &Arc<ServeState>) -> JobResult {
+        let request = &self.request;
+        if state.drain.is_draining() {
+            return JobResult::Fixed(overloaded(
+                state,
+                state.config.drain_grace,
+                "server draining",
+            ));
+        }
 
-    if state.drain.is_draining() {
-        return overloaded_response(state, stream, state.config.drain_grace, "server draining");
-    }
+        let tenant = request.header("x-tenant").unwrap_or(DEFAULT_TENANT);
+        // RAII permit: held through streaming, released on every exit path.
+        let permit = match &state.tenants {
+            Some(gates) => match gates.admit(tenant, self.class) {
+                Ok(permit) => Some(permit),
+                Err(shed) => {
+                    let detail = format!("tenant {tenant}: {shed}");
+                    return JobResult::Fixed(overloaded(state, shed.retry_after, &detail));
+                }
+            },
+            None => None,
+        };
 
-    let tenant = request.header("x-tenant").unwrap_or(DEFAULT_TENANT);
-    // RAII permit: held for the whole request, released on every exit path.
-    let _permit = match &state.tenants {
-        Some(gates) => match gates.admit(tenant, class) {
-            Ok(permit) => Some(permit),
-            Err(shed) => {
-                let detail = format!("tenant {tenant}: {shed}");
-                return overloaded_response(state, stream, shed.retry_after, &detail);
+        // Budget: wire headers → deadline, row cap, byte cap, cancellation.
+        let deadline = request
+            .header("x-deadline-ms")
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(state.config.default_deadline)
+            .min(state.config.max_deadline);
+        let max_rows = request
+            .header("x-max-rows")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(state.config.max_rows)
+            .min(state.config.max_rows);
+        let token = CancellationToken::new();
+        let inflight = state.drain.register(token.clone());
+        let budget = QueryBudget::unlimited()
+            .with_deadline(deadline, Arc::new(MonotonicTime::new()))
+            .with_max_rows(max_rows)
+            .with_max_bytes(state.config.max_response_bytes)
+            .with_cancellation(&token);
+
+        chaos::pause(PAUSE_BEFORE_QUERY, &token);
+
+        // Chaos hook: lets the suite prove panic containment end-to-end —
+        // the unwind must release the permit, the in-flight registration,
+        // and the connection slot, and the process must keep serving.
+        if request.header("x-chaos-panic").is_some() {
+            panic!("injected handler panic (X-Chaos-Panic)");
+        }
+
+        let answer = match self.class {
+            QueryClass::Search => run_search(state, request, budget.clone()),
+            QueryClass::Lineage => run_lineage(state, request, budget.clone()),
+            QueryClass::Sparql => run_sparql(state, request, budget.clone()),
+        };
+        let answer = match answer {
+            Ok(answer) => answer,
+            Err(RouteError::BadRequest(msg)) => {
+                return JobResult::Fixed(StagedResponse::error_json(400, &msg));
             }
-        },
-        None => None,
-    };
+            Err(RouteError::Warehouse(MdwError::Overloaded(o))) => {
+                return JobResult::Fixed(overloaded(state, o.retry_after, &o.to_string()));
+            }
+            Err(RouteError::Warehouse(MdwError::NotFound(what))) => {
+                return JobResult::Fixed(StagedResponse::error_json(
+                    404,
+                    &format!("not found: {what}"),
+                ));
+            }
+            Err(RouteError::Warehouse(MdwError::InvalidRequest(what))) => {
+                return JobResult::Fixed(StagedResponse::error_json(400, &what));
+            }
+            Err(RouteError::Warehouse(other)) => {
+                return JobResult::Fixed(StagedResponse::error_json(500, &other.to_string()));
+            }
+        };
 
-    // Budget: wire headers → deadline, row cap, byte cap, cancellation.
-    let deadline = request
-        .header("x-deadline-ms")
-        .and_then(|v| v.parse::<u64>().ok())
-        .map(Duration::from_millis)
-        .unwrap_or(state.config.default_deadline)
-        .min(state.config.max_deadline);
-    let max_rows = request
-        .header("x-max-rows")
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(state.config.max_rows)
-        .min(state.config.max_rows);
-    let token = CancellationToken::new();
-    let _inflight = state.drain.register(token.clone());
-    let budget = QueryBudget::unlimited()
-        .with_deadline(deadline, Arc::new(MonotonicTime::new()))
-        .with_max_rows(max_rows)
-        .with_max_bytes(state.config.max_response_bytes)
-        .with_cancellation(&token);
-
-    chaos::pause(PAUSE_BEFORE_QUERY, &token);
-
-    // Chaos hook: lets the suite prove panic containment end-to-end — the
-    // unwind must release the permit, the in-flight registration, and the
-    // connection slot, and the process must keep serving.
-    if request.header("x-chaos-panic").is_some() {
-        panic!("injected handler panic (X-Chaos-Panic)");
+        chaos::pause(PAUSE_BEFORE_ROWS, &token);
+        JobResult::Stream(RowStreamer::new(answer, budget, permit, inflight))
     }
-
-    let answer = match class {
-        QueryClass::Search => run_search(state, request, budget.clone()),
-        QueryClass::Lineage => run_lineage(state, request, budget.clone()),
-        QueryClass::Sparql => run_sparql(state, request, budget.clone()),
-    };
-    let answer = match answer {
-        Ok(answer) => answer,
-        Err(RouteError::BadRequest(msg)) => {
-            let body = format!("{{\"error\":{}}}\n", json_string(&msg));
-            return fixed(state, stream, 400, "application/json", body.as_bytes());
-        }
-        Err(RouteError::Warehouse(MdwError::Overloaded(o))) => {
-            return overloaded_response(state, stream, o.retry_after, &o.to_string());
-        }
-        Err(RouteError::Warehouse(MdwError::NotFound(what))) => {
-            let body = format!("{{\"error\":{}}}\n", json_string(&format!("not found: {what}")));
-            return fixed(state, stream, 404, "application/json", body.as_bytes());
-        }
-        Err(RouteError::Warehouse(MdwError::InvalidRequest(what))) => {
-            let body = format!("{{\"error\":{}}}\n", json_string(&what));
-            return fixed(state, stream, 400, "application/json", body.as_bytes());
-        }
-        Err(RouteError::Warehouse(other)) => {
-            let body = format!("{{\"error\":{}}}\n", json_string(&other.to_string()));
-            return fixed(state, stream, 500, "application/json", body.as_bytes());
-        }
-    };
-
-    chaos::pause(PAUSE_BEFORE_ROWS, &token);
-    stream_answer(state, stream, &budget, answer)
 }
 
 /// A fully-computed answer, ready to stream: pre-encoded ndjson rows plus
@@ -270,57 +366,112 @@ impl From<MdwError> for RouteError {
     }
 }
 
-fn stream_answer<S: Write>(
-    state: &ServeState,
-    stream: &mut S,
-    budget: &QueryBudget,
-    answer: Answer,
-) -> ConnOutcome {
-    let mut wire_reason: Option<TruncationReason> = None;
-    let mut sent = 0usize;
-    let started = http::start_chunked(stream, 200, &[], "application/x-ndjson");
-    if started.is_err() {
-        state.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
-        return ConnOutcome::WireError;
-    }
-    for line in &answer.rows {
-        // Deadline or drain cancellation lands between rows…
-        if let Err(reason) = budget.check_time() {
-            wire_reason = Some(reason);
-            break;
+enum StreamStage {
+    Rows,
+    Terminator,
+    Done,
+}
+
+/// Streams an [`Answer`] as budget-charged chunk frames, one piece per
+/// [`step`](RowStreamer::step). The budget is consulted **before** each row
+/// is framed — a tripped deadline, byte cap, or drain cancellation stops
+/// the rows and the summary says so truthfully. Holds the admission permit
+/// and in-flight registration for the request's whole wire lifetime; both
+/// release when the streamer drops (completion, wire death, or teardown).
+pub struct RowStreamer {
+    rows: Vec<String>,
+    next: usize,
+    base_reason: Option<TruncationReason>,
+    degraded: bool,
+    budget: QueryBudget,
+    sent: usize,
+    trip: Option<TruncationReason>,
+    stage: StreamStage,
+    _permit: Option<Permit>,
+    _inflight: InFlightGuard,
+}
+
+impl RowStreamer {
+    fn new(
+        answer: Answer,
+        budget: QueryBudget,
+        permit: Option<Permit>,
+        inflight: InFlightGuard,
+    ) -> Self {
+        let base_reason = match answer.completeness {
+            Completeness::Complete => None,
+            Completeness::Truncated { reason } => Some(reason),
+        };
+        RowStreamer {
+            rows: answer.rows,
+            next: 0,
+            base_reason,
+            degraded: answer.degraded,
+            budget,
+            sent: 0,
+            trip: None,
+            stage: StreamStage::Rows,
+            _permit: permit,
+            _inflight: inflight,
         }
-        // …and the byte cap is charged before the row leaves the socket.
-        if let Err(reason) = budget.charge_bytes(line.len() as u64) {
-            wire_reason = Some(reason);
-            break;
-        }
-        if http::write_chunk(stream, line.as_bytes()).is_err() {
-            state.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
-            return ConnOutcome::WireError;
-        }
-        sent += 1;
     }
 
-    let reason = wire_reason.or(match answer.completeness {
-        Completeness::Complete => None,
-        Completeness::Truncated { reason } => Some(reason),
-    });
-    let summary = json!({
-        "summary": {
-            "rows": sent,
-            "complete": reason.is_none(),
-            "truncated": reason.map(|r| r.to_string()),
-            "degraded": answer.degraded,
-            "bytes": budget.bytes_charged(),
+    /// Appends one protocol piece (a row frame, the summary frame, or the
+    /// terminator) to `out`. Returns `false` once the frame is complete and
+    /// nothing more will ever be appended.
+    pub fn step(&mut self, out: &mut Vec<u8>) -> bool {
+        match self.stage {
+            StreamStage::Rows => {
+                if self.trip.is_none() && self.next < self.rows.len() {
+                    let row = &self.rows[self.next];
+                    // Deadline or drain cancellation lands between rows, and
+                    // the byte cap is charged before the row is framed.
+                    match self.budget.check_time().and_then(|()| self.budget.charge_bytes(row.len() as u64)) {
+                        Err(reason) => self.trip = Some(reason),
+                        Ok(()) => {
+                            http::push_chunk(out, row.as_bytes());
+                            self.next += 1;
+                            self.sent += 1;
+                            return true;
+                        }
+                    }
+                }
+                // Rows exhausted or budget tripped: the summary frame.
+                let reason = self.trip.or(self.base_reason);
+                let summary = json!({
+                    "summary": {
+                        "rows": self.sent,
+                        "complete": reason.is_none(),
+                        "truncated": reason.map(|r| r.to_string()),
+                        "degraded": self.degraded,
+                        "bytes": self.budget.bytes_charged(),
+                    }
+                });
+                let line =
+                    format!("{}\n", serde_json::to_string(&summary).expect("summary serializes"));
+                http::push_chunk(out, line.as_bytes());
+                self.stage = StreamStage::Terminator;
+                true
+            }
+            StreamStage::Terminator => {
+                out.extend_from_slice(b"0\r\n\r\n");
+                self.stage = StreamStage::Done;
+                true
+            }
+            StreamStage::Done => false,
         }
-    });
-    let line = format!("{}\n", serde_json::to_string(&summary).expect("summary serializes"));
-    if http::write_chunk(stream, line.as_bytes()).is_err() || http::finish_chunks(stream).is_err() {
-        state.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
-        return ConnOutcome::WireError;
     }
-    state.counters.served.fetch_add(1, Ordering::Relaxed);
-    ConnOutcome::Served
+
+    /// Steps until `out` holds at least `high_water` bytes or the frame is
+    /// done — the event loop's refill, keeping write buffers bounded.
+    pub fn fill(&mut self, out: &mut Vec<u8>, high_water: usize) -> bool {
+        while out.len() < high_water {
+            if !self.step(out) {
+                return false;
+            }
+        }
+        !matches!(self.stage, StreamStage::Done)
+    }
 }
 
 fn run_search(
@@ -443,7 +594,7 @@ fn json_string(text: &str) -> String {
     serde_json::to_string(&Value::String(text.to_string())).expect("string serializes")
 }
 
-/// The `/stats` document.
+/// The `/stats` document: service-level counters plus per-tenant admission.
 pub fn stats_json(state: &ServeState) -> String {
     let tenants: Vec<Value> = state
         .tenants
@@ -476,4 +627,31 @@ pub fn stats_json(state: &ServeState) -> String {
         "tenants": tenants,
     });
     serde_json::to_string(&doc).expect("stats serialize")
+}
+
+/// The `GET /admin/stats` document: the transport's own counters — what the
+/// event loop accepted, timed out (by state), shed, backed off, and reused.
+/// The wire drill's exit report reads this.
+pub fn admin_stats_json(state: &ServeState) -> String {
+    let counters = &state.counters;
+    let doc = json!({
+        "accepted": counters.accepted.load(Ordering::Relaxed),
+        "served": counters.served.load(Ordering::Relaxed),
+        "sheds": counters.sheds.load(Ordering::Relaxed),
+        "panics": counters.panics.load(Ordering::Relaxed),
+        "wire_errors": counters.wire_errors.load(Ordering::Relaxed),
+        "accept_errors": counters.accept_errors.load(Ordering::Relaxed),
+        "accept_backoffs": counters.accept_backoffs.load(Ordering::Relaxed),
+        "capacity_rejects": counters.capacity_rejects.load(Ordering::Relaxed),
+        "sockopt_errors": counters.sockopt_errors.load(Ordering::Relaxed),
+        "head_timeouts": counters.head_timeouts.load(Ordering::Relaxed),
+        "write_stall_timeouts": counters.write_stall_timeouts.load(Ordering::Relaxed),
+        "idle_reaped": counters.idle_reaped.load(Ordering::Relaxed),
+        "keepalive_reuses": counters.keepalive_reuses.load(Ordering::Relaxed),
+        "queue_sheds": counters.queue_sheds.load(Ordering::Relaxed),
+        "active_connections": state.active_connections(),
+        "inflight": state.drain.inflight(),
+        "draining": state.drain.is_draining(),
+    });
+    serde_json::to_string(&doc).expect("admin stats serialize")
 }

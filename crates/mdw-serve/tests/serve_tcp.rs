@@ -1,8 +1,9 @@
-//! End-to-end tests over real TCP sockets: the full accept-loop →
-//! thread-per-connection → router path, including injected accept failures,
-//! the connection-capacity bound, panic survival, and — the headline — a
-//! graceful drain that cancels an in-flight query and still hands the
-//! client a *complete frame* with a truthful `"cancelled"` summary.
+//! End-to-end tests over real TCP sockets: the full event-loop → state
+//! machine → worker-pool path, including injected accept failures and
+//! accept-storm backoff, the connection-capacity bound, keep-alive reuse,
+//! panic survival, and — the headline — a graceful drain that cancels an
+//! in-flight query and still hands the client a *complete frame* with a
+//! truthful `"cancelled"` summary.
 //!
 //! Unlike the wire chaos suite these tests cross threads, so fault arming
 //! uses the failpoint registry's **global** scope and the chaos delay
@@ -206,6 +207,94 @@ fn handler_panic_over_tcp_leaves_the_server_serving() {
     assert_eq!(server.state().drain.inflight(), 0);
     if let Some(gates) = &server.state().tenants {
         assert_eq!(gates.total_active(), 0);
+    }
+}
+
+#[test]
+fn keep_alive_reuses_one_tcp_connection() {
+    let _guard = chaos_lock();
+    let server = start_server(test_config());
+    let mut conn = client::WireConn::connect(server.addr(), CLIENT_TIMEOUT).expect("connect");
+    for round in 0..3 {
+        let resp = conn
+            .get("/search?q=client", &[("X-Tenant", "ka".to_string())])
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.answer_complete(), "round {round}: {}", resp.body);
+    }
+    let counters = &server.state().counters;
+    assert_eq!(counters.served.load(std::sync::atomic::Ordering::Relaxed), 3);
+    assert_eq!(counters.keepalive_reuses.load(std::sync::atomic::Ordering::Relaxed), 2);
+    // Three requests, one socket.
+    assert_eq!(counters.accepted.load(std::sync::atomic::Ordering::Relaxed), 1);
+}
+
+#[test]
+fn accept_storm_backs_off_and_recovers() {
+    let _guard = chaos_lock();
+    let server = start_server(test_config());
+    // The next accept "fails" EMFILE-style: the socket is lost and the
+    // listener goes quiet for a backoff interval instead of hot-spinning.
+    failpoint::arm_global(fault::ACCEPT_ERROR, FailSpec::Once);
+    let stormed = client::get(server.addr(), "/healthz", &[], Duration::from_secs(2));
+    assert!(
+        !matches!(&stormed, Ok(resp) if resp.status == 200),
+        "the stormed connection must not be served"
+    );
+    let counters = &server.state().counters;
+    assert_eq!(counters.accept_errors.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(counters.accept_backoffs.load(std::sync::atomic::Ordering::Relaxed), 1);
+    // After the backoff the listener comes back and serves normally.
+    let resp = client::get(server.addr(), "/healthz", &[], CLIENT_TIMEOUT).expect("recovered");
+    assert_eq!(resp.status, 200);
+    assert!(resp.complete_frame);
+    failpoint::reset_global();
+}
+
+#[test]
+fn full_worker_queue_sheds_at_dispatch() {
+    let _guard = chaos_lock();
+    // A zero-depth queue: every query request finds it "full" and must be
+    // shed by the event loop's storm valve, never parked behind workers.
+    let server = start_server(ServerConfig { max_queued_jobs: 0, ..test_config() });
+    let resp = client::get(server.addr(), "/search?q=client", &[], CLIENT_TIMEOUT).expect("shed");
+    assert_eq!(resp.status, 503);
+    assert!(resp.complete_frame);
+    assert!(resp.body.contains("worker queue full"), "body: {}", resp.body);
+    let counters = &server.state().counters;
+    assert_eq!(counters.queue_sheds.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(counters.sheds.load(std::sync::atomic::Ordering::Relaxed), 1);
+    // Fixed routes never touch the queue; the server stays responsive.
+    let resp = client::get(server.addr(), "/healthz", &[], CLIENT_TIMEOUT).expect("healthz");
+    assert_eq!(resp.status, 200);
+    if let Some(gates) = &server.state().tenants {
+        assert_eq!(gates.total_active(), 0);
+    }
+}
+
+#[test]
+fn admin_stats_exposes_server_counters() {
+    let _guard = chaos_lock();
+    let server = start_server(test_config());
+    let resp = client::get(server.addr(), "/search?q=client", &[], CLIENT_TIMEOUT).expect("warm");
+    assert_eq!(resp.status, 200);
+    let stats = client::get(server.addr(), "/admin/stats", &[], CLIENT_TIMEOUT).expect("stats");
+    assert_eq!(stats.status, 200);
+    assert!(stats.complete_frame);
+    for key in [
+        "\"accepted\"",
+        "\"served\":1",
+        "\"head_timeouts\"",
+        "\"write_stall_timeouts\"",
+        "\"idle_reaped\"",
+        "\"keepalive_reuses\"",
+        "\"accept_backoffs\"",
+        "\"sockopt_errors\"",
+        "\"capacity_rejects\"",
+        "\"active_connections\"",
+        "\"draining\":false",
+    ] {
+        assert!(stats.body.contains(key), "missing {key} in {}", stats.body);
     }
 }
 

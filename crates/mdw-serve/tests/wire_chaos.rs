@@ -13,15 +13,18 @@
 //! every fault fires exactly where the test put it.
 
 use std::io::{self, Read, Write};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mdw_core::admission::AdmissionConfig;
 use mdw_core::warehouse::MetadataWarehouse;
 use mdw_corpus::{generate, CorpusConfig, Scale};
 use mdw_rdf::failpoint::{self, FailSpec};
-use mdw_serve::client::{parse_response, WireResponse};
-use mdw_serve::router::handle_connection;
+use mdw_serve::client::{frame_length, parse_response, WireResponse};
+use mdw_serve::conn::{Conn, ConnTimeouts, Wants};
+use mdw_serve::http;
+use mdw_serve::router::{execute_job, handle_connection};
 use mdw_serve::server::{ServeState, ServerConfig};
 use mdw_serve::{fault, ConnOutcome};
 
@@ -353,9 +356,11 @@ impl<S: Write> Write for ArmAfterWrites<S> {
 
 #[test]
 fn mid_body_write_faults_cut_frames_detectably() {
-    // The head is write #1 and each chunk is three writes, so arming after
-    // 2 writes lands the fault inside the row stream, after real bytes
-    // (status line + first chunk fragments) reached the client.
+    // The blocking driver writes one protocol piece per call: the chunked
+    // head is write #1 and each streamer piece (row frame, summary,
+    // terminator) is its own write. Arming after 2 writes lands the fault
+    // inside the row stream, after real bytes (status line + first row)
+    // reached the client.
     for name in [fault::WRITE_RESET, fault::WRITE_PARTIAL] {
         failpoint::reset();
         let state = state_with(test_config());
@@ -376,6 +381,110 @@ fn mid_body_write_faults_cut_frames_detectably() {
         assert_nothing_leaked(&state);
         failpoint::reset();
     }
+}
+
+/// Flushes whatever the state machine has staged into a Vec.
+fn drain_conn_writes(conn: &mut Conn, state: &Arc<ServeState>) -> Vec<u8> {
+    let mut out = Vec::new();
+    while conn.wants() == Wants::Write {
+        conn.flush_step(state, &mut out);
+    }
+    out
+}
+
+#[test]
+fn slowloris_drip_feed_hits_the_head_deadline() {
+    // A client that dribbles one header byte at a time must not park a
+    // connection forever: the head-read deadline fires, the client gets a
+    // complete 408 frame, and the slot is reclaimed with nothing held.
+    failpoint::reset();
+    let state = state_with(test_config());
+    let timeouts = ConnTimeouts {
+        head: Duration::from_millis(80),
+        write_stall: Duration::from_secs(1),
+        idle: Duration::from_secs(1),
+    };
+    let t0 = Instant::now();
+    let mut conn = Conn::new(timeouts, false, t0);
+    for (i, byte) in b"GET /search?q=client HTT".iter().enumerate() {
+        conn.feed(&state, &[*byte], t0 + Duration::from_millis(i as u64));
+        assert_eq!(conn.wants(), Wants::Read, "still dripping");
+    }
+    assert!(!conn.check_deadline(&state, t0 + Duration::from_millis(79)));
+    assert!(conn.check_deadline(&state, t0 + Duration::from_millis(81)), "deadline must fire");
+    assert_eq!(state.counters.head_timeouts.load(Ordering::Relaxed), 1);
+    let raw = drain_conn_writes(&mut conn, &state);
+    let resp = parse_response(&raw).unwrap();
+    assert_eq!(resp.status, 408);
+    assert!(resp.complete_frame, "408 must be a whole frame");
+    assert_eq!(conn.wants(), Wants::Close, "slot reclaimed");
+    assert_nothing_leaked(&state);
+}
+
+#[test]
+fn slow_reader_stall_reclaims_slot_and_permit() {
+    // A client that requests a row stream and then never reads: the write
+    // buffer stays full, the write-stall deadline fires, and — the part
+    // that matters — the admission permit held by the in-flight streamer is
+    // released when the connection is torn down.
+    failpoint::reset();
+    let state = state_with(test_config());
+    let timeouts = ConnTimeouts {
+        head: Duration::from_secs(1),
+        write_stall: Duration::from_millis(60),
+        idle: Duration::from_secs(1),
+    };
+    let t0 = Instant::now();
+    let mut conn = Conn::new(timeouts, false, t0);
+    conn.feed(&state, get_request("/search?q=client", &[("X-Tenant", "slow")]).as_bytes(), t0);
+    assert_eq!(conn.wants(), Wants::Execute);
+    let job = conn.take_job().expect("query job");
+    conn.complete_job(&state, execute_job(&state, job), t0);
+    assert_eq!(conn.wants(), Wants::Write, "rows staged for a reader that never reads");
+    let gates = state.tenants.as_ref().expect("admission on");
+    assert_eq!(gates.total_active(), 1, "the streamer holds the permit while in flight");
+
+    assert!(conn.check_deadline(&state, t0 + Duration::from_millis(61)), "stall must fire");
+    assert_eq!(state.counters.write_stall_timeouts.load(Ordering::Relaxed), 1);
+    assert_eq!(state.counters.wire_errors.load(Ordering::Relaxed), 1);
+    assert_eq!(conn.wants(), Wants::Close, "slot reclaimed");
+    assert_eq!(conn.outcome(), ConnOutcome::WireError);
+    assert_nothing_leaked(&state);
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    failpoint::reset();
+    let state = state_with(test_config());
+    let mut request = get_request("/healthz", &[]);
+    request.push_str(&get_request("/search?q=client", &[("Connection", "close")]));
+    let (outcome, raw) = drive(&state, &request);
+    assert_eq!(outcome, ConnOutcome::Served);
+    // Two complete frames back-to-back on the one connection.
+    let first_len = frame_length(&raw).expect("first frame closed");
+    let first = parse_response(&raw[..first_len]).unwrap();
+    assert_eq!(first.status, 200);
+    assert!(first.complete_frame);
+    assert_eq!(first.body, "ok\n");
+    let second = parse_response(&raw[first_len..]).unwrap();
+    assert_eq!(second.status, 200);
+    assert!(second.answer_complete(), "body: {}", second.body);
+    assert_eq!(state.counters.keepalive_reuses.load(Ordering::Relaxed), 1);
+    assert_eq!(state.counters.served.load(Ordering::Relaxed), 2);
+    assert_nothing_leaked(&state);
+}
+
+#[test]
+fn oversized_request_head_gets_431_over_the_wire() {
+    failpoint::reset();
+    let state = state_with(test_config());
+    let flood = format!("GET / HTTP/1.1\r\nX-Flood: {}\r\n", "a".repeat(http::MAX_HEAD));
+    let (outcome, raw) = drive(&state, &flood);
+    assert_eq!(outcome, ConnOutcome::BadRequest);
+    let resp = parse_response(&raw).unwrap();
+    assert_eq!(resp.status, 431);
+    assert!(resp.complete_frame, "431 must be a whole frame");
+    assert_nothing_leaked(&state);
 }
 
 #[test]

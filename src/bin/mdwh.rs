@@ -37,7 +37,7 @@ use metadata_warehouse::rdf::lsm::{LsmConfig, LsmStore};
 use metadata_warehouse::rdf::persist::{self, load_store, save_store};
 use metadata_warehouse::rdf::vocab;
 use metadata_warehouse::rdf::{FailSpec, RdfError, Term};
-use metadata_warehouse::serve::{client, serve, signal, ServerConfig};
+use metadata_warehouse::serve::{client, epoll, serve, signal, ServerConfig};
 use metadata_warehouse::sparql::SemMatch;
 
 fn main() -> ExitCode {
@@ -66,20 +66,23 @@ const USAGE: &str = "usage:
   mdwh fsck     --store DIR
   mdwh recover  --store DIR
   mdwh serve    [--store DIR] [--addr HOST:PORT] [--quota N] [--max-conns N]
-                [--deadline-ms MS] [--drain-grace-ms MS] [--no-admission]
+                [--workers N] [--deadline-ms MS] [--drain-grace-ms MS]
+                [--no-admission]
   mdwh drill overload [--store DIR] [--threads N] [--requests N] [--quota N]
                       [--expect-shed]
   mdwh drill overload --writer-race [--threads N] [--writes N]
   mdwh drill wire [--addr HOST:PORT] [--connections N] [--requests N]
                   [--quota N] [--tenants N] [--max-conns N] [--deadline-ms MS]
-                  [--no-admission] [--expect-shed]
+                  [--no-admission] [--expect-shed] [--rss-ceiling-kb N]
   mdwh drill crash [--writers N] [--readers N] [--batches N] [--batch-size N]
                    [--failpoint NAME] [--memtable N] [--stall-runs N]
                    [--stall-deadline-ms MS]
 
 Serving: `mdwh serve` answers GET /search?q=, /lineage?item=, /sparql?query=
-as streamed ndjson; X-Deadline-Ms / X-Max-Rows / X-Tenant headers map to a
-query budget and a per-tenant admission gate. SIGTERM drains gracefully:
+as streamed ndjson over HTTP/1.1 keep-alive; X-Deadline-Ms / X-Max-Rows /
+X-Tenant headers map to a query budget and a per-tenant admission gate, and
+GET /admin/stats reports the event loop's counters (accepted, timeouts by
+state, keep-alive reuses, accept backoffs). SIGTERM drains gracefully:
 in-flight responses finish (or return truthful truncated prefixes), then
 the process exits.
 
@@ -107,7 +110,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--inject", "--deadline-ms", "--max-rows", "--max-steps", "--threads", "--requests",
     "--quota", "--writes", "--addr", "--connections", "--max-conns", "--drain-grace-ms",
     "--tenants", "--writers", "--readers", "--batches", "--batch-size", "--failpoint",
-    "--memtable", "--stall-runs", "--stall-deadline-ms",
+    "--memtable", "--stall-runs", "--stall-deadline-ms", "--workers", "--rss-ceiling-kb",
 ];
 
 fn parse_args(args: &[String]) -> Args {
@@ -857,6 +860,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         ..ServerConfig::default()
     };
     config.max_connections = parse_or(args, "max-conns", config.max_connections)?;
+    config.workers = parse_or(args, "workers", config.workers)?.max(1);
     if let Some(ms) = args.option("deadline-ms") {
         let ms: u64 = ms.parse().map_err(|_| format!("bad --deadline-ms: {ms}"))?;
         config.default_deadline = Duration::from_millis(ms);
@@ -893,22 +897,50 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         load(&counters.panics),
         cancelled,
     );
+    println!(
+        "timeouts: head {}, write-stall {}, idle reaped {}; keep-alive reuses {}",
+        load(&counters.head_timeouts),
+        load(&counters.write_stall_timeouts),
+        load(&counters.idle_reaped),
+        load(&counters.keepalive_reuses),
+    );
     Ok(())
 }
 
-/// `mdwh drill wire`: the client-side load drill. Opens `--connections`
-/// concurrent connections (default 1000) against a server — an external
-/// `--addr`, or an in-process one booted for the drill — and reports
-/// latency percentiles, shed counts, and frame verdicts. Every response
-/// must be a complete frame (ok, truncated-but-truthful, or a well-formed
-/// 503 shed); a half-frame that parses as complete fails the drill.
+/// `mdwh drill wire`: the client-side load drill. Holds `--connections`
+/// keep-alive connections open at once (default 1000) against a server —
+/// an external `--addr`, or an in-process one booted for the drill — and
+/// issues `--requests` rounds over each, reporting latency percentiles,
+/// shed counts, frame verdicts, the held-open RSS footprint, and the
+/// server's own `/admin/stats` counters. Every response must be a complete
+/// frame (ok, truncated-but-truthful, or a well-formed 503 shed); a
+/// half-frame that parses as complete fails the drill, as does exceeding
+/// `--rss-ceiling-kb` while every connection is open.
 fn drill_wire(args: &Args) -> Result<(), String> {
-    let connections: usize = parse_or(args, "connections", 1000)?;
+    let mut connections: usize = parse_or(args, "connections", 1000)?;
     let requests: usize = parse_or(args, "requests", 1)?;
     let deadline_ms: u64 = parse_or(args, "deadline-ms", 1000)?;
     let quota: usize = parse_or(args, "quota", 4)?;
     let tenants: usize = parse_or(args, "tenants", 4)?.max(1);
+    let rss_ceiling_kb: u64 = parse_or(args, "rss-ceiling-kb", 0)?;
     let timeout = Duration::from_secs(30);
+    let in_process = args.option("addr").is_none();
+
+    // Each held-open connection costs one client-side fd, plus a server-side
+    // fd when the server runs in-process. Raise the soft RLIMIT_NOFILE to
+    // the hard cap and clamp the drill under it — a drill that dies on
+    // EMFILE measures nothing.
+    if let Ok((soft, _hard)) = epoll::raise_nofile_limit() {
+        let per_conn: u64 = if in_process { 2 } else { 1 };
+        let budget = (soft.saturating_sub(128) / per_conn).max(1) as usize;
+        if connections > budget {
+            eprintln!(
+                "WARNING: clamping --connections {connections} -> {budget} \
+                 (RLIMIT_NOFILE {soft}, {per_conn} fd(s) per connection)"
+            );
+            connections = budget;
+        }
+    }
 
     let (addr, mut handle) = match args.option("addr") {
         Some(addr) => {
@@ -931,7 +963,18 @@ fn drill_wire(args: &Args) -> Result<(), String> {
                 })
             };
             let config = ServerConfig {
-                max_connections: parse_or(args, "max-conns", 2048)?,
+                // Admit every drill connection (plus headroom for the stats
+                // probe): the sheds this drill measures come from the
+                // admission gate, which answers 503 and keeps the socket.
+                max_connections: parse_or(args, "max-conns", connections + 64)?,
+                // Drill connections open long before their first request,
+                // sit parked between rounds, and are read serially by a
+                // bounded client pool — give the slowloris/write-stall/idle
+                // deadlines drill-scale values so the reapers stay out of
+                // the measurement.
+                read_timeout: Duration::from_secs(120),
+                write_timeout: Duration::from_secs(30),
+                idle_timeout: Duration::from_secs(120),
                 admission,
                 ..ServerConfig::default()
             };
@@ -941,64 +984,130 @@ fn drill_wire(args: &Args) -> Result<(), String> {
     };
 
     eprintln!(
-        "wire drill: {connections} connection(s) × {requests} request(s) against {addr} \
-         (admission {})",
+        "wire drill: {connections} held-open connection(s) × {requests} request(s) \
+         against {addr} (admission {})",
         if args.flag("no-admission") { "OFF" } else { "on" },
     );
 
-    let start = std::sync::Barrier::new(connections);
+    // A bounded pool of client threads multiplexes the connections: the
+    // server must prove it scales past its own worker count, the drill
+    // client doesn't have to.
+    let client_threads = connections.clamp(1, 64);
+    // Main participates in all three barriers: `start` (all sockets open),
+    // `rounds_done` (load finished, every socket still open — RSS and
+    // /admin/stats are sampled here), `release` (drop the sockets).
+    let start = std::sync::Barrier::new(client_threads + 1);
+    let rounds_done = std::sync::Barrier::new(client_threads + 1);
+    let release = std::sync::Barrier::new(client_threads + 1);
     let mut ok_latencies_us: Vec<u64> = Vec::new();
     let mut truncated = 0u64;
     let mut sheds = 0u64;
     let mut io_errors = 0u64;
     let mut bad_frames: Vec<String> = Vec::new();
+    let mut held_rss_kb: Option<u64> = None;
+    let mut stats_line: Option<String> = None;
     std::thread::scope(|scope| {
-        let start = &start;
-        let workers: Vec<_> = (0..connections)
-            .map(|c| {
+        let (start, rounds_done, release) = (&start, &rounds_done, &release);
+        let workers: Vec<_> = (0..client_threads)
+            .map(|t| {
                 scope.spawn(move || {
                     let mut lat = Vec::new();
                     let (mut trunc, mut shed, mut io) = (0u64, 0u64, 0u64);
                     let mut bad = Vec::new();
-                    let tenant = format!("tenant{}", c % tenants);
-                    let headers = [
-                        ("X-Tenant", tenant),
-                        ("X-Deadline-Ms", deadline_ms.to_string()),
-                    ];
-                    // The overload drill's mix: fast search and lineage
-                    // plus a heavy cross join that runs to its deadline —
-                    // the long permit holds are what make the gate bite.
-                    let target = match c % 3 {
-                        0 => "/search?q=client",
-                        1 => "/lineage?item=dwh_stage0_item0",
-                        _ => "/sparql?query=%7B%20%3Fa%20%3Fp%20%3Fb%20.%20%3Fc%20%3Fq%20%3Fd%20%7D",
-                    };
+                    // This thread owns every connection index ≡ t (mod
+                    // threads); each stays open across all rounds.
+                    let mut conns: Vec<(usize, Option<client::WireConn>)> = (t..connections)
+                        .step_by(client_threads)
+                        .map(|c| match client::WireConn::connect(addr, timeout) {
+                            Ok(conn) => (c, Some(conn)),
+                            Err(_) => {
+                                io += 1;
+                                (c, None)
+                            }
+                        })
+                        .collect();
                     start.wait();
                     for _ in 0..requests {
-                        let begun = std::time::Instant::now();
-                        match client::get(addr, target, &headers, timeout) {
-                            Ok(resp) if resp.status == 200 && resp.answer_complete() => {
-                                lat.push(begun.elapsed().as_micros() as u64);
+                        // Pipelined round: SEND on every connection first so
+                        // the server faces the whole storm at once, then
+                        // collect one frame per connection. This is what
+                        // makes 10k connections mean 10k concurrent
+                        // requests, not (client threads) of them.
+                        let mut sent_at: Vec<Option<std::time::Instant>> =
+                            vec![None; conns.len()];
+                        for (i, (c, slot)) in conns.iter_mut().enumerate() {
+                            let Some(conn) = slot else { continue };
+                            let headers = [
+                                ("X-Tenant", format!("tenant{}", *c % tenants)),
+                                ("X-Deadline-Ms", deadline_ms.to_string()),
+                            ];
+                            // The overload drill's mix: fast search and
+                            // lineage plus a heavy cross join that runs to
+                            // its deadline — the long permit holds are what
+                            // make the gate bite.
+                            let target = match *c % 3 {
+                                0 => "/search?q=client",
+                                1 => "/lineage?item=dwh_stage0_item0",
+                                _ => "/sparql?query=%7B%20%3Fa%20%3Fp%20%3Fb%20.%20%3Fc%20%3Fq%20%3Fd%20%7D",
+                            };
+                            match conn.send("GET", target, &headers) {
+                                Ok(()) => sent_at[i] = Some(std::time::Instant::now()),
+                                Err(client::WireError::Io(_)) => {
+                                    io += 1;
+                                    *slot = None;
+                                }
+                                Err(e) => {
+                                    bad.push(e.to_string());
+                                    *slot = None;
+                                }
                             }
-                            Ok(resp) if resp.status == 200 && resp.complete_frame => {
-                                // Truncated but truthful: frame closed, the
-                                // summary admits it.
-                                trunc += 1;
-                                lat.push(begun.elapsed().as_micros() as u64);
+                        }
+                        for (i, (_c, slot)) in conns.iter_mut().enumerate() {
+                            let Some(conn) = slot else { continue };
+                            let Some(begun) = sent_at[i] else { continue };
+                            match conn.read_frame() {
+                                Ok(resp) if resp.status == 200 && resp.answer_complete() => {
+                                    lat.push(begun.elapsed().as_micros() as u64);
+                                }
+                                Ok(resp) if resp.status == 200 && resp.complete_frame => {
+                                    // Truncated but truthful: frame closed,
+                                    // the summary admits it.
+                                    trunc += 1;
+                                    lat.push(begun.elapsed().as_micros() as u64);
+                                }
+                                Ok(resp) if resp.status == 503 && resp.complete_frame => shed += 1,
+                                Ok(resp) => bad.push(format!(
+                                    "status {} complete_frame {}",
+                                    resp.status, resp.complete_frame
+                                )),
+                                Err(client::WireError::Io(_)) => {
+                                    io += 1;
+                                    *slot = None;
+                                }
+                                Err(e) => {
+                                    bad.push(e.to_string());
+                                    *slot = None;
+                                }
                             }
-                            Ok(resp) if resp.status == 503 && resp.complete_frame => shed += 1,
-                            Ok(resp) => bad.push(format!(
-                                "status {} complete_frame {}",
-                                resp.status, resp.complete_frame
-                            )),
-                            Err(client::WireError::Io(_)) => io += 1,
-                            Err(e) => bad.push(e.to_string()),
                         }
                     }
+                    rounds_done.wait();
+                    release.wait();
+                    drop(conns);
                     (lat, trunc, shed, io, bad)
                 })
             })
             .collect();
+        start.wait();
+        rounds_done.wait();
+        // Every surviving connection is still parked open right now — this
+        // is the footprint the drill exists to bound.
+        held_rss_kb = epoll::current_rss_kb();
+        stats_line = client::get(addr, "/admin/stats", &[], timeout)
+            .ok()
+            .filter(|resp| resp.status == 200)
+            .map(|resp| resp.body.trim().to_string());
+        release.wait();
         for worker in workers {
             let (lat, trunc, shed, io, bad) = worker.join().expect("wire worker panicked");
             ok_latencies_us.extend(lat);
@@ -1011,7 +1120,7 @@ fn drill_wire(args: &Args) -> Result<(), String> {
 
     ok_latencies_us.sort_unstable();
     let total = connections * requests;
-    println!("requests:  {total} over {connections} concurrent connection(s)");
+    println!("requests:  {total} over {connections} held-open connection(s)");
     println!(
         "completed: {} ({} truncated-but-truthful)",
         ok_latencies_us.len(),
@@ -1024,11 +1133,24 @@ fn drill_wire(args: &Args) -> Result<(), String> {
     );
     println!("shed:      {sheds} (503 + Retry-After)");
     println!("io errors: {io_errors} (connect/read failures at the socket)");
+    if let Some(rss_kb) = held_rss_kb {
+        println!(
+            "rss:       {:.1} MiB with all connections held open",
+            rss_kb as f64 / 1024.0
+        );
+    }
+    if let Some(stats) = &stats_line {
+        println!("stats:     {stats}");
+    }
     if let Some(handle) = handle.as_mut() {
         let cancelled = handle.drain(Duration::from_secs(5));
         let state = handle.state();
-        let served = state.counters.served.load(std::sync::atomic::Ordering::Relaxed);
-        println!("server:    served {served}, cancelled at drain {cancelled}");
+        let load = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+        println!(
+            "server:    served {}, keep-alive reuses {}, cancelled at drain {cancelled}",
+            load(&state.counters.served),
+            load(&state.counters.keepalive_reuses),
+        );
     }
     if !bad_frames.is_empty() {
         return Err(format!(
@@ -1039,6 +1161,18 @@ fn drill_wire(args: &Args) -> Result<(), String> {
     }
     if args.flag("expect-shed") && sheds == 0 {
         return Err("expected sheds under forced-low quotas, but shed = 0".to_string());
+    }
+    if rss_ceiling_kb > 0 {
+        match held_rss_kb {
+            Some(rss) if rss > rss_ceiling_kb => {
+                return Err(format!(
+                    "RSS {rss} KiB with connections held open exceeds \
+                     --rss-ceiling-kb {rss_ceiling_kb}"
+                ));
+            }
+            None => eprintln!("WARNING: --rss-ceiling-kb set but RSS is unreadable here"),
+            _ => {}
+        }
     }
     Ok(())
 }

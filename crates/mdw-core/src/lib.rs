@@ -72,4 +72,4 @@ pub use resilience::{Clock, RetryPolicy, SystemClock, TestClock};
 pub use search::{SearchRequest, SearchResults};
 pub use sync::{SourceRegistry, SyncReport};
 pub use synonyms::SynonymTable;
-pub use warehouse::MetadataWarehouse;
+pub use warehouse::{MetadataWarehouse, PlannerStats};

@@ -17,6 +17,7 @@
 //!    release.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use mdw_rdf::frozen::{FrozenIndex, FrozenStore};
@@ -28,7 +29,7 @@ use mdw_rdf::triple::Triple;
 use mdw_rdf::par::ParallelPolicy;
 use mdw_rdf::QueryContext;
 use mdw_reason::{EntailedGraph, Materialization, MaterializeStats, Rulebase};
-use mdw_sparql::{QueryOutput, SemMatch};
+use mdw_sparql::{ExplainReport, QueryOutput, SemMatch};
 
 use crate::admission::{
     AdmissionConfig, AdmissionController, AdmissionStats, BreakerConfig, BreakerState,
@@ -59,6 +60,57 @@ struct Durability {
     journal: Journal,
 }
 
+/// Cumulative query-planner activity across every `SEM_MATCH` query this
+/// warehouse has served. Interior-mutable (queries take `&self`), relaxed
+/// ordering — these are monitoring counters, not synchronization.
+#[derive(Debug, Default)]
+struct PlannerCounters {
+    planned: AtomicU64,
+    unplanned: AtomicU64,
+    reordered: AtomicU64,
+    filters_pushed: AtomicU64,
+}
+
+impl PlannerCounters {
+    fn record(&self, report: &ExplainReport) {
+        if report.planner_used {
+            self.planned.fetch_add(1, Ordering::Relaxed);
+            if report.reordered() {
+                self.reordered.fetch_add(1, Ordering::Relaxed);
+            }
+            self.filters_pushed
+                .fetch_add(report.filters_pushed as u64, Ordering::Relaxed);
+        } else {
+            self.unplanned.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> PlannerStats {
+        PlannerStats {
+            planned: self.planned.load(Ordering::Relaxed),
+            unplanned: self.unplanned.load(Ordering::Relaxed),
+            reordered: self.reordered.load(Ordering::Relaxed),
+            filters_pushed: self.filters_pushed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time snapshot of the warehouse's planner counters
+/// ([`MetadataWarehouse::planner_stats`]) — surfaced operationally by
+/// `mdw-serve`'s `/admin/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlannerStats {
+    /// Queries executed through the cost-based planner.
+    pub planned: u64,
+    /// Queries executed in written pattern order (planner disabled).
+    pub unplanned: u64,
+    /// Planned queries whose chosen join order differed from the written
+    /// order.
+    pub reordered: u64,
+    /// Total filter conjuncts pushed into basic-graph-pattern scans.
+    pub filters_pushed: u64,
+}
+
 /// The meta-data warehouse.
 #[derive(Debug)]
 pub struct MetadataWarehouse {
@@ -82,6 +134,8 @@ pub struct MetadataWarehouse {
     /// Worker-thread policy attached to every [`QueryContext`] this
     /// warehouse hands out; sequential unless configured.
     parallelism: ParallelPolicy,
+    /// Cumulative planner activity over served `SEM_MATCH` queries.
+    planner: PlannerCounters,
 }
 
 impl Default for MetadataWarehouse {
@@ -116,6 +170,7 @@ impl MetadataWarehouse {
             frozen_store: OnceLock::new(),
             prev_snapshot: None,
             parallelism: ParallelPolicy::sequential(),
+            planner: PlannerCounters::default(),
         }
     }
 
@@ -139,6 +194,7 @@ impl MetadataWarehouse {
             frozen_store: OnceLock::new(),
             prev_snapshot: None,
             parallelism: ParallelPolicy::sequential(),
+            planner: PlannerCounters::default(),
         })
     }
 
@@ -676,6 +732,22 @@ impl MetadataWarehouse {
         query: &SemMatch,
         budget: &QueryBudget,
     ) -> Result<QueryOutput, MdwError> {
+        self.sem_match_explained(query, budget, true).map(|(out, _)| out)
+    }
+
+    /// [`Self::sem_match_with_budget`] plus a planner switch and the
+    /// [`ExplainReport`] for the plan the executor ran: chosen join order,
+    /// estimated against observed cardinalities, and pushed filter
+    /// conjuncts. With `use_planner` false the query runs in written
+    /// pattern order — the baseline an ablation compares against. Either
+    /// way the outcome feeds the warehouse's cumulative
+    /// [`planner_stats`](Self::planner_stats) counters.
+    pub fn sem_match_explained(
+        &self,
+        query: &SemMatch,
+        budget: &QueryBudget,
+        use_planner: bool,
+    ) -> Result<(QueryOutput, ExplainReport), MdwError> {
         let _permit = self.admit(QueryClass::Sparql)?;
         let degraded = self.breaker.as_ref().is_some_and(|b| !b.allow());
         let entailments = if degraded { None } else { self.materialization.as_ref() };
@@ -684,13 +756,25 @@ impl MetadataWarehouse {
             // Base-graph answers: the rulebase is unavailable, not an error.
             query = query.without_rulebase();
         }
-        let mut out =
-            query.execute_with_options(&self.store, entailments, budget, self.parallelism)?;
+        let (mut out, report) = query.execute_explained(
+            &self.store,
+            entailments,
+            budget,
+            self.parallelism,
+            use_planner,
+        )?;
         out.degraded = degraded;
         if entailments.is_some() {
             self.record_entailment_outcome(degraded, &out.completeness);
         }
-        Ok(out)
+        self.planner.record(&report);
+        Ok((out, report))
+    }
+
+    /// Cumulative planner counters over every `SEM_MATCH` query served so
+    /// far (planned vs unplanned executions, reorderings, pushed filters).
+    pub fn planner_stats(&self) -> PlannerStats {
+        self.planner.snapshot()
     }
 
     /// The Table I census of the current model.
@@ -837,6 +921,34 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.rows.len(), 1);
+    }
+
+    #[test]
+    fn sem_match_explained_reports_plan_and_feeds_counters() {
+        let w = loaded_warehouse();
+        let q = SemMatch::new("{ ?x rdf:type dm:Attribute }")
+            .rulebase("OWLPRIME")
+            .alias("dm", vocab::cs::DM)
+            .select(&["?x"]);
+        let (out, report) = w
+            .sem_match_explained(&q, &QueryBudget::unlimited(), true)
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert!(report.planner_used);
+        assert_eq!(report.pattern_count(), 1);
+
+        let (off, naive) = w
+            .sem_match_explained(&q, &QueryBudget::unlimited(), false)
+            .unwrap();
+        assert_eq!(off.rows.len(), 1);
+        assert!(!naive.planner_used);
+
+        let stats = w.planner_stats();
+        assert_eq!(stats.planned, 1);
+        assert_eq!(stats.unplanned, 1);
+        // The default path counts as a planned query too.
+        w.sem_match(&q).unwrap();
+        assert_eq!(w.planner_stats().planned, 2);
     }
 
     #[test]

@@ -18,6 +18,8 @@ use crate::dict::Dictionary;
 use crate::error::RdfError;
 use crate::frozen::{FrozenGraph, FrozenStore};
 use crate::par::ParallelPolicy;
+use crate::stats::FrozenStats;
+use crate::vocab;
 
 /// A snapshot-pinned, budget-carrying read handle.
 #[derive(Debug, Clone)]
@@ -86,6 +88,14 @@ impl QueryContext {
     /// The resource budget charged by traversals and scans.
     pub fn budget(&self) -> &QueryBudget {
         &self.budget
+    }
+
+    /// The planner's statistics snapshot for a model — computed once per
+    /// frozen generation, shared across every context pinning it. The
+    /// class histogram is keyed on this snapshot's `rdf:type` id.
+    pub fn planner_stats(&self, model: &str) -> Result<Arc<FrozenStats>, RdfError> {
+        let type_id = self.dict().lookup(&vocab::rdf_type());
+        Ok(self.graph(model)?.planner_stats(type_id))
     }
 }
 

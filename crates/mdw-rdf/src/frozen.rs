@@ -24,6 +24,7 @@ use std::sync::{Arc, OnceLock};
 use crate::dict::{Dictionary, TermId};
 use crate::error::RdfError;
 use crate::index::{prefix_bounds, Permutation, TripleIndex};
+use crate::stats::FrozenStats;
 use crate::store::GraphStats;
 use crate::term::Term;
 use crate::triple::{Triple, TriplePattern};
@@ -152,6 +153,19 @@ impl FrozenIndex {
     /// The raw SPO rows (sorted), e.g. for thawing or bulk export.
     pub fn spo_rows(&self) -> &[Key] {
         &self.spo
+    }
+
+    /// The raw POS rows (sorted `(p, o, s)` tuples) — the planner's
+    /// statistics pass walks this column once to build per-predicate and
+    /// per-class histograms.
+    pub fn pos_rows(&self) -> &[Key] {
+        &self.pos
+    }
+
+    /// The raw OSP rows (sorted `(o, s, p)` tuples); leading-value runs
+    /// give the distinct-object count without any hashing.
+    pub fn osp_rows(&self) -> &[Key] {
+        &self.osp
     }
 
     /// Thaws back into a mutable index.
@@ -431,6 +445,7 @@ pub struct FrozenGraph {
     deltas: Vec<Arc<DeltaRun>>,
     merged_len: OnceLock<usize>,
     stats: OnceLock<GraphStats>,
+    planner_stats: OnceLock<Arc<FrozenStats>>,
 }
 
 impl FrozenGraph {
@@ -446,6 +461,7 @@ impl FrozenGraph {
             deltas: Vec::new(),
             merged_len: OnceLock::new(),
             stats: OnceLock::new(),
+            planner_stats: OnceLock::new(),
         }
     }
 
@@ -454,7 +470,13 @@ impl FrozenGraph {
     /// Empty deltas are dropped so the solid fast paths stay hot.
     pub fn stacked(base: Arc<FrozenIndex>, deltas: Vec<Arc<DeltaRun>>) -> Self {
         let deltas: Vec<_> = deltas.into_iter().filter(|d| !d.is_empty()).collect();
-        FrozenGraph { base, deltas, merged_len: OnceLock::new(), stats: OnceLock::new() }
+        FrozenGraph {
+            base,
+            deltas,
+            merged_len: OnceLock::new(),
+            stats: OnceLock::new(),
+            planner_stats: OnceLock::new(),
+        }
     }
 
     /// The solid base index. Callers that need the *merged* view must use
@@ -602,6 +624,22 @@ impl FrozenGraph {
                 approx_bytes,
             }
         })
+    }
+
+    /// The planner's statistics snapshot of this graph, computed on first
+    /// request and cached for the graph's lifetime (the graph is
+    /// immutable). Because the no-op publish path reuses model Arcs, an
+    /// unchanged model keeps its histograms across publishes.
+    ///
+    /// `type_id` is the dictionary's id for `rdf:type` and keys the class
+    /// histogram; the first caller's value wins. Every caller resolves it
+    /// from the same append-only dictionary, so the value is stable for a
+    /// given snapshot.
+    pub fn planner_stats(&self, type_id: Option<TermId>) -> Arc<FrozenStats> {
+        Arc::clone(
+            self.planner_stats
+                .get_or_init(|| Arc::new(FrozenStats::from_graph(self, type_id))),
+        )
     }
 
     /// Content checksum over the merged view — the same FNV-1a over SPO

@@ -52,6 +52,7 @@ pub mod lsm;
 pub mod par;
 pub mod persist;
 pub mod staging;
+pub mod stats;
 pub mod store;
 pub mod term;
 pub mod triple;
@@ -78,6 +79,7 @@ pub use persist::{
     FsckReport, RecoveryReport, RunData, RunEntry, RunsManifest, SaveReport, SnapshotInfo,
 };
 pub use staging::{LoadReport, StagingArea};
+pub use stats::{FrozenStats, PredicateStats};
 pub use store::{Graph, GraphStats, Scan, SharedStore, Store, TripleSource};
 pub use term::{Literal, LiteralKind, Term};
 pub use triple::{Triple, TriplePattern};

@@ -25,6 +25,7 @@ use crate::epoch::ArcCell;
 use crate::error::RdfError;
 use crate::frozen::{FrozenGraph, FrozenIndex, FrozenRun, FrozenStore, GraphScan, MergeScan};
 use crate::index::{IndexScan, TripleIndex};
+use crate::stats::FrozenStats;
 use crate::term::Term;
 use crate::triple::{Triple, TriplePattern};
 
@@ -51,6 +52,17 @@ pub trait TripleSource {
 
     /// Total triple count.
     fn len_triples(&self) -> usize;
+
+    /// The planner's statistics snapshot for this source, if it has one
+    /// (frozen sources cache a [`FrozenStats`] per snapshot). `type_id` is
+    /// the dictionary's id for `rdf:type`, keying the class histogram.
+    /// Sources without a snapshot (e.g. entailed views) return `None` and
+    /// the planner falls back to capped [`estimate`](Self::estimate)
+    /// probes.
+    fn planner_stats(&self, type_id: Option<TermId>) -> Option<Arc<FrozenStats>> {
+        let _ = type_id;
+        None
+    }
 }
 
 /// A concrete pattern-scan iterator — no boxing on the hot path.
@@ -316,6 +328,12 @@ impl TripleSource for Graph {
     fn len_triples(&self) -> usize {
         self.len()
     }
+
+    fn planner_stats(&self, type_id: Option<TermId>) -> Option<Arc<FrozenStats>> {
+        // Live graphs freeze (amortized O(1) between writes) so the stats
+        // ride the cached snapshot; frozen graphs return the shared handle.
+        Some(self.freeze().planner_stats(type_id))
+    }
 }
 
 impl TripleSource for FrozenGraph {
@@ -333,6 +351,10 @@ impl TripleSource for FrozenGraph {
 
     fn len_triples(&self) -> usize {
         self.len()
+    }
+
+    fn planner_stats(&self, type_id: Option<TermId>) -> Option<Arc<FrozenStats>> {
+        Some(FrozenGraph::planner_stats(self, type_id))
     }
 }
 
@@ -796,6 +818,40 @@ mod tests {
                 .unwrap();
         });
         assert!(shared.snapshot().generation() > after.generation());
+    }
+
+    #[test]
+    fn noop_write_publish_reuses_planner_stats() {
+        let shared = SharedStore::new(store_with_model());
+        shared.write(|s| {
+            s.insert("DWH_CURR", &Term::iri("a"), &vocab::rdf_type(), &Term::iri("C"))
+                .unwrap();
+        });
+        let before = shared.snapshot();
+        let type_id = before.dict().lookup(&vocab::rdf_type());
+        let stats_before = before.model("DWH_CURR").unwrap().planner_stats(type_id);
+        // A no-op publish reuses the model Arc, so the histograms computed
+        // above must survive it untouched — no recompute, same allocation.
+        shared.write(|s| {
+            s.insert("DWH_CURR", &Term::iri("a"), &vocab::rdf_type(), &Term::iri("C"))
+                .unwrap();
+        });
+        let after = shared.snapshot();
+        let stats_after = after.model("DWH_CURR").unwrap().planner_stats(type_id);
+        assert!(
+            Arc::ptr_eq(&stats_before, &stats_after),
+            "no-op publish must not rebuild planner stats"
+        );
+        // A real mutation produces a fresh snapshot and fresh histograms.
+        shared.write(|s| {
+            s.insert("DWH_CURR", &Term::iri("b"), &vocab::rdf_type(), &Term::iri("C"))
+                .unwrap();
+        });
+        let mutated = shared.snapshot();
+        let stats_mutated = mutated.model("DWH_CURR").unwrap().planner_stats(type_id);
+        assert!(!Arc::ptr_eq(&stats_before, &stats_mutated));
+        let class = mutated.dict().lookup(&Term::iri("C")).unwrap();
+        assert_eq!(stats_mutated.class_count(class), Some(2));
     }
 
     #[test]

@@ -348,11 +348,13 @@ impl QueryJob {
 }
 
 /// A fully-computed answer, ready to stream: pre-encoded ndjson rows plus
-/// the query-side completeness verdict.
+/// the query-side completeness verdict. SPARQL answers also carry the
+/// one-line query-plan summary for the trailer frame.
 struct Answer {
     rows: Vec<String>,
     completeness: Completeness,
     degraded: bool,
+    plan: Option<String>,
 }
 
 enum RouteError {
@@ -383,6 +385,7 @@ pub struct RowStreamer {
     next: usize,
     base_reason: Option<TruncationReason>,
     degraded: bool,
+    plan: Option<String>,
     budget: QueryBudget,
     sent: usize,
     trip: Option<TruncationReason>,
@@ -407,6 +410,7 @@ impl RowStreamer {
             next: 0,
             base_reason,
             degraded: answer.degraded,
+            plan: answer.plan,
             budget,
             sent: 0,
             trip: None,
@@ -438,15 +442,20 @@ impl RowStreamer {
                 }
                 // Rows exhausted or budget tripped: the summary frame.
                 let reason = self.trip.or(self.base_reason);
-                let summary = json!({
-                    "summary": {
-                        "rows": self.sent,
-                        "complete": reason.is_none(),
-                        "truncated": reason.map(|r| r.to_string()),
-                        "degraded": self.degraded,
-                        "bytes": self.budget.bytes_charged(),
-                    }
-                });
+                let Value::Object(mut fields) = json!({
+                    "rows": self.sent,
+                    "complete": reason.is_none(),
+                    "truncated": reason.map(|r| r.to_string()),
+                    "degraded": self.degraded,
+                    "bytes": self.budget.bytes_charged(),
+                }) else {
+                    unreachable!("summary literal is an object");
+                };
+                // SPARQL answers carry the plan the executor ran.
+                if let Some(plan) = &self.plan {
+                    fields.push(("plan".to_string(), Value::String(plan.clone())));
+                }
+                let summary = Value::Object(vec![("summary".to_string(), Value::Object(fields))]);
                 let line =
                     format!("{}\n", serde_json::to_string(&summary).expect("summary serializes"));
                 http::push_chunk(out, line.as_bytes());
@@ -502,7 +511,7 @@ fn run_search(
             })));
         }
     }
-    Ok(Answer { rows, completeness: results.completeness, degraded: results.degraded })
+    Ok(Answer { rows, completeness: results.completeness, degraded: results.degraded, plan: None })
 }
 
 fn run_lineage(
@@ -544,7 +553,7 @@ fn run_lineage(
             }))
         })
         .collect();
-    Ok(Answer { rows, completeness: result.completeness, degraded: result.degraded })
+    Ok(Answer { rows, completeness: result.completeness, degraded: result.degraded, plan: None })
 }
 
 fn run_sparql(
@@ -563,7 +572,8 @@ fn run_sparql(
     if request.query_param("no-rulebase").is_none() {
         sem = sem.rulebase("OWLPRIME");
     }
-    let output = state.warehouse.sem_match_with_budget(&sem, &budget)?;
+    let use_planner = request.query_param("no-planner").is_none();
+    let (output, report) = state.warehouse.sem_match_explained(&sem, &budget, use_planner)?;
     let rows = output
         .rows
         .iter()
@@ -583,7 +593,12 @@ fn run_sparql(
             ndjson_line(Value::Object(entries))
         })
         .collect();
-    Ok(Answer { rows, completeness: output.completeness, degraded: output.degraded })
+    Ok(Answer {
+        rows,
+        completeness: output.completeness,
+        degraded: output.degraded,
+        plan: Some(report.summary()),
+    })
 }
 
 fn ndjson_line(value: Value) -> String {
@@ -634,7 +649,14 @@ pub fn stats_json(state: &ServeState) -> String {
 /// The wire drill's exit report reads this.
 pub fn admin_stats_json(state: &ServeState) -> String {
     let counters = &state.counters;
+    let planner = state.warehouse.planner_stats();
     let doc = json!({
+        "planner": {
+            "planned": planner.planned,
+            "unplanned": planner.unplanned,
+            "reordered": planner.reordered,
+            "filters_pushed": planner.filters_pushed,
+        },
         "accepted": counters.accepted.load(Ordering::Relaxed),
         "served": counters.served.load(Ordering::Relaxed),
         "sheds": counters.sheds.load(Ordering::Relaxed),

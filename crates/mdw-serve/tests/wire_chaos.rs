@@ -174,6 +174,47 @@ fn lineage_and_sparql_roundtrip() {
 }
 
 #[test]
+fn sparql_summary_carries_plan_and_admin_stats_count_planner() {
+    failpoint::reset();
+    let state = state_with(test_config());
+
+    // `{ ?a ?p ?b . ?b ?q ?c }` — a join, planned by default.
+    let (_, raw) = drive(
+        &state,
+        &get_request("/sparql?query=%7B%20%3Fa%20%3Fp%20%3Fb%20.%20%3Fb%20%3Fq%20%3Fc%20%7D", &[]),
+    );
+    let resp = parse_response(&raw).unwrap();
+    assert_eq!(resp.status, 200);
+    let summary = resp.summary_line().expect("summary line");
+    assert!(summary.contains("\"plan\":\"planner=cost-based"), "summary: {summary}");
+
+    // The same query with ?no-planner runs in written order.
+    let (_, raw) = drive(
+        &state,
+        &get_request(
+            "/sparql?query=%7B%20%3Fa%20%3Fp%20%3Fb%20.%20%3Fb%20%3Fq%20%3Fc%20%7D&no-planner",
+            &[],
+        ),
+    );
+    let resp = parse_response(&raw).unwrap();
+    let summary = resp.summary_line().expect("summary line");
+    assert!(summary.contains("\"plan\":\"planner=written-order"), "summary: {summary}");
+
+    // Search answers carry no plan entry.
+    let (_, raw) = drive(&state, &get_request("/search?q=client", &[]));
+    let resp = parse_response(&raw).unwrap();
+    assert!(!resp.summary_line().expect("summary line").contains("\"plan\""));
+
+    // The warehouse's cumulative planner counters surface in /admin/stats.
+    let (_, raw) = drive(&state, &get_request("/admin/stats", &[]));
+    let resp = parse_response(&raw).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"planner\""), "admin stats: {}", resp.body);
+    assert!(resp.body.contains("\"planned\":"), "admin stats: {}", resp.body);
+    assert_nothing_leaked(&state);
+}
+
+#[test]
 fn bad_requests_get_4xx_complete_frames() {
     failpoint::reset();
     let state = state_with(test_config());

@@ -221,7 +221,9 @@ impl GraphPattern {
     }
 }
 
-fn expr_vars(expr: &Expr, out: &mut Vec<Var>) {
+/// Collects the variables an expression mentions (including those inside
+/// EXISTS sub-patterns) into `out`, first occurrence first, no duplicates.
+pub(crate) fn expr_vars(expr: &Expr, out: &mut Vec<Var>) {
     let push = |v: &Var, out: &mut Vec<Var>| {
         if !out.contains(v) {
             out.push(v.clone());

@@ -9,6 +9,8 @@ pub enum SparqlError {
     Parse {
         /// 1-based line in the query text.
         line: usize,
+        /// 1-based character column within that line.
+        column: usize,
         /// What went wrong.
         message: String,
     },
@@ -24,8 +26,8 @@ pub enum SparqlError {
 impl fmt::Display for SparqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparqlError::Parse { line, message } => {
-                write!(f, "query parse error at line {line}: {message}")
+            SparqlError::Parse { line, column, message } => {
+                write!(f, "query parse error at line {line}, column {column}: {message}")
             }
             SparqlError::UndefinedPrefix(p) => write!(f, "undefined prefix: {p}:"),
             SparqlError::Semantic(m) => write!(f, "semantic error: {m}"),
@@ -42,8 +44,8 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = SparqlError::Parse { line: 2, message: "expected WHERE".into() };
-        assert_eq!(e.to_string(), "query parse error at line 2: expected WHERE");
+        let e = SparqlError::Parse { line: 2, column: 7, message: "expected WHERE".into() };
+        assert_eq!(e.to_string(), "query parse error at line 2, column 7: expected WHERE");
         assert_eq!(
             SparqlError::UndefinedPrefix("dm".into()).to_string(),
             "undefined prefix: dm:"

@@ -17,21 +17,36 @@
 //!   `*`, `+`, `?`, alternation, groups, character classes, anchors, and the
 //!   case-insensitive flag) so that `regex(?name, "customer", "i")` works
 //!   without external dependencies,
-//! * [`exec`] — a binding-set executor with greedy selectivity-ordered BGP
-//!   planning over any [`TripleSource`](mdw_rdf::TripleSource) — a plain
-//!   model or an entailed view (rulebase opted in),
+//! * [`plan`] — logical query plans: every basic graph pattern annotated
+//!   with an execution order, cardinality estimates, and pushed-down
+//!   filter conjuncts, plus the [`ExplainReport`](plan::ExplainReport)
+//!   pairing estimates with observed row counts,
+//! * [`optimize`] — the cost-based optimizer that builds those plans from
+//!   frozen-index statistics ([`mdw_rdf::FrozenStats`]): selectivity-ranked
+//!   greedy join ordering with plan-time bound-set propagation and filter
+//!   pushdown,
+//! * [`exec`] — the physical executor: budget-charged nested index-loop
+//!   joins driven by the plan, over any
+//!   [`TripleSource`](mdw_rdf::TripleSource) — a plain model or an
+//!   entailed view (rulebase opted in),
 //! * [`sem_match`] — the Oracle-flavoured entry point used by the
 //!   reproduction of the paper's listings.
 
 pub mod ast;
 pub mod error;
 pub mod exec;
+pub mod optimize;
 pub mod parser;
+pub mod plan;
 pub mod regex_lite;
 pub mod sem_match;
 
 pub use ast::Query;
 pub use error::SparqlError;
-pub use exec::{execute, execute_with_budget, execute_with_options, QueryOutput, ResultRow};
+pub use exec::{
+    execute, execute_explained, execute_with_budget, execute_with_options, execute_with_planner,
+    QueryOutput, ResultRow,
+};
+pub use plan::{ExplainBgp, ExplainEntry, ExplainReport, QueryPlan};
 pub use regex_lite::Regex;
 pub use sem_match::SemMatch;

@@ -76,103 +76,126 @@ const KEYWORDS: &[&str] = &[
     "EXISTS", "NOT",
 ];
 
-fn lex(input: &str) -> Result<Vec<(usize, Tok)>, SparqlError> {
-    let mut tokens = Vec::new();
-    let mut chars = input.char_indices().peekable();
-    let mut line = 1;
-    let err = |line: usize, msg: &str| SparqlError::Parse { line, message: msg.to_string() };
+/// A token's position in the query text: 1-based line and character column.
+type Pos = (usize, usize);
 
-    while let Some(&(_, c)) = chars.peek() {
+/// Converts a byte offset into a 1-based (line, column) position. Only
+/// called on the error path, so the linear walk costs nothing when the
+/// query is well-formed.
+fn line_col(input: &str, offset: usize) -> Pos {
+    let (mut line, mut col) = (1, 1);
+    for (i, c) in input.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+fn lex(input: &str) -> Result<Vec<(Pos, Tok)>, SparqlError> {
+    // Tokens carry the byte offset of their first character; one ascending
+    // pass at the end converts offsets to (line, column) pairs. This keeps
+    // every multi-character arm (IRIs, literals, comments) position-correct
+    // even when the token body spans lines.
+    let mut tokens: Vec<(usize, Tok)> = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    let err = |offset: usize, msg: &str| {
+        let (line, column) = line_col(input, offset);
+        SparqlError::Parse { line, column, message: msg.to_string() }
+    };
+
+    while let Some(&(start, c)) = chars.peek() {
         match c {
-            '\n' => {
-                line += 1;
-                chars.next();
-            }
             c if c.is_whitespace() => {
                 chars.next();
             }
             '#' => {
                 for (_, c) in chars.by_ref() {
                     if c == '\n' {
-                        line += 1;
                         break;
                     }
                 }
             }
             '{' => {
                 chars.next();
-                tokens.push((line, Tok::LBrace));
+                tokens.push((start, Tok::LBrace));
             }
             '}' => {
                 chars.next();
-                tokens.push((line, Tok::RBrace));
+                tokens.push((start, Tok::RBrace));
             }
             '(' => {
                 chars.next();
-                tokens.push((line, Tok::LParen));
+                tokens.push((start, Tok::LParen));
             }
             ')' => {
                 chars.next();
-                tokens.push((line, Tok::RParen));
+                tokens.push((start, Tok::RParen));
             }
             '.' => {
                 chars.next();
-                tokens.push((line, Tok::Dot));
+                tokens.push((start, Tok::Dot));
             }
             ';' => {
                 chars.next();
-                tokens.push((line, Tok::Semicolon));
+                tokens.push((start, Tok::Semicolon));
             }
             ',' => {
                 chars.next();
-                tokens.push((line, Tok::Comma));
+                tokens.push((start, Tok::Comma));
             }
             '*' => {
                 chars.next();
-                tokens.push((line, Tok::Star));
+                tokens.push((start, Tok::Star));
             }
             '+' => {
                 chars.next();
-                tokens.push((line, Tok::Plus));
+                tokens.push((start, Tok::Plus));
             }
             '=' => {
                 chars.next();
-                tokens.push((line, Tok::Eq));
+                tokens.push((start, Tok::Eq));
             }
             '!' => {
                 chars.next();
                 if chars.peek().map(|&(_, c)| c) == Some('=') {
                     chars.next();
-                    tokens.push((line, Tok::Ne));
+                    tokens.push((start, Tok::Ne));
                 } else {
-                    tokens.push((line, Tok::Bang));
+                    tokens.push((start, Tok::Bang));
                 }
             }
             '&' => {
                 chars.next();
                 if chars.peek().map(|&(_, c)| c) == Some('&') {
                     chars.next();
-                    tokens.push((line, Tok::AndAnd));
+                    tokens.push((start, Tok::AndAnd));
                 } else {
-                    return Err(err(line, "expected &&"));
+                    return Err(err(start, "expected &&"));
                 }
             }
             '|' => {
                 chars.next();
                 if chars.peek().map(|&(_, c)| c) == Some('|') {
                     chars.next();
-                    tokens.push((line, Tok::OrOr));
+                    tokens.push((start, Tok::OrOr));
                 } else {
-                    tokens.push((line, Tok::Pipe));
+                    tokens.push((start, Tok::Pipe));
                 }
             }
             '/' => {
                 chars.next();
-                tokens.push((line, Tok::Slash));
+                tokens.push((start, Tok::Slash));
             }
             '^' => {
                 chars.next();
-                tokens.push((line, Tok::Caret));
+                tokens.push((start, Tok::Caret));
             }
             '<' => {
                 // IRI if the next char begins an IRI body; operator otherwise.
@@ -190,21 +213,21 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, SparqlError> {
                             break;
                         }
                         if c == '\n' {
-                            return Err(err(line, "unterminated IRI"));
+                            return Err(err(start, "unterminated IRI"));
                         }
                         iri.push(c);
                     }
                     if !closed {
-                        return Err(err(line, "unterminated IRI"));
+                        return Err(err(start, "unterminated IRI"));
                     }
-                    tokens.push((line, Tok::Iri(iri)));
+                    tokens.push((start, Tok::Iri(iri)));
                 } else {
                     chars.next();
                     if chars.peek().map(|&(_, c)| c) == Some('=') {
                         chars.next();
-                        tokens.push((line, Tok::Le));
+                        tokens.push((start, Tok::Le));
                     } else {
-                        tokens.push((line, Tok::Lt));
+                        tokens.push((start, Tok::Lt));
                     }
                 }
             }
@@ -212,9 +235,9 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, SparqlError> {
                 chars.next();
                 if chars.peek().map(|&(_, c)| c) == Some('=') {
                     chars.next();
-                    tokens.push((line, Tok::Ge));
+                    tokens.push((start, Tok::Ge));
                 } else {
-                    tokens.push((line, Tok::Gt));
+                    tokens.push((start, Tok::Gt));
                 }
             }
             '?' | '$' => {
@@ -231,12 +254,12 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, SparqlError> {
                 if name.is_empty() {
                     if c == '?' {
                         // A bare `?` is the zero-or-one path modifier.
-                        tokens.push((line, Tok::Question));
+                        tokens.push((start, Tok::Question));
                     } else {
-                        return Err(err(line, "empty variable name"));
+                        return Err(err(start, "empty variable name"));
                     }
                 } else {
-                    tokens.push((line, Tok::Var(name)));
+                    tokens.push((start, Tok::Var(name)));
                 }
             }
             '"' => {
@@ -245,16 +268,16 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, SparqlError> {
                 loop {
                     match chars.next() {
                         Some((_, '"')) => break,
-                        Some((_, '\\')) => match chars.next() {
+                        Some((i, '\\')) => match chars.next() {
                             Some((_, 'n')) => lexical.push('\n'),
                             Some((_, 't')) => lexical.push('\t'),
                             Some((_, 'r')) => lexical.push('\r'),
                             Some((_, '"')) => lexical.push('"'),
                             Some((_, '\\')) => lexical.push('\\'),
-                            _ => return Err(err(line, "bad escape in literal")),
+                            _ => return Err(err(i, "bad escape in literal")),
                         },
                         Some((_, c)) => lexical.push(c),
-                        None => return Err(err(line, "unterminated literal")),
+                        None => return Err(err(start, "unterminated literal")),
                     }
                 }
                 let mut lang = None;
@@ -276,10 +299,10 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, SparqlError> {
                     Some('^') => {
                         chars.next();
                         if chars.next().map(|(_, c)| c) != Some('^') {
-                            return Err(err(line, "expected ^^"));
+                            return Err(err(start, "expected ^^"));
                         }
                         if chars.next().map(|(_, c)| c) != Some('<') {
-                            return Err(err(line, "expected <datatype-iri>"));
+                            return Err(err(start, "expected <datatype-iri>"));
                         }
                         let mut dt = String::new();
                         let mut closed = false;
@@ -291,13 +314,13 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, SparqlError> {
                             dt.push(c);
                         }
                         if !closed {
-                            return Err(err(line, "unterminated datatype IRI"));
+                            return Err(err(start, "unterminated datatype IRI"));
                         }
                         datatype = Some(dt);
                     }
                     _ => {}
                 }
-                tokens.push((line, Tok::Literal { lexical, lang, datatype }));
+                tokens.push((start, Tok::Literal { lexical, lang, datatype }));
             }
             c if c.is_ascii_digit() || c == '-' => {
                 chars.next();
@@ -313,8 +336,8 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, SparqlError> {
                 }
                 let value = num
                     .parse()
-                    .map_err(|_| err(line, &format!("bad integer: {num}")))?;
-                tokens.push((line, Tok::Integer(value)));
+                    .map_err(|_| err(start, &format!("bad integer: {num}")))?;
+                tokens.push((start, Tok::Integer(value)));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut word = String::new();
@@ -337,41 +360,65 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, SparqlError> {
                             break;
                         }
                     }
-                    tokens.push((line, Tok::PName(word, local)));
+                    tokens.push((start, Tok::PName(word, local)));
                 } else if word == "a" {
-                    tokens.push((line, Tok::A));
+                    tokens.push((start, Tok::A));
                 } else {
                     let upper = word.to_ascii_uppercase();
                     if KEYWORDS.contains(&upper.as_str()) {
-                        tokens.push((line, Tok::Keyword(upper)));
+                        tokens.push((start, Tok::Keyword(upper)));
                     } else {
-                        return Err(err(line, &format!("unexpected word: {word}")));
+                        return Err(err(start, &format!("unexpected word: {word}")));
                     }
                 }
             }
-            other => return Err(err(line, &format!("unexpected character: {other:?}"))),
+            other => return Err(err(start, &format!("unexpected character: {other:?}"))),
         }
     }
-    Ok(tokens)
+
+    // One ascending pass: byte offsets → (line, column) pairs.
+    let (mut line, mut col) = (1usize, 1usize);
+    let mut walker = input.char_indices().peekable();
+    Ok(tokens
+        .into_iter()
+        .map(|(offset, tok)| {
+            while let Some(&(i, c)) = walker.peek() {
+                if i >= offset {
+                    break;
+                }
+                walker.next();
+                if c == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            ((line, col), tok)
+        })
+        .collect())
 }
 
 struct Parser {
-    tokens: Vec<(usize, Tok)>,
+    tokens: Vec<(Pos, Tok)>,
     pos: usize,
     prefixes: BTreeMap<String, String>,
 }
 
 impl Parser {
-    fn line(&self) -> usize {
+    /// The position of the current token (or the last one, at end of
+    /// input) — where an error at this point in the parse is anchored.
+    fn position(&self) -> Pos {
         self.tokens
             .get(self.pos)
             .or_else(|| self.tokens.last())
-            .map(|(l, _)| *l)
-            .unwrap_or(1)
+            .map(|(p, _)| *p)
+            .unwrap_or((1, 1))
     }
 
     fn error(&self, message: impl Into<String>) -> SparqlError {
-        SparqlError::Parse { line: self.line(), message: message.into() }
+        let (line, column) = self.position();
+        SparqlError::Parse { line, column, message: message.into() }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -1128,7 +1175,39 @@ mod tests {
     fn parse_errors_reported_with_line() {
         let err = parse("SELECT ?x\nWHERE { ?x ?p }").unwrap_err();
         match err {
-            SparqlError::Parse { line, .. } => assert_eq!(line, 2),
+            SparqlError::Parse { line, column, .. } => {
+                // The incomplete triple is noticed at the closing brace.
+                assert_eq!(line, 2);
+                assert_eq!(column, 15);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positions_survive_multi_line_literals() {
+        // The literal body spans a line break; the error after it must
+        // still be anchored on the right line and column.
+        let err = parse("SELECT ?x WHERE { ?x <http://p> \"two\nlines\" ?extra }").unwrap_err();
+        match err {
+            SparqlError::Parse { line, column, .. } => {
+                // The dangling `?extra` subject has no verb: the error is
+                // noticed at the closing brace on line 2 — under the old
+                // line-only counter this reported line 1.
+                assert_eq!((line, column), (2, 15));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lexer_errors_carry_columns() {
+        let err = parse("SELECT ?x WHERE { ?x @p ?o }").unwrap_err();
+        match err {
+            SparqlError::Parse { line, column, message } => {
+                assert_eq!((line, column), (1, 22));
+                assert!(message.contains("unexpected character"));
+            }
             other => panic!("expected parse error, got {other:?}"),
         }
     }

@@ -38,7 +38,8 @@ use mdw_rdf::vocab;
 use mdw_reason::{EntailedGraph, Materialization};
 
 use crate::error::SparqlError;
-use crate::exec::{execute_with_options, QueryOutput};
+use crate::exec::{execute_explained, QueryOutput};
+use crate::plan::ExplainReport;
 use mdw_rdf::budget::QueryBudget;
 use mdw_rdf::par::ParallelPolicy;
 use crate::parser::parse;
@@ -218,6 +219,25 @@ impl SemMatch {
         budget: &QueryBudget,
         par: ParallelPolicy,
     ) -> Result<QueryOutput, SparqlError> {
+        self.execute_explained(store, entailments, budget, par, true)
+            .map(|(out, _)| out)
+    }
+
+    /// [`SemMatch::execute_with_options`] plus a planner switch and the
+    /// [`ExplainReport`] describing the plan the executor actually ran —
+    /// join order chosen, cardinality estimates against observed rows,
+    /// and which filter conjuncts were pushed into the scans. With
+    /// `use_planner` false the query runs in written pattern order
+    /// (the pre-planner behaviour), which is what ablation comparisons
+    /// measure against.
+    pub fn execute_explained(
+        &self,
+        store: &Store,
+        entailments: Option<&Materialization>,
+        budget: &QueryBudget,
+        par: ParallelPolicy,
+        use_planner: bool,
+    ) -> Result<(QueryOutput, ExplainReport), SparqlError> {
         let model_name = self
             .model
             .as_deref()
@@ -227,11 +247,11 @@ impl SemMatch {
             .map_err(|e| SparqlError::Semantic(e.to_string()))?;
         let query = parse(&self.to_sparql())?;
         match (&self.rulebase, entailments) {
-            (None, _) => execute_with_options(&query, graph, store.dict(), budget, par),
+            (None, _) => execute_explained(&query, graph, store.dict(), budget, par, use_planner),
             (Some(_), Some(m)) => {
                 let base = graph.freeze();
                 let view = EntailedGraph::new(&base, m.frozen());
-                execute_with_options(&query, &view, store.dict(), budget, par)
+                execute_explained(&query, &view, store.dict(), budget, par, use_planner)
             }
             (Some(rb), None) => Err(SparqlError::Semantic(format!(
                 "rulebase {rb} requested but no entailment index supplied"

@@ -63,6 +63,7 @@ const USAGE: &str = "usage:
   mdwh gaps     --store DIR
   mdwh sources  --store DIR CONCEPT
   mdwh sparql   --store DIR QUERY [--no-rulebase] [--threads N]
+                [--explain] [--no-planner]
   mdwh fsck     --store DIR
   mdwh recover  --store DIR
   mdwh serve    [--store DIR] [--addr HOST:PORT] [--quota N] [--max-conns N]
@@ -93,6 +94,10 @@ answer tagged `truncated` instead of an error.
 Parallelism: query commands accept --threads N (default: the
 MDW_PAR_THREADS env var, else 1) to split frozen-snapshot scans across
 worker threads; results are bit-identical to sequential execution.
+
+Planning: sparql orders joins by frozen-index statistics. --explain
+prints the chosen plan (estimated vs observed rows per pattern, pushed
+filters); --no-planner runs patterns in written order instead.
 
 Fault drills: --inject 'name=spec,…' (or MDWH_FAILPOINTS env) arms
 failpoints; spec is once | times:N | always | pct:P[:SEED].";
@@ -497,7 +502,8 @@ fn cmd_sparql(args: &Args) -> Result<(), String> {
     let is_full_query =
         upper.starts_with("SELECT") || upper.starts_with("PREFIX") || upper.starts_with("ASK");
     let budget = budget_from_args(args)?;
-    let output = if is_full_query {
+    let use_planner = !args.flag("no-planner");
+    let (output, report) = if is_full_query {
         let query = metadata_warehouse::sparql::parser::parse(&with_default_prefixes(
             pattern_or_query,
         ))
@@ -506,12 +512,13 @@ fn cmd_sparql(args: &Args) -> Result<(), String> {
             .store()
             .model(warehouse.model_name())
             .map_err(|e| e.to_string())?;
-        metadata_warehouse::sparql::exec::execute_with_options(
+        metadata_warehouse::sparql::exec::execute_explained(
             &query,
             graph,
             warehouse.store().dict(),
             &budget,
             warehouse.parallelism(),
+            use_planner,
         )
         .map_err(|e| e.to_string())?
     } else {
@@ -523,11 +530,14 @@ fn cmd_sparql(args: &Args) -> Result<(), String> {
             sem = sem.rulebase("OWLPRIME");
         }
         warehouse
-            .sem_match_with_budget(&sem, &budget)
+            .sem_match_explained(&sem, &budget, use_planner)
             .map_err(|e| e.to_string())?
     };
     print!("{}", output.to_table());
     println!("({} rows)", output.rows.len());
+    if args.flag("explain") {
+        print!("{}", report.to_text());
+    }
     note_verdicts(&output.completeness, output.degraded);
     Ok(())
 }

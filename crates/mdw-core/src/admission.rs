@@ -38,21 +38,24 @@ pub enum QueryClass {
     Lineage,
     /// Direct SPARQL / SEM_MATCH queries.
     Sparql,
+    /// Keyword-to-query answering (the SODA-style pipeline).
+    Answer,
 }
 
 /// Number of [`QueryClass`] variants (array-table size).
-pub const CLASS_COUNT: usize = 3;
+pub const CLASS_COUNT: usize = 4;
 
 impl QueryClass {
     /// All classes, in index order.
     pub const ALL: [QueryClass; CLASS_COUNT] =
-        [QueryClass::Search, QueryClass::Lineage, QueryClass::Sparql];
+        [QueryClass::Search, QueryClass::Lineage, QueryClass::Sparql, QueryClass::Answer];
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             QueryClass::Search => 0,
             QueryClass::Lineage => 1,
             QueryClass::Sparql => 2,
+            QueryClass::Answer => 3,
         }
     }
 
@@ -62,6 +65,7 @@ impl QueryClass {
             QueryClass::Search => "search",
             QueryClass::Lineage => "lineage",
             QueryClass::Sparql => "sparql",
+            QueryClass::Answer => "answer",
         }
     }
 }
@@ -119,7 +123,7 @@ pub struct AdmissionConfig {
     /// Concurrent queries across all classes.
     pub max_concurrent: usize,
     /// Concurrent queries per class, indexed by [`QueryClass::index`]
-    /// order (search, lineage, sparql).
+    /// order (search, lineage, sparql, answer).
     pub per_class: [usize; CLASS_COUNT],
     /// Requests allowed to wait for a slot; beyond this the gate sheds.
     pub max_queued: usize,
@@ -133,7 +137,7 @@ impl Default for AdmissionConfig {
     fn default() -> Self {
         AdmissionConfig {
             max_concurrent: 64,
-            per_class: [32, 32, 32],
+            per_class: [32, 32, 32, 32],
             max_queued: 128,
             max_wait: Duration::from_millis(500),
             retry_after: Duration::from_millis(250),

@@ -1,0 +1,1226 @@
+//! SODA-style keyword-to-query answering (ROADMAP open item 2).
+//!
+//! The paper's users did not want to "find nodes" — they wanted answers to
+//! business questions. The author group's follow-up, *SODA: Generating SQL
+//! for Business Users*, shows how: match keywords against the metadata graph
+//! (classes, properties, the DBpedia synonym edges), walk join paths through
+//! the schema, and emit ranked executable queries. This module is that
+//! pipeline over the warehouse's RDF metadata graph:
+//!
+//! 1. **Match** — tokenize the keyword set and score each token against
+//!    class/property `rdfs:label`s, expanded through the synonym table
+//!    (exact match 100, substring 60, synonym hits scaled by 0.7).
+//! 2. **Path search** — build a schema summary graph (classes as nodes,
+//!    asserted predicates between their instances as edges) and find
+//!    bounded-length shortest join paths between matched schema nodes with
+//!    the same level-synchronous BFS discipline the lineage traversal uses.
+//! 3. **Rank** — each candidate query gets
+//!    `rank = match_score × 10000 / ((1 + hops) × bitlen(1 + estimate))`
+//!    where `estimate` is the [`FrozenStats`] cardinality bound, and
+//!    candidates are ordered by *(covered tokens desc, rank desc, SPARQL
+//!    text asc)* — a candidate that explains more of the question always
+//!    beats a cheaper partial one, and the final text tiebreak makes the
+//!    order total and deterministic.
+//! 4. **Execute** — [`crate::warehouse::MetadataWarehouse::answer`] runs the
+//!    top-k candidates through the existing planner/budget/admission stack
+//!    and pools their rows, in rank order, into deduplicated answers tagged
+//!    with the generating query and its `ExplainReport`.
+//!
+//! Everything charges one shared [`QueryBudget`]: planning scans charge
+//! steps (bulk-reserved in the parallel label-matching phase, exactly like
+//! [`crate::search`]), execution charges steps and rows, and a tripped
+//! budget truncates the remaining pipeline immediately — answers are always
+//! a truthful prefix of the unbudgeted run.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use mdw_rdf::dict::{Dictionary, TermId};
+use mdw_rdf::stats::FrozenStats;
+use mdw_rdf::term::Term;
+use mdw_rdf::triple::{Triple, TriplePattern};
+use mdw_rdf::vocab;
+use mdw_rdf::QueryContext;
+use mdw_reason::EntailedGraph;
+use mdw_sparql::{ExplainReport, QueryOutput, SemMatch};
+
+use crate::budget::{Completeness, QueryBudget, TruncationReason};
+use crate::synonyms::{normalize, SynonymTable};
+
+/// Candidates executed unless the caller overrides `top_k`.
+pub const DEFAULT_TOP_K: usize = 3;
+/// Join paths between matched schema nodes are bounded to this many hops.
+pub const DEFAULT_MAX_HOPS: usize = 3;
+/// Ranked candidates kept after deduplication.
+pub const DEFAULT_MAX_CANDIDATES: usize = 24;
+/// Strongest-scored schema nodes considered for pairwise join paths.
+const MAX_MATCHED_NODES: usize = 8;
+/// Distinct shortest join paths kept per (anchor, terminal) node pair.
+const PATHS_PER_PAIR: usize = 3;
+/// Score for a token whose normalized form equals the label.
+const EXACT_SCORE: u64 = 100;
+/// Score for a token contained in the label as a substring.
+const PARTIAL_SCORE: u64 = 60;
+/// Synonym-mediated matches are scaled by 7/10 (SODA discounts indirect
+/// vocabulary hits the same way).
+const SYNONYM_NUM: u64 = 7;
+const SYNONYM_DEN: u64 = 10;
+
+/// A keyword-answering request.
+#[derive(Debug, Clone)]
+pub struct AnswerRequest {
+    /// The raw keyword string ("risk exposure trader").
+    pub keywords: String,
+    /// How many ranked candidates to execute.
+    pub top_k: usize,
+    /// Join-path length bound between matched schema nodes.
+    pub max_hops: usize,
+    /// Cap on ranked candidates kept after dedup.
+    pub max_candidates: usize,
+    /// Shared budget charged by planning *and* execution.
+    pub budget: QueryBudget,
+}
+
+impl AnswerRequest {
+    /// A request with the default top-k / hop / candidate bounds.
+    pub fn new(keywords: impl Into<String>) -> Self {
+        AnswerRequest {
+            keywords: keywords.into(),
+            top_k: DEFAULT_TOP_K,
+            max_hops: DEFAULT_MAX_HOPS,
+            max_candidates: DEFAULT_MAX_CANDIDATES,
+            budget: QueryBudget::unlimited(),
+        }
+    }
+
+    /// Overrides how many candidates execute.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Overrides the join-path hop bound.
+    pub fn with_max_hops(mut self, hops: usize) -> Self {
+        self.max_hops = hops;
+        self
+    }
+
+    /// Overrides the ranked-candidate cap.
+    pub fn with_max_candidates(mut self, n: usize) -> Self {
+        self.max_candidates = n;
+        self
+    }
+
+    /// Attaches a resource budget.
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// One token-to-schema-node match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeywordMatch {
+    /// The normalized token from the request.
+    pub token: String,
+    /// The expanded term that hit (equals `token` unless a synonym matched).
+    pub matched_term: String,
+    /// The `rdfs:label` it matched.
+    pub label: String,
+    /// The matched class or property.
+    pub node: Term,
+    /// Match score (exact 100, substring 60, ×0.7 through a synonym).
+    pub score: u64,
+}
+
+/// One ranked SPARQL candidate.
+#[derive(Debug, Clone)]
+pub struct RankedCandidate {
+    /// The rendered SPARQL text (dedup key and final ordering tiebreak).
+    pub sparql: String,
+    /// The executable query (model and degraded-mode rulebase handling are
+    /// applied by the warehouse at execution time).
+    pub query: SemMatch,
+    /// `match_score × 10000 / ((1 + hops) × bitlen(1 + estimate))`.
+    pub rank: u64,
+    /// Distinct request tokens this candidate explains.
+    pub covered_tokens: usize,
+    /// Summed best match scores over the covered tokens.
+    pub match_score: u64,
+    /// Join-path length (0 for single-node candidates).
+    pub hops: usize,
+    /// `FrozenStats` cardinality upper bound for the most selective
+    /// pattern in the candidate.
+    pub estimate: usize,
+}
+
+/// The planning half of the pipeline: matches, ranked candidates, and
+/// whether the budget cut planning short.
+#[derive(Debug, Clone, Default)]
+pub struct CandidatePlan {
+    /// Normalized, deduplicated request tokens in request order.
+    pub tokens: Vec<String>,
+    /// All token-to-node matches, strongest first.
+    pub matches: Vec<KeywordMatch>,
+    /// Tokens that matched no schema node; they become case-insensitive
+    /// `regex` filters on `?name` in every candidate.
+    pub unmatched_tokens: Vec<String>,
+    /// Ranked candidates, best first.
+    pub candidates: Vec<RankedCandidate>,
+    /// Set when the budget tripped during planning; the candidate list is a
+    /// truthful prefix of the unbudgeted plan.
+    pub truncated: Option<TruncationReason>,
+}
+
+/// One executed candidate: its query, rows, and planner report.
+#[derive(Debug, Clone)]
+pub struct ExecutedCandidate {
+    /// The generating SPARQL text.
+    pub sparql: String,
+    /// The candidate's rank at planning time.
+    pub rank: u64,
+    /// Rows the execution produced.
+    pub rows: usize,
+    /// The raw query output (columns `?a`, `?name`).
+    pub output: QueryOutput,
+    /// The planner's explain report for this candidate.
+    pub report: ExplainReport,
+}
+
+/// One pooled answer row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnswerRow {
+    /// The answering instance node.
+    pub instance: Term,
+    /// Its `dm:hasName` value.
+    pub name: String,
+    /// Index into [`AnswerResult::executed`] of the generating candidate.
+    pub candidate: usize,
+}
+
+/// The full answer: plan, executions, and pooled answers.
+#[derive(Debug, Clone)]
+pub struct AnswerResult {
+    /// Normalized request tokens.
+    pub tokens: Vec<String>,
+    /// Token-to-schema matches, strongest first.
+    pub matches: Vec<KeywordMatch>,
+    /// Tokens that fell back to name filters.
+    pub unmatched_tokens: Vec<String>,
+    /// The full ranked candidate list (executed and not).
+    pub candidates: Vec<RankedCandidate>,
+    /// The executed top-k candidates, in rank order.
+    pub executed: Vec<ExecutedCandidate>,
+    /// Deduplicated answers pooled across executions in rank order.
+    pub answers: Vec<AnswerRow>,
+    /// Complete, or the reason the shared budget stopped the pipeline.
+    pub completeness: Completeness,
+    /// True when executed without the inference index (breaker open).
+    pub degraded: bool,
+}
+
+/// Pools executed candidates' rows, in execution (= rank) order, into
+/// deduplicated answers. The first candidate to produce an instance owns
+/// it; later duplicates are dropped, so precision@k is measured over the
+/// strongest explanation of each instance.
+pub fn pool_answers(executed: &[ExecutedCandidate]) -> Vec<AnswerRow> {
+    let mut seen: BTreeSet<Term> = BTreeSet::new();
+    let mut out = Vec::new();
+    for (ci, ex) in executed.iter().enumerate() {
+        let a_col = ex.output.columns.iter().position(|c| c == "?a" || c == "a");
+        let name_col = ex.output.columns.iter().position(|c| c == "?name" || c == "name");
+        let Some(a_col) = a_col else { continue };
+        for row in &ex.output.rows {
+            let Some(Some(instance)) = row.get(a_col).cloned() else { continue };
+            if seen.contains(&instance) {
+                continue;
+            }
+            let name = name_col
+                .and_then(|i| row.get(i).cloned().flatten())
+                .map(|t| match t {
+                    Term::Literal(lit) => lit.lexical.to_string(),
+                    other => other.label().to_string(),
+                })
+                .unwrap_or_default();
+            seen.insert(instance.clone());
+            out.push(AnswerRow { instance, name, candidate: ci });
+        }
+    }
+    out
+}
+
+/// Splits a keyword string into normalized, deduplicated tokens in request
+/// order.
+pub fn tokenize(keywords: &str) -> Vec<String> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for tok in normalize(keywords).split(' ') {
+        if tok.is_empty() || !seen.insert(tok.to_string()) {
+            continue;
+        }
+        out.push(tok.to_string());
+    }
+    out
+}
+
+/// One edge of the schema summary graph. A triple `(s, p, o)` contributes
+/// an edge from every asserted class of `s` (or `s` itself when `s` is a
+/// class node, e.g. `rdfs:subClassOf`) to every asserted class of `o` (or
+/// `o` itself — `dm:representsConcept` points straight at concept classes).
+/// `via_type` records which interpretation each endpoint took: it decides
+/// whether the rendered pattern constrains that end with `rdf:type` or
+/// binds the class IRI directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct SchemaEdge {
+    /// The predicate, always rendered as an absolute IRI.
+    pred: TermId,
+    /// True when the source side is the triple's subject.
+    forward: bool,
+    /// Source endpoint reached via its instances' `rdf:type` (true) or the
+    /// class node itself (false).
+    src_via_type: bool,
+    /// Same for the far endpoint.
+    dst_via_type: bool,
+    /// The far endpoint class node.
+    dst: TermId,
+}
+
+/// The schema summary graph plus the supporting node sets.
+struct SchemaGraph {
+    /// Class node → sorted outgoing (mirrored, so effectively undirected)
+    /// edges. `BTreeSet` gives dedup and the deterministic expansion order
+    /// the BFS relies on.
+    adj: BTreeMap<TermId, BTreeSet<SchemaEdge>>,
+    /// Class node → predicates of triples whose *object is the class node
+    /// itself* (`?a dm:representsConcept <C>`-shaped candidates).
+    incoming: BTreeMap<TermId, BTreeSet<TermId>>,
+    /// All class nodes.
+    classes: BTreeSet<TermId>,
+    /// All property nodes (`rdfs:domain` subjects).
+    properties: BTreeSet<TermId>,
+}
+
+/// Builds [`CandidatePlan`] for a request: match, path search, rank. Pure
+/// planning — nothing executes. All scans run over the *base* (asserted)
+/// graph so the plan is identical whether or not the entailment index is
+/// available; entailment applies at execution time through the rulebase.
+pub fn plan_candidates(
+    view: &EntailedGraph<'_>,
+    ctx: &QueryContext,
+    synonyms: &SynonymTable,
+    stats: &FrozenStats,
+    request: &AnswerRequest,
+) -> CandidatePlan {
+    let dict = ctx.dict();
+    let budget = &request.budget;
+    let tokens = tokenize(&request.keywords);
+    let mut plan = CandidatePlan { tokens: tokens.clone(), ..CandidatePlan::default() };
+    if tokens.is_empty() {
+        return plan;
+    }
+    plan.truncated = budget.check().err();
+
+    let lookup = |iri: &str| dict.lookup(&Term::iri(iri));
+    let Some(ty) = lookup(vocab::rdf::TYPE) else {
+        return plan;
+    };
+    let label_prop = lookup(vocab::rdfs::LABEL);
+    let sub_class = lookup(vocab::rdfs::SUB_CLASS_OF);
+    let has_name = lookup(vocab::cs::HAS_NAME);
+    let domain = lookup(vocab::rdfs::DOMAIN);
+    let owl_class = lookup(vocab::owl::CLASS);
+    let base = view.base();
+
+    // ---- Schema node discovery ------------------------------------------
+    // Asserted classes (rdf:type objects, subClassOf endpoints, owl:Class
+    // subjects) and the asserted types of every instance.
+    let mut classes: BTreeSet<TermId> = BTreeSet::new();
+    let mut properties: BTreeSet<TermId> = BTreeSet::new();
+    let mut type_map: BTreeMap<TermId, Vec<TermId>> = BTreeMap::new();
+    if plan.truncated.is_none() {
+        'discover: for t in base.scan(TriplePattern::with_p(ty)) {
+            if let Err(reason) = budget.charge_step() {
+                plan.truncated = Some(reason);
+                break 'discover;
+            }
+            if Some(t.o) == owl_class {
+                classes.insert(t.s);
+            } else {
+                classes.insert(t.o);
+                type_map.entry(t.s).or_default().push(t.o);
+            }
+        }
+    }
+    if plan.truncated.is_none() {
+        if let Some(sc) = sub_class {
+            'subclass: for t in base.scan(TriplePattern::with_p(sc)) {
+                if let Err(reason) = budget.charge_step() {
+                    plan.truncated = Some(reason);
+                    break 'subclass;
+                }
+                classes.insert(t.s);
+                classes.insert(t.o);
+            }
+        }
+    }
+    if plan.truncated.is_none() {
+        if let Some(dom) = domain {
+            'props: for t in base.scan(TriplePattern::with_p(dom)) {
+                if let Err(reason) = budget.charge_step() {
+                    plan.truncated = Some(reason);
+                    break 'props;
+                }
+                properties.insert(t.s);
+            }
+        }
+    }
+
+    // ---- Step 1: label matching -----------------------------------------
+    // Token expansions: the token itself at full strength, its synonyms
+    // discounted. Matching runs two-phase under a parallel policy exactly
+    // like search: collect label triples, bulk-reserve budget steps, score
+    // admitted chunks with pure workers, merge in chunk order.
+    let expansions: Vec<Vec<(String, bool)>> = tokens
+        .iter()
+        .map(|tok| {
+            let mut v: Vec<(String, bool)> = vec![(tok.clone(), false)];
+            v.extend(synonyms.synonyms_of(tok).into_iter().map(|s| (s.to_string(), true)));
+            v
+        })
+        .collect();
+
+    // (token index, node) → strongest match.
+    let mut best: BTreeMap<(usize, TermId), KeywordMatch> = BTreeMap::new();
+    let score_label = |t: Triple, out: &mut Vec<((usize, TermId), KeywordMatch)>| {
+        if !classes.contains(&t.s) && !properties.contains(&t.s) {
+            return;
+        }
+        let Some(Term::Literal(lit)) = dict.term(t.o) else {
+            return;
+        };
+        let norm_label = normalize(&lit.lexical);
+        for (ti, exp) in expansions.iter().enumerate() {
+            let mut strongest: Option<(u64, &str)> = None;
+            for (term, is_syn) in exp {
+                let raw = if norm_label == *term {
+                    EXACT_SCORE
+                } else if norm_label.contains(term.as_str()) {
+                    PARTIAL_SCORE
+                } else {
+                    continue;
+                };
+                let score = if *is_syn { raw * SYNONYM_NUM / SYNONYM_DEN } else { raw };
+                if strongest.map(|(s, _)| score > s).unwrap_or(true) {
+                    strongest = Some((score, term.as_str()));
+                }
+            }
+            if let Some((score, term)) = strongest {
+                out.push((
+                    (ti, t.s),
+                    KeywordMatch {
+                        token: tokens[ti].clone(),
+                        matched_term: term.to_string(),
+                        label: lit.lexical.to_string(),
+                        node: dict.term_unchecked(t.s).clone(),
+                        score,
+                    },
+                ));
+            }
+        }
+    };
+    let policy = ctx.parallelism();
+    if plan.truncated.is_none() {
+        if let Some(label_prop) = label_prop {
+            if policy.is_parallel() {
+                let candidates: Vec<Triple> =
+                    base.scan(TriplePattern::with_p(label_prop)).collect();
+                let granted = budget.reserve_steps(candidates.len() as u64) as usize;
+                let admitted = &candidates[..granted.min(candidates.len())];
+                let scored = mdw_rdf::par::map_chunks(&policy, admitted, |chunk| {
+                    let mut meter = budget.meter();
+                    let mut out: Vec<((usize, TermId), KeywordMatch)> = Vec::new();
+                    let mut trip: Option<TruncationReason> = None;
+                    for t in chunk {
+                        if let Err(reason) = meter.tick() {
+                            trip = Some(reason);
+                            break;
+                        }
+                        score_label(*t, &mut out);
+                    }
+                    (out, trip)
+                });
+                'merge: for (chunk, worker_trip) in scored {
+                    for (key, m) in chunk {
+                        match best.get(&key) {
+                            Some(prev) if prev.score >= m.score => {}
+                            _ => {
+                                best.insert(key, m);
+                            }
+                        }
+                    }
+                    if let Some(reason) = worker_trip {
+                        plan.truncated = Some(reason);
+                        break 'merge;
+                    }
+                }
+                if plan.truncated.is_none() && granted < candidates.len() {
+                    plan.truncated = Some(TruncationReason::StepLimit);
+                }
+            } else {
+                'labels: for t in base.scan(TriplePattern::with_p(label_prop)) {
+                    if let Err(reason) = budget.charge_step() {
+                        plan.truncated = Some(reason);
+                        break 'labels;
+                    }
+                    let mut out = Vec::new();
+                    score_label(t, &mut out);
+                    for (key, m) in out {
+                        match best.get(&key) {
+                            Some(prev) if prev.score >= m.score => {}
+                            _ => {
+                                best.insert(key, m);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut covered: BTreeSet<usize> = BTreeSet::new();
+    let mut token_cover: BTreeMap<TermId, BTreeSet<usize>> = BTreeMap::new();
+    let mut node_token_score: BTreeMap<(TermId, usize), u64> = BTreeMap::new();
+    for ((ti, node), m) in &best {
+        covered.insert(*ti);
+        token_cover.entry(*node).or_default().insert(*ti);
+        node_token_score.insert((*node, *ti), m.score);
+    }
+    plan.matches = best.values().cloned().collect();
+    plan.matches.sort_by(|a, b| {
+        b.score.cmp(&a.score).then_with(|| a.token.cmp(&b.token)).then_with(|| a.node.cmp(&b.node))
+    });
+    plan.unmatched_tokens =
+        tokens.iter().enumerate().filter(|(i, _)| !covered.contains(i)).map(|(_, t)| t.clone()).collect();
+
+    // ---- Step 2: schema summary graph -----------------------------------
+    let graph = if plan.truncated.is_none() {
+        build_schema_graph(
+            base,
+            dict,
+            budget,
+            &mut plan.truncated,
+            &type_map,
+            classes,
+            properties,
+            ty,
+            label_prop,
+            sub_class,
+            has_name,
+        )
+    } else {
+        SchemaGraph {
+            adj: BTreeMap::new(),
+            incoming: BTreeMap::new(),
+            classes: BTreeSet::new(),
+            properties: BTreeSet::new(),
+        }
+    };
+
+    // ---- Step 3: candidate generation ------------------------------------
+    // Matched nodes, strongest aggregate score first (node id breaks ties).
+    let mut node_rank: Vec<(TermId, u64)> = token_cover
+        .keys()
+        .map(|node| {
+            let sum: u64 = token_cover[node]
+                .iter()
+                .map(|ti| node_token_score.get(&(*node, *ti)).copied().unwrap_or(0))
+                .sum();
+            (*node, sum)
+        })
+        .collect();
+    node_rank.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let top_nodes: Vec<TermId> =
+        node_rank.iter().take(MAX_MATCHED_NODES).map(|(n, _)| *n).collect();
+
+    let filters: Vec<String> = plan.unmatched_tokens.iter().filter_map(|t| filter_regex(t)).collect();
+    let has_name_iri = has_name.and_then(|id| dict.term_unchecked(id).as_iri().map(String::from));
+    let mut raw: Vec<RankedCandidate> = Vec::new();
+
+    let coverage_of = |nodes: &[TermId]| -> (usize, u64) {
+        let mut toks: BTreeSet<usize> = BTreeSet::new();
+        for n in nodes {
+            if let Some(set) = token_cover.get(n) {
+                toks.extend(set.iter().copied());
+            }
+        }
+        let score: u64 = toks
+            .iter()
+            .map(|ti| {
+                nodes
+                    .iter()
+                    .filter_map(|n| node_token_score.get(&(*n, *ti)).copied())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .sum();
+        (toks.len(), score)
+    };
+
+    if let Some(name_iri) = has_name_iri.as_deref() {
+        // Single-node candidates for every matched node.
+        for &node in node_rank.iter().map(|(n, _)| n) {
+            let Some(node_iri) = dict.term_unchecked(node).as_iri() else { continue };
+            let (cov, score) = coverage_of(&[node]);
+            if graph.classes.contains(&node) {
+                // TypeOf: every (entailed) instance of the class.
+                let pattern =
+                    format!("{{ ?a rdf:type <{node_iri}> . ?a <{name_iri}> ?name }}");
+                let est = stats.class_count(node).unwrap_or(0);
+                raw.push(make_candidate(pattern, &filters, cov, score, 0, est));
+                // PointsTo: instances whose edge targets the class node
+                // itself (concept annotations).
+                if let Some(preds) = graph.incoming.get(&node) {
+                    for &p in preds {
+                        let Some(p_iri) = dict.term_unchecked(p).as_iri() else { continue };
+                        let pattern = format!(
+                            "{{ ?a <{p_iri}> <{node_iri}> . ?a <{name_iri}> ?name }}"
+                        );
+                        let est = stats.estimate_pattern(TriplePattern::with_po(p, node));
+                        raw.push(make_candidate(pattern, &filters, cov, score, 1, est));
+                    }
+                }
+            }
+            if graph.properties.contains(&node) {
+                // PropertyOf: everything carrying the matched property.
+                let pattern =
+                    format!("{{ ?a <{node_iri}> ?v . ?a <{name_iri}> ?name }}");
+                let est = stats.predicate(node).map(|s| s.count).unwrap_or(0);
+                raw.push(make_candidate(pattern, &filters, cov, score, 1, est));
+            }
+        }
+
+        // Pairwise join-path candidates between top matched nodes that
+        // explain different tokens.
+        for (i, &a) in top_nodes.iter().enumerate() {
+            for &b in top_nodes.iter().skip(i + 1) {
+                let ta = token_cover.get(&a).cloned().unwrap_or_default();
+                let tb = token_cover.get(&b).cloned().unwrap_or_default();
+                if tb.is_subset(&ta) && ta.is_subset(&tb) {
+                    continue;
+                }
+                let (cov, score) = coverage_of(&[a, b]);
+                for (anchor, terminal) in [(a, b), (b, a)] {
+                    if plan.truncated.is_some() {
+                        break;
+                    }
+                    let paths = shortest_paths(
+                        &graph.adj,
+                        anchor,
+                        terminal,
+                        request.max_hops,
+                        PATHS_PER_PAIR,
+                        budget,
+                        &mut plan.truncated,
+                    );
+                    for path in paths {
+                        if let Some((pattern, est)) =
+                            render_path(dict, stats, anchor, &path, name_iri)
+                        {
+                            raw.push(make_candidate(
+                                pattern,
+                                &filters,
+                                cov,
+                                score,
+                                path.len(),
+                                est,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Fallback: nothing matched the schema — pure name-filter search.
+        if raw.is_empty() {
+            let all_filters: Vec<String> =
+                tokens.iter().filter_map(|t| filter_regex(t)).collect();
+            if !all_filters.is_empty() {
+                let pattern = format!("{{ ?a <{name_iri}> ?name }}");
+                let est = stats.predicate_count_by_iri(dict, name_iri);
+                raw.push(make_candidate(pattern, &all_filters, 0, 0, 0, est));
+            }
+        }
+    }
+
+    // ---- Step 4: dedup + rank -------------------------------------------
+    let mut by_text: BTreeMap<String, RankedCandidate> = BTreeMap::new();
+    for c in raw {
+        match by_text.get(&c.sparql) {
+            Some(prev)
+                if (prev.covered_tokens, prev.rank) >= (c.covered_tokens, c.rank) => {}
+            _ => {
+                by_text.insert(c.sparql.clone(), c);
+            }
+        }
+    }
+    let mut candidates: Vec<RankedCandidate> = by_text.into_values().collect();
+    candidates.sort_by(|x, y| {
+        y.covered_tokens
+            .cmp(&x.covered_tokens)
+            .then_with(|| y.rank.cmp(&x.rank))
+            .then_with(|| x.sparql.cmp(&y.sparql))
+    });
+    candidates.truncate(request.max_candidates);
+    plan.candidates = candidates;
+    plan
+}
+
+/// `floor(log2(n)) + 1` for `n > 0` (the bit length); `0` stays `0`. The
+/// cardinality damping factor of the rank formula — integer-only so ranking
+/// is exactly reproducible.
+fn bit_len(n: u64) -> u64 {
+    (u64::BITS - n.leading_zeros()) as u64
+}
+
+/// The ranking formula: match score scaled up, damped by path length and
+/// the log of the cardinality estimate. Bigger is better. A zero estimate
+/// means the frozen statistics expect *no* rows at all — such a candidate
+/// is almost certainly a dead end (a class with no direct members), so it
+/// is damped harder than any populated candidate, not rewarded for being
+/// cheap.
+fn rank_of(match_score: u64, hops: usize, estimate: usize) -> u64 {
+    let path_factor = hops as u64 + 1;
+    let card_factor = if estimate == 0 {
+        EMPTY_ESTIMATE_FACTOR
+    } else {
+        bit_len(estimate as u64 + 1).max(1)
+    };
+    match_score.saturating_mul(10_000) / (path_factor * card_factor)
+}
+
+/// The cardinality damping applied to candidates the statistics predict to
+/// be empty: worse than any real estimate the damping can produce
+/// (`bit_len` of a `u64` tops out at 64).
+const EMPTY_ESTIMATE_FACTOR: u64 = 128;
+
+fn make_candidate(
+    pattern: String,
+    filters: &[String],
+    covered_tokens: usize,
+    match_score: u64,
+    hops: usize,
+    estimate: usize,
+) -> RankedCandidate {
+    let mut query = SemMatch::new(pattern)
+        .rulebase("OWLPRIME")
+        .select(&["?a", "?name"])
+        .distinct();
+    for f in filters {
+        query = query.filter(f.clone());
+    }
+    let sparql = query.to_sparql();
+    RankedCandidate {
+        sparql,
+        query,
+        rank: rank_of(match_score, hops, estimate),
+        covered_tokens,
+        match_score,
+        hops,
+        estimate,
+    }
+}
+
+/// A case-insensitive `regex(?name, …)` filter for an unmatched token.
+/// Tokens are stripped to regex-inert characters — anything else would need
+/// escaping guarantees the executor's regex engine does not document.
+fn filter_regex(token: &str) -> Option<String> {
+    let safe: String = token
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == ' ')
+        .collect();
+    let safe = safe.trim().to_string();
+    if safe.is_empty() {
+        None
+    } else {
+        Some(format!("regex(?name, \"{safe}\", \"i\")"))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_schema_graph(
+    base: &mdw_rdf::FrozenGraph,
+    dict: &Dictionary,
+    budget: &QueryBudget,
+    truncated: &mut Option<TruncationReason>,
+    type_map: &BTreeMap<TermId, Vec<TermId>>,
+    classes: BTreeSet<TermId>,
+    properties: BTreeSet<TermId>,
+    ty: TermId,
+    label_prop: Option<TermId>,
+    sub_class: Option<TermId>,
+    has_name: Option<TermId>,
+) -> SchemaGraph {
+    let mut adj: BTreeMap<TermId, BTreeSet<SchemaEdge>> = BTreeMap::new();
+    let mut incoming: BTreeMap<TermId, BTreeSet<TermId>> = BTreeMap::new();
+    let mut insert = |src: TermId, sv: bool, pred: TermId, dst: TermId, dv: bool| {
+        if src == dst {
+            return;
+        }
+        adj.entry(src).or_default().insert(SchemaEdge {
+            pred,
+            forward: true,
+            src_via_type: sv,
+            dst_via_type: dv,
+            dst,
+        });
+        adj.entry(dst).or_default().insert(SchemaEdge {
+            pred,
+            forward: false,
+            src_via_type: dv,
+            dst_via_type: sv,
+            dst: src,
+        });
+    };
+    'edges: for t in base.iter() {
+        if let Err(reason) = budget.charge_step() {
+            *truncated = Some(reason);
+            break 'edges;
+        }
+        // Meta predicates carry naming/typing, not joinable structure.
+        if t.p == ty || Some(t.p) == label_prop || Some(t.p) == has_name {
+            continue;
+        }
+        if matches!(dict.term(t.o), Some(Term::Literal(_))) {
+            continue;
+        }
+        let empty: Vec<TermId> = Vec::new();
+        let mut srcs: Vec<(TermId, bool)> = type_map
+            .get(&t.s)
+            .unwrap_or(&empty)
+            .iter()
+            .map(|&c| (c, true))
+            .collect();
+        if classes.contains(&t.s) {
+            srcs.push((t.s, false));
+        }
+        let mut dsts: Vec<(TermId, bool)> = type_map
+            .get(&t.o)
+            .unwrap_or(&empty)
+            .iter()
+            .map(|&c| (c, true))
+            .collect();
+        if classes.contains(&t.o) {
+            dsts.push((t.o, false));
+            if Some(t.p) != sub_class {
+                incoming.entry(t.o).or_default().insert(t.p);
+            }
+        }
+        for &(src, sv) in &srcs {
+            for &(dst, dv) in &dsts {
+                insert(src, sv, t.p, dst, dv);
+            }
+        }
+    }
+    SchemaGraph { adj, incoming, classes, properties }
+}
+
+/// Up to `cap` distinct shortest join paths from `src` to `dst`, each at
+/// most `max_hops` edges. A level-synchronous BFS from `dst` labels every
+/// node with its distance (the lineage-traversal discipline); a DFS from
+/// `src` then only follows edges that strictly decrease the distance, which
+/// enumerates exactly the shortest paths — in sorted-edge order, so the
+/// result is deterministic. Only paths whose first edge leaves `src`
+/// through its *instances* qualify (the anchor variable must be
+/// instance-valued).
+fn shortest_paths(
+    adj: &BTreeMap<TermId, BTreeSet<SchemaEdge>>,
+    src: TermId,
+    dst: TermId,
+    max_hops: usize,
+    cap: usize,
+    budget: &QueryBudget,
+    truncated: &mut Option<TruncationReason>,
+) -> Vec<Vec<SchemaEdge>> {
+    if src == dst || max_hops == 0 {
+        return Vec::new();
+    }
+    // BFS from dst over the mirrored adjacency (undirected distances).
+    let mut dist: BTreeMap<TermId, usize> = BTreeMap::new();
+    dist.insert(dst, 0);
+    let mut queue: VecDeque<TermId> = VecDeque::new();
+    queue.push_back(dst);
+    while let Some(n) = queue.pop_front() {
+        let d = dist[&n];
+        if d >= max_hops {
+            continue;
+        }
+        let Some(edges) = adj.get(&n) else { continue };
+        for e in edges {
+            if let Err(reason) = budget.charge_step() {
+                *truncated = Some(reason);
+                return Vec::new();
+            }
+            if let std::collections::btree_map::Entry::Vacant(slot) = dist.entry(e.dst) {
+                slot.insert(d + 1);
+                queue.push_back(e.dst);
+            }
+        }
+    }
+    let Some(&d0) = dist.get(&src) else {
+        return Vec::new();
+    };
+    if d0 > max_hops {
+        return Vec::new();
+    }
+    // DFS along strictly-decreasing distances.
+    let mut out: Vec<Vec<SchemaEdge>> = Vec::new();
+    let mut path: Vec<SchemaEdge> = Vec::new();
+    dfs_shortest(adj, &dist, src, d0, cap, &mut path, &mut out, budget, truncated);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_shortest(
+    adj: &BTreeMap<TermId, BTreeSet<SchemaEdge>>,
+    dist: &BTreeMap<TermId, usize>,
+    node: TermId,
+    d: usize,
+    cap: usize,
+    path: &mut Vec<SchemaEdge>,
+    out: &mut Vec<Vec<SchemaEdge>>,
+    budget: &QueryBudget,
+    truncated: &mut Option<TruncationReason>,
+) {
+    if out.len() >= cap || truncated.is_some() {
+        return;
+    }
+    if d == 0 {
+        // Reached dst; the anchor's first edge must be instance-valued.
+        if path.first().map(|e| e.src_via_type).unwrap_or(false) {
+            out.push(path.clone());
+        }
+        return;
+    }
+    let Some(edges) = adj.get(&node) else { return };
+    for e in edges {
+        if let Err(reason) = budget.charge_step() {
+            *truncated = Some(reason);
+            return;
+        }
+        if dist.get(&e.dst).copied() != Some(d - 1) {
+            continue;
+        }
+        path.push(*e);
+        dfs_shortest(adj, dist, e.dst, d - 1, cap, path, out, budget, truncated);
+        path.pop();
+        if out.len() >= cap || truncated.is_some() {
+            return;
+        }
+    }
+}
+
+/// Renders a join path into a SPARQL group pattern anchored at `?a`, and
+/// returns the pattern plus its cardinality estimate (the minimum over the
+/// anchor class count and each hop's `FrozenStats` bound — the tightest
+/// single constraint bounds the join from above).
+fn render_path(
+    dict: &Dictionary,
+    stats: &FrozenStats,
+    anchor: TermId,
+    path: &[SchemaEdge],
+    name_iri: &str,
+) -> Option<(String, usize)> {
+    let anchor_iri = dict.term_unchecked(anchor).as_iri()?.to_string();
+    let mut parts = vec![format!("?a rdf:type <{anchor_iri}>")];
+    let mut est = stats.class_count(anchor).unwrap_or(usize::MAX);
+    let n = path.len();
+    for (i, e) in path.iter().enumerate() {
+        let p_iri = dict.term_unchecked(e.pred).as_iri()?;
+        let src_var = if i == 0 { "?a".to_string() } else { format!("?x{i}") };
+        let last = i + 1 == n;
+        let hop_est;
+        let dst_repr = if last && !e.dst_via_type {
+            let dst_iri = dict.term_unchecked(e.dst).as_iri()?;
+            hop_est = if e.forward {
+                stats.estimate_pattern(TriplePattern::with_po(e.pred, e.dst))
+            } else {
+                stats.estimate_pattern(TriplePattern::with_sp(e.dst, e.pred))
+            };
+            format!("<{dst_iri}>")
+        } else {
+            hop_est = stats.predicate(e.pred).map(|s| s.count).unwrap_or(0);
+            format!("?x{}", i + 1)
+        };
+        est = est.min(hop_est);
+        parts.push(if e.forward {
+            format!("{src_var} <{p_iri}> {dst_repr}")
+        } else {
+            format!("{dst_repr} <{p_iri}> {src_var}")
+        });
+        if last && e.dst_via_type {
+            let dst_iri = dict.term_unchecked(e.dst).as_iri()?;
+            parts.push(format!("?x{} rdf:type <{dst_iri}>", i + 1));
+        }
+    }
+    parts.push(format!("?a <{name_iri}> ?name"));
+    if est == usize::MAX {
+        est = 0;
+    }
+    Some((format!("{{ {} }}", parts.join(" . ")), est))
+}
+
+/// A tiny extension hook so the fallback candidate can estimate the
+/// `dm:hasName` predicate without a `TermId` in hand.
+trait StatsByIri {
+    fn predicate_count_by_iri(&self, dict: &Dictionary, iri: &str) -> usize;
+}
+
+impl StatsByIri for FrozenStats {
+    fn predicate_count_by_iri(&self, dict: &Dictionary, iri: &str) -> usize {
+        dict.lookup(&Term::iri(iri))
+            .and_then(|id| self.predicate(id).map(|s| s.count))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdw_rdf::store::Store;
+    use mdw_reason::{Materialization, Rulebase};
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_estimate_ranks_below_any_populated_candidate() {
+        // A statistics-predicted-empty candidate must not look "cheap":
+        // even a huge populated scan outranks it at equal score and hops.
+        assert!(rank_of(100, 0, 1) > rank_of(100, 0, 0));
+        assert!(rank_of(100, 0, 1 << 40) > rank_of(100, 0, 0));
+        // But a much stronger match can still carry an empty estimate past
+        // a weak populated one — damping, not exclusion.
+        assert!(rank_of(100, 0, 0) > rank_of(1, 0, 1));
+    }
+
+    /// A miniature Figure-3-style warehouse: concepts, columns annotated
+    /// with `representsConcept`, reports using items.
+    fn setup() -> (Store, Materialization) {
+        let mut store = Store::new();
+        store.create_model("m").unwrap();
+        let rb = Rulebase::owlprime(store.dict_mut());
+        let dm = |l: &str| Term::iri(vocab::cs::dm(l));
+        let dwh = |l: &str| Term::iri(vocab::cs::dwh(l));
+        let iri = |s: &str| Term::iri(s);
+        let represents = dm("representsConcept");
+        let uses = dm("usesItem");
+        let triples: Vec<(Term, Term, Term)> = vec![
+            // Ontology: classes with labels.
+            (dm("Customer"), iri(vocab::rdf::TYPE), iri(vocab::owl::CLASS)),
+            (dm("Customer"), iri(vocab::rdfs::LABEL), Term::plain("Customer")),
+            (dm("Report"), iri(vocab::rdf::TYPE), iri(vocab::owl::CLASS)),
+            (dm("Report"), iri(vocab::rdfs::LABEL), Term::plain("Report")),
+            (dm("Column"), iri(vocab::rdf::TYPE), iri(vocab::owl::CLASS)),
+            (dm("Column"), iri(vocab::rdfs::LABEL), Term::plain("Column")),
+            // Properties.
+            (represents.clone(), iri(vocab::rdfs::DOMAIN), dm("Column")),
+            (represents.clone(), iri(vocab::rdfs::LABEL), Term::plain("represents concept")),
+            (uses.clone(), iri(vocab::rdfs::DOMAIN), dm("Report")),
+            (uses.clone(), iri(vocab::rdfs::LABEL), Term::plain("uses item")),
+            // Columns annotated with the Customer concept.
+            (dwh("customer_id"), iri(vocab::rdf::TYPE), dm("Column")),
+            (dwh("customer_id"), iri(vocab::cs::HAS_NAME), Term::plain("customer_id")),
+            (dwh("customer_id"), represents.clone(), dm("Customer")),
+            (dwh("partner_id"), iri(vocab::rdf::TYPE), dm("Column")),
+            (dwh("partner_id"), iri(vocab::cs::HAS_NAME), Term::plain("partner_id")),
+            (dwh("partner_id"), represents.clone(), dm("Customer")),
+            // A column about something else.
+            (dwh("trade_ts"), iri(vocab::rdf::TYPE), dm("Column")),
+            (dwh("trade_ts"), iri(vocab::cs::HAS_NAME), Term::plain("trade_ts")),
+            // A report that uses the customer column.
+            (dwh("rpt1"), iri(vocab::rdf::TYPE), dm("Report")),
+            (dwh("rpt1"), iri(vocab::cs::HAS_NAME), Term::plain("Customer Overview")),
+            (dwh("rpt1"), uses.clone(), dwh("customer_id")),
+            // A report about something else.
+            (dwh("rpt2"), iri(vocab::rdf::TYPE), dm("Report")),
+            (dwh("rpt2"), iri(vocab::cs::HAS_NAME), Term::plain("Trade Blotter")),
+            (dwh("rpt2"), uses.clone(), dwh("trade_ts")),
+        ];
+        for (s, p, o) in triples {
+            store.insert("m", &s, &p, &o).unwrap();
+        }
+        let m = Materialization::materialize(store.model("m").unwrap(), &rb, store.dict());
+        (store, m)
+    }
+
+    fn plan(store: &Store, m: &Materialization, req: AnswerRequest) -> CandidatePlan {
+        let ctx = QueryContext::new(Arc::new(store.freeze())).with_budget(req.budget.clone());
+        let view = EntailedGraph::new(ctx.graph("m").unwrap(), m.frozen());
+        let stats = ctx.planner_stats("m").unwrap();
+        plan_candidates(&view, &ctx, &SynonymTable::banking(), &stats, &req)
+    }
+
+    #[test]
+    fn tokenize_normalizes_and_dedups() {
+        assert_eq!(tokenize("  Risk  EXPOSURE risk\ttrader "), vec!["risk", "exposure", "trader"]);
+        assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn exact_label_match_outranks_substring() {
+        let (store, m) = setup();
+        let p = plan(&store, &m, AnswerRequest::new("customer"));
+        assert!(!p.matches.is_empty());
+        let best = &p.matches[0];
+        assert_eq!(best.label, "Customer");
+        assert_eq!(best.score, EXACT_SCORE);
+        assert!(p.unmatched_tokens.is_empty());
+    }
+
+    #[test]
+    fn synonym_match_is_discounted() {
+        let (store, m) = setup();
+        // "client" only reaches the Customer class through the synonym
+        // table, at 70% strength.
+        let p = plan(&store, &m, AnswerRequest::new("client"));
+        let hit = p
+            .matches
+            .iter()
+            .find(|km| km.label == "Customer")
+            .expect("synonym should reach the Customer class");
+        assert_eq!(hit.matched_term, "customer");
+        assert_eq!(hit.score, EXACT_SCORE * SYNONYM_NUM / SYNONYM_DEN);
+    }
+
+    #[test]
+    fn concept_class_generates_points_to_candidate() {
+        let (store, m) = setup();
+        let p = plan(&store, &m, AnswerRequest::new("customer"));
+        // The representsConcept annotation makes `?a <representsConcept>
+        // <Customer>` a candidate.
+        assert!(
+            p.candidates.iter().any(|c| c.sparql.contains("representsConcept")),
+            "candidates: {:#?}",
+            p.candidates.iter().map(|c| &c.sparql).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn two_keywords_produce_join_path_candidate() {
+        let (store, m) = setup();
+        let p = plan(&store, &m, AnswerRequest::new("report customer"));
+        // Report --usesItem--> Column --representsConcept--> Customer.
+        let joined = p
+            .candidates
+            .iter()
+            .find(|c| c.sparql.contains("usesItem") && c.sparql.contains("representsConcept"))
+            .expect("expected a 2-hop join candidate");
+        assert_eq!(joined.covered_tokens, 2);
+        assert_eq!(joined.hops, 2);
+        // Coverage dominates: the join candidate outranks every single-token
+        // candidate.
+        assert_eq!(p.candidates[0].covered_tokens, 2);
+    }
+
+    #[test]
+    fn unmatched_tokens_become_name_filters() {
+        let (store, m) = setup();
+        let p = plan(&store, &m, AnswerRequest::new("customer blotter"));
+        assert_eq!(p.unmatched_tokens, vec!["blotter".to_string()]);
+        assert!(p.candidates.iter().all(|c| c.sparql.contains("regex(?name, \"blotter\"")));
+    }
+
+    #[test]
+    fn no_schema_match_falls_back_to_name_search() {
+        let (store, m) = setup();
+        let p = plan(&store, &m, AnswerRequest::new("blotter"));
+        assert_eq!(p.candidates.len(), 1);
+        let c = &p.candidates[0];
+        assert!(c.sparql.contains("regex(?name, \"blotter\""));
+        assert_eq!(c.covered_tokens, 0);
+    }
+
+    #[test]
+    fn empty_keywords_plan_nothing() {
+        let (store, m) = setup();
+        let p = plan(&store, &m, AnswerRequest::new("   "));
+        assert!(p.tokens.is_empty());
+        assert!(p.candidates.is_empty());
+        assert!(p.truncated.is_none());
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let (store, m) = setup();
+        let a = plan(&store, &m, AnswerRequest::new("report customer"));
+        let b = plan(&store, &m, AnswerRequest::new("report customer"));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn step_budget_truncates_planning() {
+        let (store, m) = setup();
+        let req = AnswerRequest::new("customer")
+            .with_budget(QueryBudget::unlimited().with_max_steps(3));
+        let p = plan(&store, &m, req);
+        assert_eq!(p.truncated, Some(TruncationReason::StepLimit));
+    }
+
+    #[test]
+    fn candidate_order_is_total_and_ranked() {
+        let (store, m) = setup();
+        let p = plan(&store, &m, AnswerRequest::new("report customer"));
+        for w in p.candidates.windows(2) {
+            let (x, y) = (&w[0], &w[1]);
+            assert!(
+                (y.covered_tokens, y.rank, std::cmp::Reverse(&y.sparql))
+                    <= (x.covered_tokens, x.rank, std::cmp::Reverse(&x.sparql)),
+                "candidates out of order: {x:?} then {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_damps_by_path_and_cardinality() {
+        assert!(rank_of(100, 0, 0) > rank_of(100, 1, 0));
+        assert!(rank_of(100, 0, 1) > rank_of(100, 0, 1000));
+        assert_eq!(rank_of(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn filter_regex_sanitizes() {
+        assert_eq!(filter_regex("tra\"der"), Some("regex(?name, \"trader\", \"i\")".into()));
+        assert_eq!(filter_regex("\\.*"), None);
+    }
+
+    #[test]
+    fn pool_answers_dedups_across_candidates() {
+        let out1 = QueryOutput {
+            columns: vec!["?a".into(), "?name".into()],
+            rows: vec![
+                vec![Some(Term::iri("i:1")), Some(Term::plain("one"))],
+                vec![Some(Term::iri("i:2")), Some(Term::plain("two"))],
+            ],
+            completeness: Completeness::Complete,
+            degraded: false,
+        };
+        let out2 = QueryOutput {
+            columns: vec!["?a".into(), "?name".into()],
+            rows: vec![
+                vec![Some(Term::iri("i:2")), Some(Term::plain("two"))],
+                vec![Some(Term::iri("i:3")), Some(Term::plain("three"))],
+            ],
+            completeness: Completeness::Complete,
+            degraded: false,
+        };
+        let mk = |sparql: &str, output: QueryOutput| ExecutedCandidate {
+            sparql: sparql.into(),
+            rank: 1,
+            rows: output.rows.len(),
+            output,
+            report: ExplainReport { planner_used: false, filters_pushed: 0, bgps: Vec::new() },
+        };
+        let answers = pool_answers(&[mk("q1", out1), mk("q2", out2)]);
+        assert_eq!(answers.len(), 3);
+        assert_eq!(answers[0].candidate, 0);
+        assert_eq!(answers[2].candidate, 1);
+        assert_eq!(answers[2].name, "three");
+    }
+}

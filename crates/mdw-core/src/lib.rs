@@ -32,6 +32,7 @@
 //! * [`warehouse`] — the facade tying everything together.
 
 pub mod admission;
+pub mod answer;
 pub mod assist;
 pub mod budget;
 pub mod error;
@@ -53,6 +54,10 @@ pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionStats, BreakerConfig, BreakerState,
     CircuitBreaker, Overloaded, Permit, QueryClass, ShedReason,
 };
+pub use answer::{
+    AnswerRequest, AnswerResult, AnswerRow, CandidatePlan, ExecutedCandidate, KeywordMatch,
+    RankedCandidate,
+};
 pub use assist::{find_sources, SourceCandidates};
 pub use budget::{
     deadline_budget, CancellationToken, Completeness, QueryBudget, TimeSource, TruncationReason,
@@ -72,4 +77,4 @@ pub use resilience::{Clock, RetryPolicy, SystemClock, TestClock};
 pub use search::{SearchRequest, SearchResults};
 pub use sync::{SourceRegistry, SyncReport};
 pub use synonyms::SynonymTable;
-pub use warehouse::{MetadataWarehouse, PlannerStats};
+pub use warehouse::{AnswerStats, MetadataWarehouse, PlannerStats};

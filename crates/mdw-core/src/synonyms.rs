@@ -29,8 +29,23 @@ pub struct SynonymTable {
     map: BTreeMap<String, BTreeSet<String>>,
 }
 
-fn normalize(s: &str) -> String {
-    s.to_lowercase()
+/// Canonicalizes a term for dictionary lookup: lower-cased, leading and
+/// trailing whitespace stripped, and internal whitespace runs (spaces,
+/// tabs, newlines) collapsed to a single space. Labels arrive from many
+/// scanners — `"Client  Information "` and `"client information"` must hit
+/// the same dictionary entry, and the keyword-answering pipeline reuses the
+/// same canonical form for label matching.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for part in s.split_whitespace() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        for c in part.chars() {
+            out.extend(c.to_lowercase());
+        }
+    }
+    out
 }
 
 impl SynonymTable {
@@ -88,6 +103,12 @@ impl SynonymTable {
             out.extend(set.iter().cloned());
         }
         out
+    }
+
+    /// Every word in the table (normalized, sorted): the vocabulary the
+    /// keyword-eval corpus draws its synonym-only cases from.
+    pub fn vocabulary(&self) -> Vec<String> {
+        self.map.keys().cloned().collect()
     }
 
     /// Number of terms with at least one synonym.
@@ -171,6 +192,35 @@ mod tests {
         assert!(triples.iter().all(|(s, p, o)| {
             s.is_literal() && o.is_literal() && p.as_iri() == Some(vocab::cs::SYNONYM_OF)
         }));
+    }
+
+    #[test]
+    fn normalize_pins_case_and_whitespace_rules() {
+        // Lower-casing.
+        assert_eq!(normalize("CUSTOMER"), "customer");
+        // Leading/trailing whitespace stripped.
+        assert_eq!(normalize("  client "), "client");
+        // Internal whitespace runs (spaces, tabs, newlines) collapse to one
+        // space.
+        assert_eq!(normalize("Client  Information"), "client information");
+        assert_eq!(normalize("client\tinformation\nid"), "client information id");
+        // All rules compose.
+        assert_eq!(normalize("  Client  Information "), normalize("client information"));
+        // Whitespace-only input normalizes to empty.
+        assert_eq!(normalize("   \t\n"), "");
+    }
+
+    #[test]
+    fn lookup_is_whitespace_insensitive() {
+        let mut t = SynonymTable::new();
+        t.add_pair("client information", "customer data");
+        assert_eq!(t.synonyms_of("  Client   Information "), vec!["customer data"]);
+        assert_eq!(t.expand("Client\tInformation")[0], "client information");
+        // Stored keys are the normalized forms even when groups were added
+        // with messy spacing.
+        let mut messy = SynonymTable::new();
+        messy.add_pair(" Client  Information ", "customer data");
+        assert_eq!(messy.synonyms_of("client information"), vec!["customer data"]);
     }
 
     #[test]

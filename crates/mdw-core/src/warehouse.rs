@@ -111,6 +111,53 @@ pub struct PlannerStats {
     pub filters_pushed: u64,
 }
 
+/// Cumulative keyword-answering activity ([`MetadataWarehouse::answer`]).
+/// Interior-mutable for the same reason as [`PlannerCounters`].
+#[derive(Debug, Default)]
+struct AnswerCounters {
+    answered: AtomicU64,
+    candidates_planned: AtomicU64,
+    candidates_executed: AtomicU64,
+    truncated: AtomicU64,
+}
+
+impl AnswerCounters {
+    fn record(&self, result: &crate::answer::AnswerResult) {
+        self.answered.fetch_add(1, Ordering::Relaxed);
+        self.candidates_planned
+            .fetch_add(result.candidates.len() as u64, Ordering::Relaxed);
+        self.candidates_executed
+            .fetch_add(result.executed.len() as u64, Ordering::Relaxed);
+        if !result.completeness.is_complete() {
+            self.truncated.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> AnswerStats {
+        AnswerStats {
+            answered: self.answered.load(Ordering::Relaxed),
+            candidates_planned: self.candidates_planned.load(Ordering::Relaxed),
+            candidates_executed: self.candidates_executed.load(Ordering::Relaxed),
+            truncated: self.truncated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time snapshot of the warehouse's keyword-answering counters
+/// ([`MetadataWarehouse::answer_stats`]) — surfaced operationally by
+/// `mdw-serve`'s `/admin/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnswerStats {
+    /// Keyword-answering requests served.
+    pub answered: u64,
+    /// SPARQL candidates planned across all requests.
+    pub candidates_planned: u64,
+    /// Candidates actually executed (top-k, budget permitting).
+    pub candidates_executed: u64,
+    /// Requests whose shared budget tripped before completion.
+    pub truncated: u64,
+}
+
 /// The meta-data warehouse.
 #[derive(Debug)]
 pub struct MetadataWarehouse {
@@ -136,6 +183,8 @@ pub struct MetadataWarehouse {
     parallelism: ParallelPolicy,
     /// Cumulative planner activity over served `SEM_MATCH` queries.
     planner: PlannerCounters,
+    /// Cumulative keyword-answering activity.
+    answer_counters: AnswerCounters,
 }
 
 impl Default for MetadataWarehouse {
@@ -171,6 +220,7 @@ impl MetadataWarehouse {
             prev_snapshot: None,
             parallelism: ParallelPolicy::sequential(),
             planner: PlannerCounters::default(),
+            answer_counters: AnswerCounters::default(),
         }
     }
 
@@ -195,6 +245,7 @@ impl MetadataWarehouse {
             prev_snapshot: None,
             parallelism: ParallelPolicy::sequential(),
             planner: PlannerCounters::default(),
+            answer_counters: AnswerCounters::default(),
         })
     }
 
@@ -749,6 +800,20 @@ impl MetadataWarehouse {
         use_planner: bool,
     ) -> Result<(QueryOutput, ExplainReport), MdwError> {
         let _permit = self.admit(QueryClass::Sparql)?;
+        self.sem_match_inner(query, budget, use_planner)
+    }
+
+    /// The permit-free execution core shared by [`Self::sem_match_explained`]
+    /// and [`Self::answer`]: candidate queries executed under an `Answer`
+    /// permit must not also contend for `Sparql` slots (one admitted request,
+    /// one permit), but they take the identical breaker / planner / counter
+    /// path.
+    fn sem_match_inner(
+        &self,
+        query: &SemMatch,
+        budget: &QueryBudget,
+        use_planner: bool,
+    ) -> Result<(QueryOutput, ExplainReport), MdwError> {
         let degraded = self.breaker.as_ref().is_some_and(|b| !b.allow());
         let entailments = if degraded { None } else { self.materialization.as_ref() };
         let mut query = query.clone().model(&self.model);
@@ -775,6 +840,78 @@ impl MetadataWarehouse {
     /// far (planned vs unplanned executions, reorderings, pushed filters).
     pub fn planner_stats(&self) -> PlannerStats {
         self.planner.snapshot()
+    }
+
+    /// SODA-style keyword answering (see [`crate::answer`]): tokenizes the
+    /// request, matches tokens against schema labels and synonyms, walks
+    /// bounded join paths between the matched schema nodes, ranks the
+    /// resulting SPARQL candidates by match score × path length ×
+    /// cardinality estimate, and executes the top-k through the regular
+    /// planner/budget stack. One `Answer` admission permit covers the whole
+    /// request — planning and every candidate execution — and all phases
+    /// charge the request's single [`QueryBudget`], so truncation verdicts
+    /// are truthful prefixes of the unbudgeted run.
+    pub fn answer(&self, request: &crate::answer::AnswerRequest) -> Result<crate::answer::AnswerResult, MdwError> {
+        let _permit = self.admit(QueryClass::Answer)?;
+        let (view, degraded) = self.query_view()?;
+        let ctx = self.context().with_budget(request.budget.clone());
+        let stats = ctx.planner_stats(&self.model)?;
+        let plan = crate::answer::plan_candidates(&view, &ctx, &self.synonyms, &stats, request);
+        let mut truncated = plan.truncated;
+        let mut executed = Vec::new();
+        let mut answered_coverage: Option<usize> = None;
+        for c in plan.candidates.iter().take(request.top_k) {
+            // Once the shared budget trips, later candidates could only
+            // return empty truncated outputs — skipping them keeps the
+            // answer a truthful prefix and costs nothing.
+            if truncated.is_some() {
+                break;
+            }
+            // Coverage dominance: once a candidate covering `n` keywords
+            // has produced answers, candidates covering fewer keywords are
+            // weaker interpretations of the same question — pooling them
+            // would only dilute the answer. Candidates are sorted by
+            // coverage first, so the cut is a clean break.
+            if answered_coverage.is_some_and(|n| c.covered_tokens < n) {
+                break;
+            }
+            let (out, report) = self.sem_match_inner(&c.query, &request.budget, true)?;
+            if let Some(reason) = out.completeness.reason() {
+                truncated = Some(reason);
+            }
+            if !out.rows.is_empty() && answered_coverage.is_none() {
+                answered_coverage = Some(c.covered_tokens);
+            }
+            executed.push(crate::answer::ExecutedCandidate {
+                sparql: c.sparql.clone(),
+                rank: c.rank,
+                rows: out.rows.len(),
+                output: out,
+                report,
+            });
+        }
+        let answers = crate::answer::pool_answers(&executed);
+        let result = crate::answer::AnswerResult {
+            tokens: plan.tokens,
+            matches: plan.matches,
+            unmatched_tokens: plan.unmatched_tokens,
+            candidates: plan.candidates,
+            executed,
+            answers,
+            completeness: match truncated {
+                Some(reason) => Completeness::Truncated { reason },
+                None => Completeness::Complete,
+            },
+            degraded,
+        };
+        self.answer_counters.record(&result);
+        Ok(result)
+    }
+
+    /// Cumulative keyword-answering counters over every [`Self::answer`]
+    /// request served so far.
+    pub fn answer_stats(&self) -> AnswerStats {
+        self.answer_counters.snapshot()
     }
 
     /// The Table I census of the current model.
@@ -1191,7 +1328,7 @@ mod tests {
         let mut w = loaded_warehouse();
         w.enable_admission(AdmissionConfig {
             max_concurrent: 0,
-            per_class: [0; 3],
+            per_class: [0; crate::admission::CLASS_COUNT],
             max_queued: 0,
             max_wait: Duration::from_millis(10),
             retry_after: Duration::from_millis(250),
@@ -1203,6 +1340,69 @@ mod tests {
         let stats = w.admission_stats().unwrap();
         assert_eq!(stats.total_shed(), 1);
         assert_eq!(stats.total_admitted(), 0);
+    }
+
+    #[test]
+    fn answer_executes_typeof_candidate_from_label() {
+        let w = loaded_warehouse();
+        // "column" exact-matches the Application1_View_Column label, so the
+        // TypeOf candidate runs and returns the class's only named instance.
+        let result = w.answer(&crate::answer::AnswerRequest::new("column")).unwrap();
+        assert!(result.completeness.is_complete());
+        assert!(!result.degraded);
+        assert!(!result.executed.is_empty());
+        assert_eq!(result.candidates[0].covered_tokens, 1);
+        assert!(
+            result.answers.iter().any(|a| a.instance == dwh("customer_id")),
+            "answers: {:?}",
+            result.answers
+        );
+        let stats = w.answer_stats();
+        assert_eq!(stats.answered, 1);
+        assert!(stats.candidates_executed >= 1);
+        assert_eq!(stats.truncated, 0);
+    }
+
+    #[test]
+    fn answer_falls_back_to_name_filter_when_nothing_matches_schema() {
+        let w = loaded_warehouse();
+        // No label contains "customer"; the fallback name-filter candidate
+        // still finds customer_id by its hasName value.
+        let result = w.answer(&crate::answer::AnswerRequest::new("customer")).unwrap();
+        assert!(result.matches.is_empty());
+        assert_eq!(result.unmatched_tokens, vec!["customer".to_string()]);
+        assert!(result.answers.iter().any(|a| a.name == "customer_id"));
+    }
+
+    #[test]
+    fn overloaded_answer_is_shed_with_typed_error() {
+        use std::time::Duration;
+        let mut w = loaded_warehouse();
+        w.enable_admission(AdmissionConfig {
+            max_concurrent: 0,
+            per_class: [0; crate::admission::CLASS_COUNT],
+            max_queued: 0,
+            max_wait: Duration::from_millis(10),
+            retry_after: Duration::from_millis(250),
+        });
+        match w.answer(&crate::answer::AnswerRequest::new("column")) {
+            Err(MdwError::Overloaded(o)) => {
+                assert_eq!(o.class, QueryClass::Answer);
+                assert!(o.retry_after >= Duration::from_millis(250));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(w.admission_stats().unwrap().total_shed(), 1);
+    }
+
+    #[test]
+    fn answer_budget_trips_are_truthful_and_counted() {
+        let w = loaded_warehouse();
+        let req = crate::answer::AnswerRequest::new("column")
+            .with_budget(QueryBudget::unlimited().with_max_steps(2));
+        let result = w.answer(&req).unwrap();
+        assert!(!result.completeness.is_complete());
+        assert_eq!(w.answer_stats().truncated, 1);
     }
 
     #[test]

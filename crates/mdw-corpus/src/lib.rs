@@ -30,7 +30,9 @@
 pub mod config;
 pub mod fig2;
 pub mod generator;
+pub mod keyword_eval;
 pub mod names;
 
 pub use config::{CorpusConfig, Scale};
 pub use generator::{generate, Corpus, SubjectAreaCount};
+pub use keyword_eval::{eval_cases, eval_config, CaseKind, EvalCase};

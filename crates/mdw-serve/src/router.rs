@@ -30,6 +30,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mdw_core::admission::{Permit, QueryClass};
+use mdw_core::answer::AnswerRequest;
 use mdw_core::error::MdwError;
 use mdw_core::lineage::LineageRequest;
 use mdw_core::search::SearchRequest;
@@ -188,10 +189,14 @@ pub fn prepare(state: &Arc<ServeState>, request: &Request) -> Prepared {
             };
             Prepared::Query(QueryJob { request: request.clone(), class })
         }
+        ("POST", "/answer") => Prepared::Query(QueryJob {
+            request: request.clone(),
+            class: QueryClass::Answer,
+        }),
         (
             _,
-            "/healthz" | "/stats" | "/search" | "/lineage" | "/sparql" | "/admin/drain"
-            | "/admin/stats",
+            "/healthz" | "/stats" | "/search" | "/lineage" | "/sparql" | "/answer"
+            | "/admin/drain" | "/admin/stats",
         ) => Prepared::Fixed(StagedResponse::error_json(405, "method not allowed")),
         _ => Prepared::Fixed(StagedResponse::error_json(404, "no such endpoint")),
     }
@@ -319,6 +324,7 @@ impl QueryJob {
             QueryClass::Search => run_search(state, request, budget.clone()),
             QueryClass::Lineage => run_lineage(state, request, budget.clone()),
             QueryClass::Sparql => run_sparql(state, request, budget.clone()),
+            QueryClass::Answer => run_answer(state, request, budget.clone()),
         };
         let answer = match answer {
             Ok(answer) => answer,
@@ -349,12 +355,14 @@ impl QueryJob {
 
 /// A fully-computed answer, ready to stream: pre-encoded ndjson rows plus
 /// the query-side completeness verdict. SPARQL answers also carry the
-/// one-line query-plan summary for the trailer frame.
+/// one-line query-plan summary for the trailer frame; keyword answers carry
+/// the executed-candidate metadata instead.
 struct Answer {
     rows: Vec<String>,
     completeness: Completeness,
     degraded: bool,
     plan: Option<String>,
+    candidates: Option<Value>,
 }
 
 enum RouteError {
@@ -386,6 +394,7 @@ pub struct RowStreamer {
     base_reason: Option<TruncationReason>,
     degraded: bool,
     plan: Option<String>,
+    candidates: Option<Value>,
     budget: QueryBudget,
     sent: usize,
     trip: Option<TruncationReason>,
@@ -411,6 +420,7 @@ impl RowStreamer {
             base_reason,
             degraded: answer.degraded,
             plan: answer.plan,
+            candidates: answer.candidates,
             budget,
             sent: 0,
             trip: None,
@@ -454,6 +464,10 @@ impl RowStreamer {
                 // SPARQL answers carry the plan the executor ran.
                 if let Some(plan) = &self.plan {
                     fields.push(("plan".to_string(), Value::String(plan.clone())));
+                }
+                // Keyword answers carry the executed candidates' metadata.
+                if let Some(candidates) = &self.candidates {
+                    fields.push(("candidates".to_string(), candidates.clone()));
                 }
                 let summary = Value::Object(vec![("summary".to_string(), Value::Object(fields))]);
                 let line =
@@ -511,7 +525,13 @@ fn run_search(
             })));
         }
     }
-    Ok(Answer { rows, completeness: results.completeness, degraded: results.degraded, plan: None })
+    Ok(Answer {
+        rows,
+        completeness: results.completeness,
+        degraded: results.degraded,
+        plan: None,
+        candidates: None,
+    })
 }
 
 fn run_lineage(
@@ -553,7 +573,13 @@ fn run_lineage(
             }))
         })
         .collect();
-    Ok(Answer { rows, completeness: result.completeness, degraded: result.degraded, plan: None })
+    Ok(Answer {
+        rows,
+        completeness: result.completeness,
+        degraded: result.degraded,
+        plan: None,
+        candidates: None,
+    })
 }
 
 fn run_sparql(
@@ -598,6 +624,52 @@ fn run_sparql(
         completeness: output.completeness,
         degraded: output.degraded,
         plan: Some(report.summary()),
+        candidates: None,
+    })
+}
+
+fn run_answer(
+    state: &ServeState,
+    request: &Request,
+    budget: QueryBudget,
+) -> Result<Answer, RouteError> {
+    let keywords = request
+        .query_param("q")
+        .filter(|q| !q.is_empty())
+        .ok_or_else(|| RouteError::BadRequest("answer needs ?q=KEYWORDS".to_string()))?;
+    let mut answer = AnswerRequest::new(keywords).with_budget(budget);
+    if let Some(top_k) = request.query_param("top-k").and_then(|v| v.parse().ok()) {
+        answer = answer.with_top_k(top_k);
+    }
+    let result = state.warehouse.answer(&answer)?;
+    let rows = result
+        .answers
+        .iter()
+        .map(|row| {
+            ndjson_line(json!({
+                "name": row.name.clone(),
+                "instance": row.instance.to_string(),
+                "candidate": row.candidate,
+            }))
+        })
+        .collect();
+    let candidates: Vec<Value> = result
+        .executed
+        .iter()
+        .map(|ex| {
+            json!({
+                "sparql": ex.sparql.clone(),
+                "rank": ex.rank,
+                "rows": ex.rows,
+            })
+        })
+        .collect();
+    Ok(Answer {
+        rows,
+        completeness: result.completeness,
+        degraded: result.degraded,
+        plan: None,
+        candidates: Some(Value::Array(candidates)),
     })
 }
 
@@ -650,12 +722,19 @@ pub fn stats_json(state: &ServeState) -> String {
 pub fn admin_stats_json(state: &ServeState) -> String {
     let counters = &state.counters;
     let planner = state.warehouse.planner_stats();
+    let answer = state.warehouse.answer_stats();
     let doc = json!({
         "planner": {
             "planned": planner.planned,
             "unplanned": planner.unplanned,
             "reordered": planner.reordered,
             "filters_pushed": planner.filters_pushed,
+        },
+        "answer": {
+            "answered": answer.answered,
+            "candidates_planned": answer.candidates_planned,
+            "candidates_executed": answer.candidates_executed,
+            "truncated": answer.truncated,
         },
         "accepted": counters.accepted.load(Ordering::Relaxed),
         "served": counters.served.load(Ordering::Relaxed),

@@ -83,6 +83,30 @@ fn serves_search_end_to_end_over_tcp() {
 }
 
 #[test]
+fn serves_keyword_answer_end_to_end_over_tcp() {
+    let _guard = chaos_lock();
+    let server = start_server(test_config());
+    let resp = client::post(server.addr(), "/answer?q=customer+report", CLIENT_TIMEOUT)
+        .expect("answer response");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert!(resp.answer_complete(), "body: {}", resp.body);
+    // The trailer carries the executed candidates' metadata.
+    let summary = resp.summary_line().expect("summary line");
+    assert!(summary.contains("\"candidates\":["), "summary: {summary}");
+    assert!(summary.contains("\"sparql\":"), "summary: {summary}");
+    assert!(summary.contains("\"rank\":"), "summary: {summary}");
+
+    // GET on the POST-only route is a 405, not a 404.
+    let wrong = client::get(server.addr(), "/answer?q=customer", &[], CLIENT_TIMEOUT)
+        .expect("405 response");
+    assert_eq!(wrong.status, 405, "body: {}", wrong.body);
+
+    // The admin stats document exposes the answer counters.
+    let admin = client::get(server.addr(), "/admin/stats", &[], CLIENT_TIMEOUT).expect("admin");
+    assert!(admin.body.contains("\"answer\":{\"answered\":"), "admin: {}", admin.body);
+}
+
+#[test]
 fn survives_injected_accept_failures() {
     let _guard = chaos_lock();
     let server = start_server(test_config());

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use metadata_warehouse::core::admission::AdmissionConfig;
+use metadata_warehouse::core::answer::AnswerRequest;
 use metadata_warehouse::core::budget::{Completeness, MonotonicTime, QueryBudget};
 use metadata_warehouse::rdf::ParallelPolicy;
 use metadata_warehouse::core::error::MdwError;
@@ -57,6 +58,8 @@ const USAGE: &str = "usage:
   mdwh census   --store DIR
   mdwh search   --store DIR TERM [--synonyms] [--area NAME] [--class LOCAL]
                 [--threads N]
+  mdwh answer   --store DIR \"KEYWORDS\" [--top-k N] [--explain]
+                [--deadline-ms MS] [--max-rows N] [--max-steps N] [--threads N]
   mdwh lineage  --store DIR ITEM [--upstream] [--depth N] [--rule-filter STR]
                 [--threads N]
   mdwh audit    --store DIR ITEM
@@ -116,6 +119,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--quota", "--writes", "--addr", "--connections", "--max-conns", "--drain-grace-ms",
     "--tenants", "--writers", "--readers", "--batches", "--batch-size", "--failpoint",
     "--memtable", "--stall-runs", "--stall-deadline-ms", "--workers", "--rss-ceiling-kb",
+    "--top-k",
 ];
 
 fn parse_args(args: &[String]) -> Args {
@@ -163,6 +167,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "info" => cmd_info(&parsed),
         "census" => cmd_census(&parsed),
         "search" => cmd_search(&parsed),
+        "answer" => cmd_answer(&parsed),
         "lineage" => cmd_lineage(&parsed),
         "audit" => cmd_audit(&parsed),
         "gaps" => cmd_gaps(&parsed),
@@ -413,6 +418,85 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_answer(args: &Args) -> Result<(), String> {
+    let keywords = args
+        .positional
+        .first()
+        .ok_or("answer needs a KEYWORDS argument, e.g. mdwh answer \"risk exposure trader\"")?;
+    let warehouse = open_warehouse(args)?;
+    let mut request = AnswerRequest::new(keywords.clone()).with_budget(budget_from_args(args)?);
+    if let Some(k) = args.option("top-k") {
+        request = request.with_top_k(k.parse().map_err(|_| format!("bad --top-k: {k}"))?);
+    }
+    let result = warehouse.answer(&request).map_err(|e| e.to_string())?;
+
+    println!("keywords: {}", result.tokens.join(" "));
+    if !result.matches.is_empty() {
+        println!("matched:");
+        for m in result.matches.iter().take(8) {
+            println!(
+                "  {} -> {} (\"{}\", score {})",
+                m.token,
+                m.node.label(),
+                m.label,
+                m.score
+            );
+        }
+    }
+    if !result.unmatched_tokens.is_empty() {
+        println!("filtered by name: {}", result.unmatched_tokens.join(" "));
+    }
+    println!("candidates ({} planned, {} executed):", result.candidates.len(), result.executed.len());
+    for (i, c) in result.candidates.iter().enumerate() {
+        let ran = if i < result.executed.len() { "*" } else { " " };
+        println!(
+            " {ran}[{i}] rank {} covers {} hops {} est {}  {}",
+            c.rank,
+            c.covered_tokens,
+            c.hops,
+            c.estimate,
+            compact_sparql(&c.sparql)
+        );
+    }
+    println!("answers ({}):", result.answers.len());
+    for a in &result.answers {
+        println!("  {}  ({}, via candidate {})", a.name, a.instance.label(), a.candidate);
+    }
+    if args.flag("explain") {
+        for (i, ex) in result.executed.iter().enumerate() {
+            println!("candidate {i}: {} ({} row(s))", compact_sparql(&ex.sparql), ex.rows);
+            print!("{}", ex.report.to_text());
+        }
+    }
+    note_verdicts(&result.completeness, result.degraded);
+    Ok(())
+}
+
+/// One-line rendering of a generated candidate: the `WHERE` pattern only,
+/// with the IRI boilerplate (prefix block, select head) dropped.
+fn compact_sparql(sparql: &str) -> String {
+    let mut inside = false;
+    let mut parts: Vec<&str> = Vec::new();
+    for line in sparql.lines() {
+        let line = line.trim();
+        if line.starts_with("WHERE") {
+            inside = true;
+            continue;
+        }
+        if inside {
+            if line == "}" {
+                break;
+            }
+            parts.push(line);
+        }
+    }
+    if parts.is_empty() {
+        sparql.split_whitespace().collect::<Vec<_>>().join(" ")
+    } else {
+        format!("{{ {} }}", parts.join(" "))
+    }
+}
+
 fn cmd_lineage(args: &Args) -> Result<(), String> {
     let item = args
         .positional
@@ -583,7 +667,8 @@ fn parse_or<T: std::str::FromStr>(args: &Args, key: &str, default: T) -> Result<
 }
 
 /// The overload drill: hammer one warehouse from many threads with a mixed
-/// search/lineage/sparql load behind a deliberately small admission gate,
+/// search/lineage/sparql/answer load behind a deliberately small admission
+/// gate,
 /// then report latency percentiles and the shed rate. Every request either
 /// completes (possibly truncated by its deadline) or is shed with a typed
 /// `Overloaded` — the drill fails if anything panics or errors otherwise.
@@ -629,7 +714,7 @@ fn drill_overload(args: &Args) -> Result<(), String> {
                             Arc::new(MonotonicTime::new()),
                         );
                         let started = std::time::Instant::now();
-                        let outcome: Result<(), MdwError> = match (t + i) % 3 {
+                        let outcome: Result<(), MdwError> = match (t + i) % 4 {
                             0 => warehouse
                                 .search(&SearchRequest::new("client").with_budget(budget))
                                 .map(|_| ()),
@@ -637,6 +722,11 @@ fn drill_overload(args: &Args) -> Result<(), String> {
                                 .lineage(
                                     &LineageRequest::downstream(resolve_item("dwh_stage0_item0"))
                                         .with_budget(budget),
+                                )
+                                .map(|_| ()),
+                            2 => warehouse
+                                .answer(
+                                    &AnswerRequest::new("customer report").with_budget(budget),
                                 )
                                 .map(|_| ()),
                             // A deliberately heavy cross join: it runs to
@@ -683,18 +773,20 @@ fn drill_overload(args: &Args) -> Result<(), String> {
         percentile_us(&latencies_us, 99.0) as f64 / 1000.0,
     );
     println!(
-        "admitted:  {} (search {}, lineage {}, sparql {})",
+        "admitted:  {} (search {}, lineage {}, sparql {}, answer {})",
         stats.total_admitted(),
         stats.admitted[0],
         stats.admitted[1],
         stats.admitted[2],
+        stats.admitted[3],
     );
     println!(
-        "shed:      {} (search {}, lineage {}, sparql {})",
+        "shed:      {} (search {}, lineage {}, sparql {}, answer {})",
         stats.total_shed(),
         stats.shed[0],
         stats.shed[1],
         stats.shed[2],
+        stats.shed[3],
     );
     if !retry_after_ms.is_empty() {
         retry_after_ms.sort_unstable();

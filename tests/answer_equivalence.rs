@@ -1,0 +1,266 @@
+//! Differential testing for keyword answering: `MetadataWarehouse::answer`
+//! must be deterministic across thread counts, truthful under every budget
+//! shape, and typed when shed.
+//!
+//! Three contracts, extended from `differential_parallel.rs` to the
+//! keyword pipeline:
+//!
+//! * **Thread invariance** — the full `Debug` rendering of an
+//!   [`AnswerResult`] (matches, candidate order, executed outputs, pooled
+//!   answers, verdict) is bit-identical at 1, 2, and 8 threads.
+//! * **Budget truthfulness** — a complete answer equals the unlimited
+//!   answer exactly; a truncated answer's pooled rows are a *prefix* of the
+//!   unlimited run's, the truncation reason matches the budget shape, and
+//!   the verdict never claims completeness the budget did not allow.
+//! * **Typed sheds** — with a zero Answer quota, `answer` returns
+//!   `MdwError::Overloaded` carrying the class and a retry-after hint.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use metadata_warehouse::core::admission::{AdmissionConfig, QueryClass, CLASS_COUNT};
+use metadata_warehouse::core::answer::AnswerRequest;
+use metadata_warehouse::core::budget::{CancellationToken, QueryBudget, TruncationReason};
+use metadata_warehouse::core::error::MdwError;
+use metadata_warehouse::core::ingest::Extract;
+use metadata_warehouse::core::warehouse::MetadataWarehouse;
+use metadata_warehouse::rdf::budget::MonotonicTime;
+use metadata_warehouse::rdf::term::Term;
+use metadata_warehouse::rdf::vocab;
+use metadata_warehouse::rdf::ParallelPolicy;
+
+/// Thread counts compared against the sequential baseline.
+const THREADS: [usize; 2] = [2, 8];
+
+/// A labeled mid-size warehouse the keyword pipeline can really answer
+/// over: three labeled classes, 40 columns (every other one carrying the
+/// Customer concept), and 10 reports using every third column — enough
+/// rows that an 8-way scan genuinely splits.
+fn answering_warehouse() -> MetadataWarehouse {
+    let dm = |l: &str| Term::iri(vocab::cs::dm(l));
+    let dwh = |l: &str| Term::iri(vocab::cs::dwh(l));
+    let iri = |s: &str| Term::iri(s);
+    let ty = iri(vocab::rdf::TYPE);
+    let label = iri(vocab::rdfs::LABEL);
+    let owl_class = iri(vocab::owl::CLASS);
+    let domain = iri(vocab::rdfs::DOMAIN);
+    let has_name = iri(vocab::cs::HAS_NAME);
+    let represents = dm("representsConcept");
+    let uses = dm("usesItem");
+
+    let mut triples: Vec<(Term, Term, Term)> = vec![
+        (dm("Customer"), ty.clone(), owl_class.clone()),
+        (dm("Customer"), label.clone(), Term::plain("Customer")),
+        (dm("Report"), ty.clone(), owl_class.clone()),
+        (dm("Report"), label.clone(), Term::plain("Report")),
+        (dm("Column"), ty.clone(), owl_class.clone()),
+        (dm("Column"), label.clone(), Term::plain("Column")),
+        (represents.clone(), domain.clone(), dm("Column")),
+        (represents.clone(), label.clone(), Term::plain("represents concept")),
+        (uses.clone(), domain.clone(), dm("Report")),
+        (uses.clone(), label.clone(), Term::plain("uses item")),
+    ];
+    for i in 0..40usize {
+        let col = dwh(&format!("col{i}"));
+        triples.push((col.clone(), ty.clone(), dm("Column")));
+        triples.push((col.clone(), has_name.clone(), Term::plain(format!("column_name_{i}"))));
+        if i % 2 == 0 {
+            triples.push((col.clone(), represents.clone(), dm("Customer")));
+        }
+    }
+    for r in 0..10usize {
+        let rep = dwh(&format!("rep{r}"));
+        triples.push((rep.clone(), ty.clone(), dm("Report")));
+        triples.push((rep.clone(), has_name.clone(), Term::plain(format!("usage report {r}"))));
+        triples.push((rep.clone(), uses.clone(), dwh(&format!("col{}", (r * 3) % 40))));
+    }
+    let mut w = MetadataWarehouse::new();
+    w.ingest(vec![Extract::new("answer-eq", triples)]).unwrap();
+    w.build_semantic_index().unwrap();
+    w
+}
+
+/// Keyword strings drawn from the fixture's vocabulary plus misses, so
+/// cases cover exact, synonym (`client` → customer), multi-token join, and
+/// fallback-filter shapes.
+const KEYWORDS: [&str; 9] = [
+    "customer",
+    "client",
+    "report",
+    "column",
+    "customer report",
+    "report customer",
+    "column customer report",
+    "nonexistent",
+    "nonexistent customer",
+];
+
+fn keywords() -> impl Strategy<Value = String> {
+    (0usize..KEYWORDS.len()).prop_map(|i| KEYWORDS[i].to_string())
+}
+
+/// Deterministic budget variants (wall-clock deadlines are exercised
+/// separately with a zero deadline, which trips reproducibly).
+fn make_budget(variant: u8, limit: u64) -> QueryBudget {
+    match variant % 5 {
+        0 => QueryBudget::unlimited(),
+        1 => QueryBudget::unlimited().with_max_steps(limit),
+        2 => QueryBudget::unlimited().with_max_rows(limit % 8),
+        3 => QueryBudget::unlimited().with_deadline(Duration::ZERO, Arc::new(MonotonicTime::new())),
+        _ => {
+            let token = CancellationToken::new();
+            token.cancel();
+            QueryBudget::unlimited().with_cancellation(&token)
+        }
+    }
+}
+
+/// The truncation reasons each budget variant may legitimately produce.
+fn allowed_reasons(variant: u8) -> &'static [TruncationReason] {
+    match variant % 5 {
+        0 => &[],
+        1 => &[TruncationReason::StepLimit],
+        2 => &[TruncationReason::RowLimit],
+        3 => &[TruncationReason::DeadlineExceeded],
+        _ => &[TruncationReason::Cancelled],
+    }
+}
+
+/// A policy that really partitions even small scans.
+fn policy(threads: usize) -> ParallelPolicy {
+    ParallelPolicy::new(threads).with_min_partition_rows(1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Answering at 2/8 threads is byte-identical to the sequential run —
+    /// token matches, candidate order, executed candidate outputs, pooled
+    /// answers, and the completeness verdict — under every deterministic
+    /// budget variant.
+    #[test]
+    fn answer_is_bit_identical_across_thread_counts(
+        kw in keywords(),
+        variant in 0u8..5,
+        limit in 0u64..60,
+        top_k in 1usize..5,
+    ) {
+        let mut w = answering_warehouse();
+        w.set_parallelism(policy(1));
+        let request = AnswerRequest::new(kw.clone())
+            .with_top_k(top_k)
+            .with_budget(make_budget(variant, limit));
+        let baseline = format!("{:?}", w.answer(&request).unwrap());
+        for threads in THREADS {
+            w.set_parallelism(policy(threads));
+            let req = AnswerRequest::new(kw.clone())
+                .with_top_k(top_k)
+                .with_budget(make_budget(variant, limit));
+            let got = format!("{:?}", w.answer(&req).unwrap());
+            prop_assert_eq!(&got, &baseline, "answer diverged at {} threads", threads);
+        }
+    }
+
+    /// Budget truthfulness: a complete limited answer equals the unlimited
+    /// answer exactly; a truncated one reports a reason its budget shape
+    /// can produce and pools a prefix of the unlimited answers.
+    #[test]
+    fn budget_trips_are_truthful_prefixes(
+        kw in keywords(),
+        variant in 1u8..5,
+        limit in 0u64..60,
+        thread_pick in 0usize..3,
+    ) {
+        let mut w = answering_warehouse();
+        w.set_parallelism(policy([1usize, 2, 8][thread_pick]));
+        let unlimited = w
+            .answer(&AnswerRequest::new(kw.clone()))
+            .unwrap();
+        prop_assert!(unlimited.completeness.is_complete());
+
+        let limited = w
+            .answer(&AnswerRequest::new(kw.clone()).with_budget(make_budget(variant, limit)))
+            .unwrap();
+        match limited.completeness.reason() {
+            None => {
+                // Claimed complete: must be indistinguishable from the
+                // unlimited run.
+                prop_assert_eq!(
+                    format!("{:?}", &limited),
+                    format!("{:?}", &unlimited),
+                    "a 'complete' limited answer differed from the unlimited answer"
+                );
+            }
+            Some(reason) => {
+                prop_assert!(
+                    allowed_reasons(variant).contains(&reason),
+                    "variant {} produced unexpected reason {:?}",
+                    variant,
+                    reason
+                );
+                prop_assert!(
+                    limited.answers.len() <= unlimited.answers.len(),
+                    "truncated run returned more answers than the unlimited run"
+                );
+                prop_assert_eq!(
+                    limited.answers.as_slice(),
+                    &unlimited.answers[..limited.answers.len()],
+                    "truncated answers are not a prefix of the unlimited answers"
+                );
+                prop_assert!(
+                    limited.executed.len() <= unlimited.executed.len(),
+                    "truncated run executed more candidates than the unlimited run"
+                );
+            }
+        }
+    }
+}
+
+/// With a zero Answer quota every request sheds immediately with the typed
+/// error, the class, and a positive retry-after hint — never a panic, a
+/// wait, or a silent empty answer.
+#[test]
+fn overloaded_answer_sheds_with_retry_after() {
+    let mut w = answering_warehouse();
+    w.enable_admission(AdmissionConfig {
+        max_concurrent: 0,
+        per_class: [0; CLASS_COUNT],
+        max_queued: 0,
+        max_wait: Duration::from_millis(5),
+        retry_after: Duration::from_millis(300),
+    });
+    for kw in ["customer", "customer report", "nonexistent"] {
+        match w.answer(&AnswerRequest::new(kw)) {
+            Err(MdwError::Overloaded(o)) => {
+                assert_eq!(o.class, QueryClass::Answer, "{kw}: wrong class");
+                assert!(o.retry_after >= Duration::from_millis(300), "{kw}: bad hint");
+            }
+            other => panic!("{kw}: expected Overloaded, got {other:?}"),
+        }
+    }
+    let stats = w.admission_stats().unwrap();
+    assert_eq!(stats.shed[QueryClass::Answer as usize], 3);
+    assert_eq!(stats.total_admitted(), 0);
+}
+
+/// The CI matrix entry point: with `MDW_PAR_THREADS` set, the env-derived
+/// policy must agree with the sequential baseline on the pinned fixture.
+#[test]
+fn env_thread_count_matches_sequential_baseline() {
+    let mut w = answering_warehouse();
+
+    w.set_parallelism(ParallelPolicy::new(1));
+    let baseline: Vec<String> = ["customer", "client", "customer report", "column"]
+        .iter()
+        .map(|kw| format!("{:?}", w.answer(&AnswerRequest::new(*kw)).unwrap()))
+        .collect();
+
+    w.set_parallelism(ParallelPolicy::from_env().with_min_partition_rows(1));
+    let got: Vec<String> = ["customer", "client", "customer report", "column"]
+        .iter()
+        .map(|kw| format!("{:?}", w.answer(&AnswerRequest::new(*kw)).unwrap()))
+        .collect();
+    assert_eq!(got, baseline);
+}
